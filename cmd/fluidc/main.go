@@ -1,0 +1,149 @@
+// Command fluidc compiles an assay-language source file to AquaCore
+// Instruction Set code with an automatically-managed volume plan: the full
+// pipeline of the paper (parse → check → elaborate/unroll → volume
+// management hierarchy → code generation).
+//
+// Usage:
+//
+//	fluidc [-plan] [-dot] [-no-manage] assay.asy
+//
+// -plan prints the volume plan alongside the listing, -dot emits the
+// (transformed) assay DAG in Graphviz format, -no-manage skips the
+// cascading/replication hierarchy (plain DAGSolve only).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/lang"
+)
+
+func main() {
+	showPlan := flag.Bool("plan", false, "print the volume plan")
+	showDot := flag.Bool("dot", false, "emit the assay DAG in Graphviz dot")
+	noManage := flag.Bool("no-manage", false, "skip the cascading/replication hierarchy")
+	outFile := flag.String("o", "", "write the AIS listing to this file instead of stdout")
+	volFile := flag.String("voltab", "", "write the per-instruction volume table to this file (static assays only)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fluidc [flags] assay.asy")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	ep, err := lang.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+
+	// Volume management: statically-known assays go through the Fig. 6
+	// hierarchy; assays with unknown volumes get compile-time Vnorms and
+	// defer absolute assignment to the runtime (§3.5).
+	g := ep.Graph
+	var plan *core.Plan
+	usedLP := false
+	hasUnknown := false
+	for _, n := range g.Nodes() {
+		if n != nil && n.Unknown && !n.IsLeaf() {
+			hasUnknown = true
+		}
+	}
+	switch {
+	case hasUnknown:
+		sp, err := core.NewStagedPlan(g, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		done, err := sp.SolveStatic()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "assay has statically-unknown volumes: %d partitions, %d solvable at compile time\n",
+			sp.NumParts(), len(done))
+	case *noManage:
+		plan, err = core.DAGSolve(g, cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if !plan.Feasible() {
+			fmt.Fprintf(os.Stderr, "warning: DAGSolve underflows (%d); rerun without -no-manage\n", len(plan.Underflows))
+		}
+	default:
+		res, err := core.Manage(g, cfg, core.ManageOptions{})
+		if errors.Is(err, core.ErrUnmanageable) || errors.Is(err, core.ErrResourceLimit) {
+			fatal(fmt.Errorf("%w\ntrace:\n%s", err, traceText(res)))
+		} else if err != nil {
+			fatal(err)
+		}
+		g = res.Graph
+		plan = res.Plan
+		usedLP = res.UsedLP
+		for _, tr := range res.Transforms {
+			fmt.Fprintf(os.Stderr, "applied %s\n", tr)
+		}
+	}
+
+	if *showDot {
+		fmt.Print(g.DOT(ep.Name))
+		return
+	}
+	// LP plans may leave excess in units; disable storage-less forwarding
+	// for them (see codegen.Config.NoForwarding).
+	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP})
+	if err != nil {
+		fatal(err)
+	}
+	listing := cg.Prog.String()
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(listing), 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(listing)
+	}
+	if *volFile != "" {
+		if plan == nil {
+			fatal(fmt.Errorf("-voltab requires a statically-solvable assay"))
+		}
+		tab, err := cg.VolumeTable(func(edge int) (float64, bool) {
+			if edge < 0 || edge >= len(plan.EdgeVolume) {
+				return 0, false
+			}
+			return plan.EdgeVolume[edge], true
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*volFile, []byte(tab.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *showPlan && plan != nil {
+		fmt.Println()
+		fmt.Print(plan)
+	}
+}
+
+func traceText(res *core.ManageResult) string {
+	if res == nil {
+		return ""
+	}
+	out := ""
+	for _, l := range res.Trace {
+		out += "  " + l + "\n"
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluidc:", err)
+	os.Exit(1)
+}

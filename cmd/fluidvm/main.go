@@ -1,0 +1,164 @@
+// Command fluidvm compiles an assay and executes it on the AquaCore PLoC
+// simulator with the runtime volume manager in the loop: static plans are
+// applied directly; assays with unknown volumes are re-planned partition
+// by partition as the simulated separations report their measured outputs
+// (§3.5).
+//
+// Usage:
+//
+//	fluidvm [-yield F] [-trace] assay.asy
+//	fluidvm -ais prog.ais -voltab prog.vol       # run a shipped listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aquacore"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/lang"
+)
+
+func main() {
+	yield := flag.Float64("yield", 0.4, "separation effluent yield fraction")
+	trace := flag.Bool("trace", false, "print the AIS listing before running")
+	aisFile := flag.String("ais", "", "execute a textual AIS listing (requires -voltab)")
+	volFile := flag.String("voltab", "", "per-instruction volume table for -ais")
+	flag.Parse()
+	if *aisFile != "" {
+		runShipped(*aisFile, *volFile, *yield)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fluidvm [flags] assay.asy")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	ep, err := lang.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+
+	g := ep.Graph
+	hasUnknown := false
+	for _, n := range g.Nodes() {
+		if n != nil && n.Unknown && !n.IsLeaf() {
+			hasUnknown = true
+		}
+	}
+	var source aquacore.VolumeSource
+	usedLP := false
+	if hasUnknown {
+		sp, err := core.NewStagedPlan(g, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ss, err := aquacore.NewStagedSource(sp)
+		if err != nil {
+			fatal(err)
+		}
+		source = ss
+		// Per-part solves may fall back to LP at run time; be
+		// conservative about unit residue.
+		usedLP = true
+	} else {
+		res, err := core.Manage(g, cfg, core.ManageOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		g = res.Graph
+		source = aquacore.PlanSource{Plan: res.Plan}
+		usedLP = res.UsedLP
+	}
+
+	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP})
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		fmt.Println(cg.Prog)
+	}
+
+	m := aquacore.New(aquacore.Config{SeparationYield: *yield}, g, source)
+	dry := map[string]float64{}
+	for slot, v := range ep.Init {
+		dry[ep.Slots[slot]] = v
+	}
+	m.SetDry(dry)
+	res, err := m.Run(cg.Prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	report(res)
+}
+
+// runShipped executes a compiled (listing, volume table) pair — the
+// artifact fluidc -o/-voltab produces — with no source or DAG available.
+func runShipped(aisFile, volFile string, yield float64) {
+	src, err := os.ReadFile(aisFile)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ais.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{SeparationYield: yield}, nil, nil)
+	if volFile != "" {
+		vsrc, err := os.ReadFile(volFile)
+		if err != nil {
+			fatal(err)
+		}
+		tab, err := ais.ParseVolumeTable(string(vsrc))
+		if err != nil {
+			fatal(err)
+		}
+		m.SetVolumeTable(tab)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+}
+
+func report(res *aquacore.Result) {
+	fmt.Printf("executed %d wet + %d dry instructions\n", res.WetInstrs, res.DryInstrs)
+	fmt.Printf("fluidic time %.1f s, electronic time %.3g s\n", res.WetSeconds, res.DrySeconds)
+	if res.Clean() {
+		fmt.Println("no underflow/overflow/ran-out events")
+	} else {
+		fmt.Printf("%d volume events:\n", len(res.Events))
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	if len(res.Dry) > 0 {
+		fmt.Println("sensed/dry values:")
+		keys := make([]string, 0, len(res.Dry))
+		for k := range res.Dry {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s = %.4g\n", k, res.Dry[k])
+		}
+	}
+	for _, o := range res.Outputs {
+		fmt.Printf("output %s: %.3f nl\n", o.Port, o.Volume)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluidvm:", err)
+	os.Exit(1)
+}

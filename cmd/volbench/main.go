@@ -1,0 +1,75 @@
+// Command volbench regenerates the paper's evaluation tables and figures
+// (§4) on this reproduction. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen]
+//	         [-full] [-sweep N]
+//
+// -full enables the long-running Enzyme10 LP solve in table2 (minutes and
+// roughly a gigabyte of tableau, which is the paper's point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aquavol/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	full := flag.Bool("full", false, "include the long Enzyme10 LP solve")
+	sweep := flag.Int("sweep", 5, "max N for the EnzymeN scaling sweep")
+	flag.Parse()
+
+	var tables []*bench.Table
+	switch *experiment {
+	case "all":
+		tables = bench.All(*full, *sweep)
+	case "fig5":
+		tables = []*bench.Table{bench.Fig5()}
+	case "glucose":
+		tables = []*bench.Table{bench.Glucose()}
+	case "glycomics":
+		tables = []*bench.Table{bench.Glycomics()}
+	case "enzyme":
+		tables = []*bench.Table{bench.Enzyme()}
+	case "rounding":
+		tables = []*bench.Table{bench.Rounding()}
+	case "table2":
+		tables = []*bench.Table{bench.Table2(*full)}
+	case "scaling":
+		tables = []*bench.Table{bench.ScalingTable(*sweep)}
+	case "lpablation":
+		tables = []*bench.Table{bench.LPAblation()}
+	case "ilp":
+		tables = []*bench.Table{bench.ILP(0)}
+	case "regen":
+		tables = []*bench.Table{bench.Regen()}
+	case "ablations":
+		tables = []*bench.Table{
+			bench.CascadeDepth(), bench.ReplicaSweep(),
+			bench.RegenStrategy(), bench.OutputSkewSweep(),
+		}
+	case "cascade-depth":
+		tables = []*bench.Table{bench.CascadeDepth()}
+	case "replica-sweep":
+		tables = []*bench.Table{bench.ReplicaSweep()}
+	case "regen-strategy":
+		tables = []*bench.Table{bench.RegenStrategy()}
+	case "output-skew":
+		tables = []*bench.Table{bench.OutputSkewSweep()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t)
+	}
+}

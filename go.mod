@@ -1,0 +1,3 @@
+module aquavol
+
+go 1.22

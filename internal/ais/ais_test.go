@@ -1,0 +1,114 @@
+package ais
+
+import (
+	"testing"
+)
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Move, Operands: []Operand{FU("mixer1"), Res(2), Num(4)}}, "move mixer1, s2, 4"},
+		{Instr{Op: Input, Operands: []Operand{Res(1), IP(1)}, Comment: "Glucose"}, "input s1, ip1 ;Glucose"},
+		{Instr{Op: SenseOD, Operands: []Operand{FU("sensor2"), Reg("Result[1]")}}, "sense.OD sensor2, Result[1]"},
+		{Instr{Op: SeparateLC, Operands: []Operand{FU("separator2"), Num(2400)}}, "separate.LC separator2, 2400"},
+		{Instr{Op: Move, Operands: []Operand{FUPort("separator2", "matrix"), Res(7)}}, "move separator2.matrix, s7"},
+		{Instr{Op: DryMov, Operands: []Operand{Reg("temp"), Num(1)}}, "dry-mov temp, 1"},
+		{Instr{Op: DryJZ, Operands: []Operand{Reg("t1"), Lbl("skip_1")}}, "dry-jz t1, skip_1"},
+		{Instr{Op: Incubate, Operands: []Operand{FU("heater1"), Num(37), Num(300)}}, "incubate heater1, 37, 300"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `glucose{
+  input s1, ip1 ;Glucose
+  input s2, ip2 ;Reagent
+  move mixer1, s1, 1
+  move mixer1, s2, 1
+  mix mixer1, 10
+  move sensor2, mixer1
+  sense.OD sensor2, Result[1]
+loop_top:
+  dry-mov temp, 1
+  dry-mul temp, 10
+  dry-jz temp, loop_top
+  halt
+}`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "glucose" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if len(p.Instrs) != 11 {
+		t.Fatalf("instrs = %d, want 11", len(p.Instrs))
+	}
+	if p.Labels["loop_top"] != 7 {
+		t.Fatalf("label index = %d, want 7", p.Labels["loop_top"])
+	}
+	// Round trip: formatting and re-assembling is stable.
+	again, err := Assemble(p.String())
+	if err != nil {
+		t.Fatalf("reassemble: %v", err)
+	}
+	if len(again.Instrs) != len(p.Instrs) {
+		t.Fatalf("round trip changed instruction count: %d vs %d", len(again.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].String() != again.Instrs[i].String() {
+			t.Fatalf("instr %d: %q vs %q", i, p.Instrs[i], again.Instrs[i])
+		}
+	}
+}
+
+func TestAssembleOperandKinds(t *testing.T) {
+	p, err := Assemble("move separator2.pusher, s8\nsense.FL sensor1, vals\noutput op1, s3\ndry-jz r0, end\nend:\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Instrs[0]
+	if in.Operands[0].Kind != Unit || in.Operands[0].Sub != "pusher" {
+		t.Fatalf("unit sub-port parsed wrong: %+v", in.Operands[0])
+	}
+	if p.Instrs[1].Operands[1].Kind != DryReg {
+		t.Fatalf("sense target should be DryReg: %+v", p.Instrs[1].Operands[1])
+	}
+	if p.Instrs[2].Operands[0].Kind != OutPort {
+		t.Fatalf("op1 should be OutPort: %+v", p.Instrs[2].Operands[0])
+	}
+	jz := p.Instrs[3]
+	if jz.Operands[0].Kind != DryReg || jz.Operands[1].Kind != Label {
+		t.Fatalf("dry-jz operands wrong: %+v", jz.Operands)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus s1, s2",
+		"dry-jz r0, missing_label",
+		"dup:\ndup:\nhalt",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestIsWet(t *testing.T) {
+	if !Move.IsWet() || !SenseOD.IsWet() || !SeparateLC.IsWet() {
+		t.Fatal("wet opcodes misclassified")
+	}
+	if DryMov.IsWet() || DryJZ.IsWet() || Halt.IsWet() {
+		t.Fatal("dry opcodes misclassified")
+	}
+	if !SeparateCE.IsSeparate() || Mix.IsSeparate() {
+		t.Fatal("IsSeparate misclassified")
+	}
+}

@@ -1,0 +1,121 @@
+package ais
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses AIS listing text (the format produced by
+// Program.String) back into a Program. It exists for the fluidvm CLI and
+// for round-trip testing of the instruction encoding. Edge/Node
+// annotations are not part of the textual ISA and come back as -1.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Program header/footer from String().
+		if strings.HasSuffix(line, "{") {
+			p.Name = strings.TrimSpace(strings.TrimSuffix(line, "{"))
+			continue
+		}
+		if line == "}" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t,") {
+			label := strings.TrimSuffix(line, ":")
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("ais: line %d: duplicate label %q", ln+1, label)
+			}
+			p.Labels[label] = len(p.Instrs)
+			continue
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("ais: line %d: %w", ln+1, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	// Validate label references.
+	for i, in := range p.Instrs {
+		for _, op := range in.Operands {
+			if op.Kind == Label {
+				if _, ok := p.Labels[op.Name]; !ok {
+					return nil, fmt.Errorf("ais: instruction %d references undefined label %q", i, op.Name)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+var (
+	reReservoir = regexp.MustCompile(`^s(\d+)$`)
+	reInPort    = regexp.MustCompile(`^ip(\d+)$`)
+	reOutPort   = regexp.MustCompile(`^op(\d+)$`)
+	reUnit      = regexp.MustCompile(`^(mixer|heater|separator|sensor|concentrator)(\d+)(?:\.(\w+))?$`)
+)
+
+func parseInstr(line string) (Instr, error) {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	op, ok := opcodeByName[mnemonic]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in := Instr{Op: op, Edge: -1, Node: -1}
+	if rest != "" {
+		for _, f := range strings.Split(rest, ",") {
+			o, err := parseOperand(strings.TrimSpace(f))
+			if err != nil {
+				return Instr{}, err
+			}
+			in.Operands = append(in.Operands, o)
+		}
+	}
+	// Jump instructions take their target label as the final operand;
+	// symbolic operands otherwise parse as dry registers.
+	if (op == DryJZ || op == DryJump) && len(in.Operands) > 0 {
+		last := &in.Operands[len(in.Operands)-1]
+		if last.Kind == DryReg {
+			last.Kind = Label
+		}
+	}
+	return in, nil
+}
+
+func parseOperand(s string) (Operand, error) {
+	if s == "" {
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return Num(v), nil
+	}
+	if reReservoir.MatchString(s) {
+		return Operand{Kind: Reservoir, Name: s}, nil
+	}
+	if reInPort.MatchString(s) {
+		return Operand{Kind: InPort, Name: s}, nil
+	}
+	if reOutPort.MatchString(s) {
+		return Operand{Kind: OutPort, Name: s}, nil
+	}
+	if m := reUnit.FindStringSubmatch(s); m != nil {
+		return Operand{Kind: Unit, Name: m[1] + m[2], Sub: m[3]}, nil
+	}
+	// Everything else symbolic is a dry register/variable; jump targets
+	// are re-tagged by parseInstr.
+	return Reg(s), nil
+}

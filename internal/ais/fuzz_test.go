@@ -1,0 +1,27 @@
+package ais
+
+import "testing"
+
+// FuzzAssemble: the assembler must never panic and must round-trip
+// whatever it accepts.
+func FuzzAssemble(f *testing.F) {
+	f.Add("move mixer1, s2, 4\nmix mixer1, 10\nhalt")
+	f.Add("glucose{\n  input s1, ip1 ;Glucose\n}\n")
+	f.Add("lbl:\ndry-jz r0, lbl")
+	f.Add("separate.LC separator2, 2400")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil || p == nil {
+			return
+		}
+		// Accepted programs format and re-assemble to the same listing.
+		again, err := Assemble(p.String())
+		if err != nil {
+			t.Fatalf("formatted listing did not re-assemble: %v\n%s", err, p.String())
+		}
+		if len(again.Instrs) != len(p.Instrs) {
+			t.Fatalf("round trip changed instruction count")
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package ais
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// VolumeTable maps instruction indices to the absolute volume (in
+// nanoliters) their move should transfer. It is the serialized form of a
+// volume plan: together with the textual AIS listing it makes a compiled
+// assay executable without recompilation (the listing's relative volumes
+// plus the table's absolute translation — the compiler/runtime split of
+// §2.1).
+type VolumeTable map[int]float64
+
+// String serializes the table ("aquavol-voltab v1" header, then
+// "index volume" lines in index order).
+func (t VolumeTable) String() string {
+	idx := make([]int, 0, len(t))
+	for i := range t {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	var b strings.Builder
+	b.WriteString("aquavol-voltab v1\n")
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%d %.9g\n", i, t[i])
+	}
+	return b.String()
+}
+
+// ParseVolumeTable parses the String format.
+func ParseVolumeTable(src string) (VolumeTable, error) {
+	lines := strings.Split(strings.TrimSpace(src), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "aquavol-voltab v1" {
+		return nil, fmt.Errorf("ais: not a volume table (missing header)")
+	}
+	t := VolumeTable{}
+	for ln, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ais: voltab line %d: want 'index volume', got %q", ln+2, line)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("ais: voltab line %d: bad index %q", ln+2, fields[0])
+		}
+		vol, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || vol < 0 {
+			return nil, fmt.Errorf("ais: voltab line %d: bad volume %q", ln+2, fields[1])
+		}
+		if _, dup := t[idx]; dup {
+			return nil, fmt.Errorf("ais: voltab line %d: duplicate index %d", ln+2, idx)
+		}
+		t[idx] = vol
+	}
+	return t, nil
+}

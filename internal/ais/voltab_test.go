@@ -1,0 +1,59 @@
+package ais
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVolumeTableRoundTrip(t *testing.T) {
+	tab := VolumeTable{3: 14.9006623, 0: 100, 17: 0.1}
+	text := tab.String()
+	if !strings.HasPrefix(text, "aquavol-voltab v1\n") {
+		t.Fatalf("missing header:\n%s", text)
+	}
+	back, err := ParseVolumeTable(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("entries = %d, want 3", len(back))
+	}
+	for k, v := range tab {
+		if got := back[k]; got < v*(1-1e-8) || got > v*(1+1e-8) {
+			t.Errorf("entry %d = %v, want %v", k, got, v)
+		}
+	}
+	// Index order in the output is sorted.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if !strings.HasPrefix(lines[1], "0 ") || !strings.HasPrefix(lines[2], "3 ") {
+		t.Errorf("entries not sorted:\n%s", text)
+	}
+}
+
+func TestVolumeTableParseErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no header
+		"wrong header\n1 2",           // bad header
+		"aquavol-voltab v1\nx 2",      // bad index
+		"aquavol-voltab v1\n-1 2",     // negative index
+		"aquavol-voltab v1\n1 abc",    // bad volume
+		"aquavol-voltab v1\n1 -5",     // negative volume
+		"aquavol-voltab v1\n1 2\n1 3", // duplicate
+		"aquavol-voltab v1\n1 2 3",    // wrong arity
+	}
+	for _, src := range cases {
+		if _, err := ParseVolumeTable(src); err == nil {
+			t.Errorf("ParseVolumeTable(%q) should fail", src)
+		}
+	}
+}
+
+func TestVolumeTableCommentsAndBlanks(t *testing.T) {
+	tab, err := ParseVolumeTable("aquavol-voltab v1\n# comment\n\n2 7.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab[2] != 7.5 {
+		t.Fatalf("tab = %v", tab)
+	}
+}

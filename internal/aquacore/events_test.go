@@ -1,0 +1,169 @@
+package aquacore_test
+
+import (
+	"strings"
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aquacore"
+)
+
+// Hand-written programs exercising the machine's event detection and dry
+// control flow, independent of the compiler.
+
+func runRaw(t *testing.T, src string, tab ais.VolumeTable) *aquacore.Result {
+	t.Helper()
+	prog, err := ais.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, nil, nil)
+	if tab != nil {
+		m.SetVolumeTable(tab)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMachineUnderflowEvent(t *testing.T) {
+	// 0.05 nl is below the 0.1 nl least count.
+	res := runRaw(t, `input s1, ip1
+move mixer1, s1, 1
+halt`, ais.VolumeTable{1: 0.05})
+	if res.Clean() {
+		t.Fatal("expected an underflow event")
+	}
+	if res.Events[0].Kind != aquacore.EventUnderflow {
+		t.Fatalf("event = %v, want underflow", res.Events[0])
+	}
+}
+
+func TestMachineRanOutEvent(t *testing.T) {
+	res := runRaw(t, `input s1, ip1
+move mixer1, s1, 1
+move mixer1, s1, 1
+halt`, ais.VolumeTable{1: 80, 2: 80})
+	found := false
+	for _, e := range res.Events {
+		if e.Kind == aquacore.EventRanOut {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected ran-out (two 80 nl draws from 100 nl), got %v", res.Events)
+	}
+}
+
+func TestMachineOverflowEvent(t *testing.T) {
+	res := runRaw(t, `input s1, ip1
+input s2, ip2
+move mixer1, s1, 1
+move mixer1, s2, 1
+halt`, ais.VolumeTable{2: 60, 3: 60})
+	found := false
+	for _, e := range res.Events {
+		if e.Kind == aquacore.EventOverflow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected overflow (120 nl into a 100 nl mixer), got %v", res.Events)
+	}
+}
+
+func TestMachineDryControlFlow(t *testing.T) {
+	// Countdown loop: x = 3; while x != 0 { x--; sum += 2 }.
+	res := runRaw(t, `dry-mov x, 3
+dry-mov sum, 0
+top:
+dry-jz x, done
+dry-sub x, 1
+dry-add sum, 2
+dry-jmp top
+done:
+halt`, nil)
+	if res.Dry["sum"] != 6 || res.Dry["x"] != 0 {
+		t.Fatalf("sum=%v x=%v, want 6, 0", res.Dry["sum"], res.Dry["x"])
+	}
+	if res.DryInstrs < 10 {
+		t.Fatalf("dry instrs = %d, want the loop to have run", res.DryInstrs)
+	}
+}
+
+func TestMachineDryComparisons(t *testing.T) {
+	res := runRaw(t, `dry-mov a, 5
+dry-lt a, 7
+dry-mov b, 5
+dry-le b, 5
+dry-mov c, 5
+dry-eq c, 6
+dry-not c
+halt`, nil)
+	if res.Dry["a"] != 1 || res.Dry["b"] != 1 || res.Dry["c"] != 1 {
+		t.Fatalf("a=%v b=%v c=%v, want 1,1,1", res.Dry["a"], res.Dry["b"], res.Dry["c"])
+	}
+}
+
+func TestMachineUnsetRegisterError(t *testing.T) {
+	prog, err := ais.Assemble("dry-add ghost, 1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, nil, nil)
+	if _, err := m.Run(prog); err == nil || !strings.Contains(err.Error(), "unset dry register") {
+		t.Fatalf("err = %v, want unset-register error", err)
+	}
+}
+
+func TestMachineDivisionByZeroError(t *testing.T) {
+	prog, err := ais.Assemble("dry-mov a, 1\ndry-mov b, 0\ndry-div a, b\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, nil, nil)
+	if _, err := m.Run(prog); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestMachineInfiniteLoopBudget(t *testing.T) {
+	prog, err := ais.Assemble("top:\ndry-jmp top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, nil, nil)
+	if _, err := m.Run(prog); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+}
+
+func TestMachineMoveAbs(t *testing.T) {
+	// move-abs volume operand is in least-count units: 50 units = 5 nl.
+	res := runRaw(t, `input s1, ip1
+move-abs mixer1, s1, 50
+halt`, nil)
+	if !res.Clean() {
+		t.Fatalf("events: %v", res.Events)
+	}
+	if res.WetInstrs != 2 {
+		t.Fatalf("wet instrs = %d", res.WetInstrs)
+	}
+}
+
+func TestMachineTimingSplit(t *testing.T) {
+	res := runRaw(t, `input s1, ip1
+move mixer1, s1, 1
+mix mixer1, 30
+dry-mov x, 1
+halt`, ais.VolumeTable{1: 10})
+	// 3 wet instrs: input (1 s) + move (1 s) + mix (1 + 30 s).
+	if res.WetSeconds != 33 {
+		t.Fatalf("wet seconds = %v, want 33", res.WetSeconds)
+	}
+	if res.DrySeconds >= 1e-3 {
+		t.Fatalf("dry seconds = %v, want microseconds", res.DrySeconds)
+	}
+}

@@ -1,0 +1,571 @@
+// Package aquacore simulates the AquaCore programmable lab-on-a-chip
+// (Fig. 1 of the paper): a wet fluidic datapath — reservoirs, mixers,
+// heaters, separators, sensors, and I/O ports connected by channels with
+// peristaltic pumps that impose a least-count transport resolution — under
+// an electronic control that interprets AIS instructions and is orders of
+// magnitude faster than the fluidics.
+//
+// The simulator stands in for the paper's hardware: it enforces exactly
+// the parameters volume management plans against (maximum capacity, least
+// count), tracks the composition of every vessel so mix-ratio fidelity can
+// be measured, models the wet/dry timing split, and surfaces
+// run-time-measured separation volumes to the volume manager through the
+// VolumeSource interface (§3.5's run-time volume assignment).
+package aquacore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/core"
+	"aquavol/internal/dag"
+)
+
+// Config parameterizes the machine.
+type Config struct {
+	// Volume carries the capacity and least-count parameters shared with
+	// the volume manager.
+	Volume core.Config
+	// MoveSeconds is the fluid-transport time per wet move/input/output
+	// instruction. 0 selects 1 s.
+	MoveSeconds float64
+	// SenseSeconds is the sensing time. 0 selects 1 s.
+	SenseSeconds float64
+	// DrySeconds is the electronic time per dry instruction. 0 selects
+	// 1 µs (the paper's orders-of-magnitude-faster control).
+	DrySeconds float64
+	// SeparationYield is the effluent fraction separations produce at run
+	// time (the quantity the paper's hardware measures). 0 selects 0.4.
+	SeparationYield float64
+	// ConcentrateYield is the volume fraction surviving concentration.
+	// 0 selects 0.5.
+	ConcentrateYield float64
+	// Sense computes a sensor reading from vessel contents. nil selects
+	// the total volume in nanoliters (deterministic and plan-checkable).
+	Sense func(volume float64, composition map[string]float64, op ais.Opcode) float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Volume.MaxCapacity == 0 {
+		c.Volume = core.DefaultConfig()
+	}
+	if c.MoveSeconds == 0 {
+		c.MoveSeconds = 1
+	}
+	if c.SenseSeconds == 0 {
+		c.SenseSeconds = 1
+	}
+	if c.DrySeconds == 0 {
+		c.DrySeconds = 1e-6
+	}
+	if c.SeparationYield == 0 {
+		c.SeparationYield = 0.4
+	}
+	if c.ConcentrateYield == 0 {
+		c.ConcentrateYield = 0.5
+	}
+	return c
+}
+
+// VolumeSource is the runtime volume manager the machine consults to
+// translate relative volumes into absolute ones, and informs of measured
+// volumes (§3.5). Implementations: PlanSource (static assays) and
+// StagedSource (run-time partitioned assays).
+type VolumeSource interface {
+	// EdgeVolume returns the absolute volume (nl) to move along a DAG
+	// edge.
+	EdgeVolume(edgeID int) (float64, bool)
+	// NodeVolume returns the planned produced/loaded volume for a node
+	// (used for input loads).
+	NodeVolume(nodeID int) (float64, bool)
+	// Measured informs the manager of a run-time-measured production.
+	Measured(nodeID int, port string, volume float64)
+}
+
+// EventKind classifies runtime events.
+type EventKind int
+
+const (
+	// EventUnderflow is a dispense below the least count.
+	EventUnderflow EventKind = iota
+	// EventOverflow is a vessel filled beyond capacity.
+	EventOverflow
+	// EventRanOut is a draw exceeding the source's remaining volume —
+	// the failure volume management exists to prevent.
+	EventRanOut
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventUnderflow:
+		return "underflow"
+	case EventOverflow:
+		return "overflow"
+	case EventRanOut:
+		return "ran-out"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one runtime violation.
+type Event struct {
+	Kind   EventKind
+	PC     int
+	Instr  string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s at pc %d (%s): %s", e.Kind, e.PC, e.Instr, e.Detail)
+}
+
+// Output records fluid delivered to an output port.
+type Output struct {
+	Port        string
+	Volume      float64
+	Composition map[string]float64
+}
+
+// Result summarizes an execution.
+type Result struct {
+	// WetSeconds and DrySeconds split execution time between the fluidic
+	// datapath and the electronic control.
+	WetSeconds, DrySeconds float64
+	// WetInstrs and DryInstrs count executed instructions per side.
+	WetInstrs, DryInstrs int
+	// Events lists underflows/overflows/ran-out violations.
+	Events []Event
+	// Dry holds the final dry-register file (sensed values included).
+	Dry map[string]float64
+	// Outputs lists fluids delivered to output ports.
+	Outputs []Output
+	// UnitSeconds attributes fluidic time to the functional unit (or the
+	// transport channel, keyed "transport") that spent it, for
+	// utilization analysis.
+	UnitSeconds map[string]float64
+}
+
+// Clean reports whether execution raised no volume violations.
+func (r *Result) Clean() bool { return len(r.Events) == 0 }
+
+// vessel is any fluid container: reservoir, functional unit, or unit
+// output port.
+type vessel struct {
+	vol  float64
+	comp map[string]float64
+}
+
+func (v *vessel) add(amount float64, comp map[string]float64) {
+	if v.comp == nil {
+		v.comp = map[string]float64{}
+	}
+	for k, c := range comp {
+		v.comp[k] += c
+	}
+	v.vol += amount
+}
+
+// draw removes amount, returning its proportional composition.
+func (v *vessel) draw(amount float64) map[string]float64 {
+	if v.vol <= 0 {
+		return map[string]float64{}
+	}
+	frac := amount / v.vol
+	if frac > 1 {
+		frac = 1
+	}
+	out := make(map[string]float64, len(v.comp))
+	for k, c := range v.comp {
+		take := c * frac
+		out[k] = take
+		v.comp[k] -= take
+	}
+	v.vol -= amount
+	if v.vol < 1e-12 {
+		v.vol = 0
+	}
+	return out
+}
+
+func (v *vessel) clear() {
+	v.vol = 0
+	v.comp = map[string]float64{}
+}
+
+// Machine executes AIS programs.
+type Machine struct {
+	cfg      Config
+	g        *dag.Graph
+	src      VolumeSource
+	instrVol ais.VolumeTable
+	vessels  map[string]*vessel
+	regs     map[string]float64
+	known    map[string]bool
+	res      *Result
+}
+
+// New creates a machine for one program run. g is the volume DAG the
+// program's Edge/Node annotations refer to; src translates volumes. Both
+// may be nil when running an assembled listing with an attached
+// per-instruction volume table (SetVolumeTable).
+func New(cfg Config, g *dag.Graph, src VolumeSource) *Machine {
+	return &Machine{
+		cfg:     cfg.withDefaults(),
+		g:       g,
+		src:     src,
+		vessels: map[string]*vessel{},
+		regs:    map[string]float64{},
+		known:   map[string]bool{},
+		res:     &Result{Dry: map[string]float64{}, UnitSeconds: map[string]float64{}},
+	}
+}
+
+// SetVolumeTable attaches per-instruction absolute volumes (the shipped
+// companion of a textual AIS listing). Table entries take precedence over
+// edge-keyed VolumeSource lookups.
+func (m *Machine) SetVolumeTable(t ais.VolumeTable) { m.instrVol = t }
+
+// SetDry presets dry registers (the compile-time-known initial values from
+// elaboration).
+func (m *Machine) SetDry(values map[string]float64) {
+	for k, v := range values {
+		m.regs[k] = v
+		m.known[k] = true
+	}
+}
+
+func (m *Machine) vessel(name string) *vessel {
+	v, ok := m.vessels[name]
+	if !ok {
+		v = &vessel{comp: map[string]float64{}}
+		m.vessels[name] = v
+	}
+	return v
+}
+
+func operandVessel(o ais.Operand) (string, bool) {
+	switch o.Kind {
+	case ais.Reservoir:
+		return o.Name, true
+	case ais.Unit:
+		if o.Sub != "" {
+			return o.Name + "." + o.Sub, true
+		}
+		return o.Name, true
+	default:
+		return "", false
+	}
+}
+
+func (m *Machine) event(kind EventKind, pc int, in ais.Instr, format string, args ...any) {
+	m.res.Events = append(m.res.Events, Event{
+		Kind: kind, PC: pc, Instr: in.String(), Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the program to completion (or the instruction budget) and
+// returns the result.
+func (m *Machine) Run(prog *ais.Program) (*Result, error) {
+	budget := 100*len(prog.Instrs) + 10000
+	pc := 0
+	for steps := 0; pc < len(prog.Instrs); steps++ {
+		if steps > budget {
+			return nil, fmt.Errorf("aquacore: instruction budget exhausted (dry-code loop?)")
+		}
+		in := prog.Instrs[pc]
+		jumped, err := m.step(pc, in, prog, &pc)
+		if err != nil {
+			return nil, err
+		}
+		if in.Op == ais.Halt {
+			break
+		}
+		if !jumped {
+			pc++
+		}
+	}
+	// Final register file.
+	for k, v := range m.regs {
+		if m.known[k] {
+			m.res.Dry[k] = v
+		}
+	}
+	return m.res, nil
+}
+
+func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jumped bool, err error) {
+	cfg := m.cfg
+	wet := func(seconds float64) {
+		m.res.WetInstrs++
+		m.res.WetSeconds += seconds
+	}
+	attr := func(label string, seconds float64) {
+		m.res.UnitSeconds[label] += seconds
+	}
+	dry := func() {
+		m.res.DryInstrs++
+		m.res.DrySeconds += cfg.DrySeconds
+	}
+	argNum := func(i int) float64 {
+		if i < len(in.Operands) && in.Operands[i].Kind == ais.Imm {
+			return in.Operands[i].Value
+		}
+		return 0
+	}
+
+	switch in.Op {
+	case ais.Nop:
+		dry()
+	case ais.Halt:
+	case ais.Input:
+		wet(cfg.MoveSeconds)
+		attr("transport", cfg.MoveSeconds)
+		dstName, _ := operandVessel(in.Operands[0])
+		vol := cfg.Volume.MaxCapacity
+		if in.Node >= 0 && m.src != nil {
+			if v, ok := m.src.NodeVolume(in.Node); ok {
+				vol = math.Min(v, cfg.Volume.MaxCapacity)
+			}
+		}
+		name := in.Comment
+		if name == "" && in.Node >= 0 && m.g != nil {
+			name = m.g.Node(in.Node).Name
+		}
+		if name == "" {
+			name = dstName
+		}
+		dst := m.vessel(dstName)
+		dst.clear()
+		dst.add(vol, map[string]float64{name: vol})
+	case ais.Move, ais.MoveAbs:
+		wet(cfg.MoveSeconds)
+		attr("transport", cfg.MoveSeconds)
+		dstName, ok := operandVessel(in.Operands[0])
+		if !ok {
+			return false, fmt.Errorf("aquacore: pc %d: bad move destination", pc)
+		}
+		srcName, ok := operandVessel(in.Operands[1])
+		if !ok {
+			return false, fmt.Errorf("aquacore: pc %d: bad move source", pc)
+		}
+		srcV := m.vessel(srcName)
+		var vol float64
+		tabVol, hasTab := m.instrVol[pc]
+		switch {
+		case in.Op == ais.MoveAbs:
+			vol = argNum(2) * cfg.Volume.LeastCount
+		case hasTab:
+			vol = tabVol
+		case in.Edge >= 0 && m.src != nil:
+			v, ok := m.src.EdgeVolume(in.Edge)
+			if !ok {
+				return false, fmt.Errorf("aquacore: pc %d: no volume for edge %d (runtime plan not ready?)", pc, in.Edge)
+			}
+			vol = v
+		case in.Edge >= 0:
+			return false, fmt.Errorf("aquacore: pc %d: edge-annotated move but no volume source or table", pc)
+		default:
+			vol = srcV.vol // whole-vessel transfer
+		}
+		if vol < cfg.Volume.LeastCount-1e-9 && vol > 0 {
+			m.event(EventUnderflow, pc, in, "move of %.4g nl below least count %.4g nl", vol, cfg.Volume.LeastCount)
+		}
+		// volTol absorbs serialization rounding (volume tables round to 9
+		// significant digits); it is 10⁵× below the least count.
+		const volTol = 1e-6
+		if vol > srcV.vol+volTol {
+			m.event(EventRanOut, pc, in, "need %.4g nl but %s holds %.4g nl", vol, srcName, srcV.vol)
+			vol = srcV.vol
+		}
+		comp := srcV.draw(vol)
+		dstV := m.vessel(dstName)
+		dstV.add(vol, comp)
+		if dstV.vol > cfg.Volume.MaxCapacity+1e-6 {
+			m.event(EventOverflow, pc, in, "%s at %.4g nl exceeds capacity %.4g nl", dstName, dstV.vol, cfg.Volume.MaxCapacity)
+		}
+	case ais.Output:
+		wet(cfg.MoveSeconds)
+		attr("transport", cfg.MoveSeconds)
+		srcName, ok := operandVessel(in.Operands[1])
+		if !ok {
+			return false, fmt.Errorf("aquacore: pc %d: bad output source", pc)
+		}
+		srcV := m.vessel(srcName)
+		vol := srcV.vol
+		if v, ok := m.instrVol[pc]; ok {
+			vol = v
+		} else if in.Edge >= 0 && m.src != nil {
+			if v, ok := m.src.EdgeVolume(in.Edge); ok {
+				vol = v
+			}
+		}
+		comp := srcV.draw(vol)
+		m.res.Outputs = append(m.res.Outputs, Output{
+			Port: in.Operands[0].Name, Volume: vol, Composition: comp,
+		})
+	case ais.Mix:
+		wet(cfg.MoveSeconds + argNum(1))
+		attr("transport", cfg.MoveSeconds)
+		attr(in.Operands[0].Name, argNum(1))
+	case ais.Incubate:
+		wet(cfg.MoveSeconds + argNum(2))
+		attr("transport", cfg.MoveSeconds)
+		attr(in.Operands[0].Name, argNum(2))
+	case ais.Concentrate:
+		wet(cfg.MoveSeconds + argNum(2))
+		attr("transport", cfg.MoveSeconds)
+		attr(in.Operands[0].Name, argNum(2))
+		name, _ := operandVessel(in.Operands[0])
+		v := m.vessel(name)
+		kept := v.vol * cfg.ConcentrateYield
+		v.draw(v.vol - kept)
+		if in.Node >= 0 && m.src != nil {
+			m.src.Measured(in.Node, dag.PortDefault, v.vol)
+		}
+	case ais.SeparateAF, ais.SeparateLC, ais.SeparateCE, ais.SeparateSize:
+		wet(cfg.MoveSeconds + argNum(1))
+		attr("transport", cfg.MoveSeconds)
+		attr(in.Operands[0].Name, argNum(1))
+		unit := in.Operands[0].Name
+		v := m.vessel(unit)
+		// Auxiliary matrix/pusher contents do not join the effluent; only
+		// the sample separates. For simplicity the whole unit content
+		// (sample + pusher) splits by yield, matching the volume DAG's
+		// single-input model.
+		eff := m.vessel(unit + ".out1")
+		waste := m.vessel(unit + ".out2")
+		eff.clear()
+		waste.clear()
+		total := v.vol
+		effVol := total * cfg.SeparationYield
+		comp := v.draw(effVol)
+		eff.add(effVol, comp)
+		rest := v.draw(v.vol)
+		waste.add(total-effVol, rest)
+		// Matrix/pusher vessels consumed.
+		m.vessel(unit + ".matrix").clear()
+		m.vessel(unit + ".pusher").clear()
+		if in.Node >= 0 && m.src != nil {
+			m.src.Measured(in.Node, dag.PortEffluent, effVol)
+			m.src.Measured(in.Node, dag.PortWaste, total-effVol)
+		}
+	case ais.SenseOD, ais.SenseFL:
+		wet(cfg.SenseSeconds)
+		attr(in.Operands[0].Name, cfg.SenseSeconds)
+		unitName, _ := operandVessel(in.Operands[0])
+		v := m.vessel(unitName)
+		var reading float64
+		if cfg.Sense != nil {
+			reading = cfg.Sense(v.vol, v.comp, in.Op)
+		} else {
+			reading = v.vol
+		}
+		reg := in.Operands[1].Name
+		m.regs[reg] = reading
+		m.known[reg] = true
+		v.clear() // sensing consumes the sample
+	case ais.DryMov, ais.DryAdd, ais.DrySub, ais.DryMul, ais.DryDiv,
+		ais.DryMod, ais.DryLT, ais.DryLE, ais.DryEQ:
+		dry()
+		dst := in.Operands[0].Name
+		var src float64
+		if in.Operands[1].Kind == ais.Imm {
+			src = in.Operands[1].Value
+		} else {
+			name := in.Operands[1].Name
+			if !m.known[name] {
+				return false, fmt.Errorf("aquacore: pc %d: read of unset dry register %q", pc, name)
+			}
+			src = m.regs[name]
+		}
+		if in.Op == ais.DryMov {
+			m.regs[dst] = src
+			m.known[dst] = true
+			break
+		}
+		if !m.known[dst] {
+			return false, fmt.Errorf("aquacore: pc %d: read of unset dry register %q", pc, dst)
+		}
+		cur := m.regs[dst]
+		switch in.Op {
+		case ais.DryAdd:
+			cur += src
+		case ais.DrySub:
+			cur -= src
+		case ais.DryMul:
+			cur *= src
+		case ais.DryDiv:
+			if src == 0 {
+				return false, fmt.Errorf("aquacore: pc %d: dry division by zero", pc)
+			}
+			cur /= src
+		case ais.DryMod:
+			if int64(src) == 0 {
+				return false, fmt.Errorf("aquacore: pc %d: dry modulo by zero", pc)
+			}
+			cur = float64(int64(cur) % int64(src))
+		case ais.DryLT:
+			cur = b2f(cur < src)
+		case ais.DryLE:
+			cur = b2f(cur <= src)
+		case ais.DryEQ:
+			cur = b2f(cur == src)
+		}
+		m.regs[dst] = cur
+	case ais.DryNot:
+		dry()
+		dst := in.Operands[0].Name
+		if !m.known[dst] {
+			return false, fmt.Errorf("aquacore: pc %d: read of unset dry register %q", pc, dst)
+		}
+		m.regs[dst] = b2f(m.regs[dst] == 0)
+	case ais.DryJZ:
+		dry()
+		reg := in.Operands[0].Name
+		if !m.known[reg] {
+			return false, fmt.Errorf("aquacore: pc %d: jump on unset register %q", pc, reg)
+		}
+		if m.regs[reg] == 0 {
+			target, ok := prog.Labels[in.Operands[1].Name]
+			if !ok {
+				return false, fmt.Errorf("aquacore: pc %d: undefined label %q", pc, in.Operands[1].Name)
+			}
+			*pcOut = target
+			return true, nil
+		}
+	case ais.DryJump:
+		dry()
+		target, ok := prog.Labels[in.Operands[0].Name]
+		if !ok {
+			return false, fmt.Errorf("aquacore: pc %d: undefined label %q", pc, in.Operands[0].Name)
+		}
+		*pcOut = target
+		return true, nil
+	default:
+		return false, fmt.Errorf("aquacore: pc %d: unimplemented opcode %v", pc, in.Op)
+	}
+	return false, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Vessels returns a sorted snapshot of non-empty vessels, for tests and
+// debugging.
+func (m *Machine) Vessels() []string {
+	var out []string
+	for name, v := range m.vessels {
+		if v.vol > 1e-9 {
+			out = append(out, fmt.Sprintf("%s=%.3fnl", name, v.vol))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

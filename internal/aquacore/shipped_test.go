@@ -1,0 +1,121 @@
+package aquacore_test
+
+import (
+	"math"
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aquacore"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/lang"
+)
+
+// The shipped-artifact path: serialize the listing and the volume table to
+// text, parse both back, and execute with no DAG or source available. The
+// run must match the in-memory execution.
+func TestShippedListingExecution(t *testing.T) {
+	ep, err := lang.Compile(assays.GlucoseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.DAGSolve(ep.Graph, core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := cg.VolumeTable(func(edge int) (float64, bool) {
+		return plan.EdgeVolume[edge], true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip both artifacts through their textual forms.
+	prog, err := ais.Assemble(cg.Prog.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := ais.ParseVolumeTable(tab.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := aquacore.New(aquacore.Config{}, nil, nil)
+	m.SetVolumeTable(tab2)
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("shipped run events: %v", res.Events)
+	}
+
+	// Reference: in-memory run with the plan source.
+	m2 := aquacore.New(aquacore.Config{}, ep.Graph, aquacore.PlanSource{Plan: plan})
+	ref, err := m2.Run(cg.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range ref.Dry {
+		if got := res.Dry[k]; math.Abs(got-v) > 1e-5 {
+			t.Errorf("%s = %v shipped vs %v in-memory", k, got, v)
+		}
+	}
+	if res.WetInstrs != ref.WetInstrs {
+		t.Errorf("wet instrs %d vs %d", res.WetInstrs, ref.WetInstrs)
+	}
+}
+
+// A move with an edge annotation but no volume source/table must fail
+// loudly rather than guess.
+func TestEdgeMoveWithoutVolumesErrors(t *testing.T) {
+	ep, err := lang.Compile(assays.GlucoseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, ep.Graph, nil)
+	if _, err := m.Run(cg.Prog); err == nil {
+		t.Fatal("expected error for edge-annotated move without volumes")
+	}
+}
+
+// The volume table covers every edge-annotated instruction.
+func TestVolumeTableCoverage(t *testing.T) {
+	ep, err := lang.Compile(assays.GlucoseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.DAGSolve(ep.Graph, core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := cg.VolumeTable(func(edge int) (float64, bool) {
+		return plan.EdgeVolume[edge], true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc, in := range cg.Prog.Instrs {
+		_, has := tab[pc]
+		if (in.Edge >= 0) != has {
+			t.Errorf("pc %d (%s): edge=%d but table entry present=%v", pc, in, in.Edge, has)
+		}
+	}
+	// An unresolvable edge is an error.
+	if _, err := cg.VolumeTable(func(int) (float64, bool) { return 0, false }); err == nil {
+		t.Fatal("expected error for unresolvable edges")
+	}
+}

@@ -1,0 +1,154 @@
+package aquacore
+
+import (
+	"aquavol/internal/core"
+)
+
+// PlanSource adapts a statically-solved volume plan (DAGSolve or LP) as
+// the machine's runtime volume manager. Measurements are ignored — nothing
+// in a static plan depends on them.
+type PlanSource struct {
+	Plan *core.Plan
+}
+
+// EdgeVolume implements VolumeSource.
+func (s PlanSource) EdgeVolume(edgeID int) (float64, bool) {
+	if edgeID < 0 || edgeID >= len(s.Plan.EdgeVolume) {
+		return 0, false
+	}
+	return s.Plan.EdgeVolume[edgeID], true
+}
+
+// NodeVolume implements VolumeSource.
+func (s PlanSource) NodeVolume(nodeID int) (float64, bool) {
+	if nodeID < 0 || nodeID >= len(s.Plan.NodeVolume) {
+		return 0, false
+	}
+	return s.Plan.NodeVolume[nodeID], true
+}
+
+// Measured implements VolumeSource.
+func (PlanSource) Measured(int, string, float64) {}
+
+// IntPlanSource is PlanSource over an IVol-rounded plan: volumes are exact
+// integer multiples of the least count.
+type IntPlanSource struct {
+	Plan *core.IntPlan
+	Cfg  core.Config
+}
+
+// EdgeVolume implements VolumeSource.
+func (s IntPlanSource) EdgeVolume(edgeID int) (float64, bool) {
+	if edgeID < 0 || edgeID >= len(s.Plan.EdgeUnits) {
+		return 0, false
+	}
+	return float64(s.Plan.EdgeUnits[edgeID]) * s.Cfg.LeastCount, true
+}
+
+// NodeVolume implements VolumeSource.
+func (s IntPlanSource) NodeVolume(nodeID int) (float64, bool) {
+	if nodeID < 0 || nodeID >= len(s.Plan.NodeUnits) {
+		return 0, false
+	}
+	return float64(s.Plan.NodeUnits[nodeID]) * s.Cfg.LeastCount, true
+}
+
+// Measured implements VolumeSource.
+func (IntPlanSource) Measured(int, string, float64) {}
+
+// StagedSource adapts a core.StagedPlan as the runtime volume manager for
+// assays with statically-unknown volumes: as the machine reports measured
+// separation outputs, successive partitions are solved and their absolute
+// volumes become available (§3.5).
+type StagedSource struct {
+	sp       *core.StagedPlan
+	measured map[[2]any]float64
+	localOf  map[int][2]int // orig node id -> (part, local id)
+}
+
+// NewStagedSource wraps sp, solving every measurement-independent
+// partition up front (the compile-time share of the work).
+func NewStagedSource(sp *core.StagedPlan) (*StagedSource, error) {
+	s := &StagedSource{
+		sp:       sp,
+		measured: map[[2]any]float64{},
+		localOf:  map[int][2]int{},
+	}
+	for pi, m := range sp.Partition.OrigOf {
+		for local, orig := range m {
+			s.localOf[orig] = [2]int{pi, local}
+		}
+	}
+	if _, err := sp.SolveStatic(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Plans exposes the per-part plans solved so far (nil entries pending).
+func (s *StagedSource) Plans() []*core.Plan { return s.sp.Plans }
+
+// EdgeVolume implements VolumeSource.
+func (s *StagedSource) EdgeVolume(edgeID int) (float64, bool) {
+	loc, ok := s.sp.Partition.EdgeOf[edgeID]
+	if !ok {
+		return 0, false
+	}
+	plan := s.sp.Plans[loc[0]]
+	if plan == nil {
+		return 0, false
+	}
+	return plan.EdgeVolume[loc[1]], true
+}
+
+// NodeVolume implements VolumeSource.
+func (s *StagedSource) NodeVolume(nodeID int) (float64, bool) {
+	loc, ok := s.localOf[nodeID]
+	if !ok {
+		return 0, false // e.g. a split natural input: load full capacity
+	}
+	plan := s.sp.Plans[loc[0]]
+	if plan == nil {
+		return 0, false
+	}
+	return plan.NodeVolume[loc[1]], true
+}
+
+// Measured implements VolumeSource: records the measurement and solves
+// every partition whose inputs have become available.
+func (s *StagedSource) Measured(nodeID int, port string, volume float64) {
+	s.measured[[2]any{nodeID, port}] = volume
+	measure := func(orig int, p string) (float64, bool) {
+		v, ok := s.measured[[2]any{orig, p}]
+		return v, ok
+	}
+	for i := 0; i < s.sp.NumParts(); i++ {
+		if s.sp.Plans[i] != nil {
+			continue
+		}
+		ready := true
+		for _, b := range s.sp.Partition.Bindings {
+			if b.Part != i || !b.SourceUnknown {
+				continue
+			}
+			if _, ok := measure(b.SourceID, b.SourcePort); !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		// Errors here (e.g. a still-unsolved producing part) simply leave
+		// the part pending; the machine will surface a missing volume if
+		// it is ever actually needed.
+		_, _ = s.sp.SolvePart(i, measure)
+	}
+}
+
+// ensure interface compliance.
+var (
+	_ VolumeSource = PlanSource{}
+	_ VolumeSource = IntPlanSource{}
+	_ VolumeSource = (*StagedSource)(nil)
+)

@@ -1,0 +1,55 @@
+package aquacore_test
+
+import (
+	"math"
+	"testing"
+
+	"aquavol/internal/aquacore"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/lang"
+)
+
+// UnitSeconds attributes every fluidic second: transport + per-unit op
+// time sums to the total, and the mixer dominates the glucose assay.
+func TestUnitUtilization(t *testing.T) {
+	ep, err := lang.Compile(assays.GlucoseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.DAGSolve(ep.Graph, core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, ep.Graph, aquacore.PlanSource{Plan: plan})
+	res, err := m.Run(cg.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range res.UnitSeconds {
+		sum += s
+	}
+	if math.Abs(sum-res.WetSeconds) > 1e-9 {
+		t.Fatalf("unit seconds sum %v != wet seconds %v (%v)", sum, res.WetSeconds, res.UnitSeconds)
+	}
+	// 5 mixes × 10 s.
+	if res.UnitSeconds["mixer1"] != 50 {
+		t.Errorf("mixer1 = %v s, want 50", res.UnitSeconds["mixer1"])
+	}
+	// 5 senses × 1 s.
+	if res.UnitSeconds["sensor1"] != 5 {
+		t.Errorf("sensor1 = %v s, want 5", res.UnitSeconds["sensor1"])
+	}
+	// Transport: 3 inputs + 15 gather moves + 5 sensor forwards... the
+	// forwards are gather moves already; inputs(3) + moves(15) + mix
+	// transport(5).
+	if res.UnitSeconds["transport"] != res.WetSeconds-55 {
+		t.Errorf("transport = %v s, want %v", res.UnitSeconds["transport"], res.WetSeconds-55)
+	}
+}

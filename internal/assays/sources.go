@@ -1,0 +1,88 @@
+package assays
+
+import "fmt"
+
+// GlucoseSource is the glucose assay of Fig. 9(a) in the paper's
+// high-level assay language.
+const GlucoseSource = `ASSAY glucose START
+fluid Glucose, Reagent, Sample;
+fluid a, b, c, d, e;
+VAR Result[5];
+a = MIX Glucose AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+b = MIX Glucose AND Reagent IN RATIOS 1 : 2 FOR 10;
+SENSE OPTICAL it INTO Result[2];
+c = MIX Glucose AND Reagent IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[3];
+d = MIX Glucose AND Reagent IN RATIOS 1 : 8 FOR 10;
+SENSE OPTICAL it INTO Result[4];
+e = MIX Sample AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[5];
+END
+`
+
+// GlycomicsSource is the glycomics assay of Fig. 10(a): affinity
+// separation, glycan cleavage, two LC separations, permethylation.
+const GlycomicsSource = `ASSAY glycomics START
+fluid buffer1a, buffer1b, buffer2; -- buffer2 has PNGan F
+fluid buffer3a, buffer3b, buffer4, buffer5;
+fluid sample, lectin, C_18, NaOH;
+fluid effluent, effluent2, effluent3, waste, waste2, waste3;
+MIX buffer1a AND sample FOR 30;
+SEPARATE it MATRIX lectin USING buffer1b FOR 30 INTO effluent AND waste;
+MIX effluent AND buffer2 FOR 30;
+INCUBATE it AT 37 FOR 30;
+MIX it AND buffer3a IN RATIOS 1:10 FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 30 INTO effluent2 AND waste2;
+MIX effluent2 AND buffer4 AND NaOH IN RATIOS 1:100:1 FOR 30;
+MIX it AND buffer3a FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 2400 INTO effluent3 AND waste3;
+MIX effluent3 AND buffer5 FOR 30
+END
+`
+
+// EnzymeSource returns the enzyme-kinetics assay of Fig. 11(a) with n
+// dilutions per reagent (n = 4 reproduces the paper's listing; n = 10 is
+// the Enzyme10 stress test of §4.3). Dilution ratios are computed by the
+// assay's own dry arithmetic (1:1, 1:9, 1:99, ...), exercising the
+// compiler's dry-expression interpreter during loop unrolling.
+func EnzymeSource(n int) string {
+	return fmt.Sprintf(`ASSAY enzyme_test START
+VAR inhibitor_diluent, enzyme_diluent, substrate_diluent;
+VAR i, j, k, temp, RESULT[%[1]d][%[1]d][%[1]d];
+fluid Diluted_Inhibitor[%[1]d], Diluted_Enzyme[%[1]d];
+fluid Diluted_Substrate[%[1]d];
+fluid inhibitor, enzyme, diluent, substrate;
+inhibitor_diluent = 1;
+enzyme_diluent = 1;
+substrate_diluent = 1;
+temp = 1;
+FOR i FROM 1 TO %[1]d START -- inhibitor
+  Diluted_Inhibitor[i] = MIX inhibitor AND diluent IN RATIOS 1:inhibitor_diluent FOR 30;
+  temp = temp * 10;
+  inhibitor_diluent = temp - 1;
+ENDFOR
+temp = 1;
+FOR j FROM 1 TO %[1]d START -- enzyme
+  Diluted_Enzyme[j] = MIX enzyme AND diluent IN RATIOS 1:enzyme_diluent FOR 30;
+  temp = temp * 10;
+  enzyme_diluent = temp - 1;
+ENDFOR
+temp = 1;
+FOR k FROM 1 TO %[1]d START -- substrate
+  Diluted_Substrate[k] = MIX substrate AND diluent IN RATIOS 1:substrate_diluent FOR 30;
+  temp = temp * 10;
+  substrate_diluent = temp - 1;
+ENDFOR
+FOR i FROM 1 TO %[1]d START
+  FOR j FROM 1 TO %[1]d START
+    FOR k FROM 1 TO %[1]d START
+      MIX Diluted_Inhibitor[i] AND Diluted_Enzyme[j] AND Diluted_Substrate[k] FOR 60;
+      INCUBATE it AT 37 FOR 300;
+      SENSE OPTICAL it INTO RESULT[i][j][k];
+    ENDFOR
+  ENDFOR
+ENDFOR
+END
+`, n)
+}

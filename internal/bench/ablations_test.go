@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCascadeDepthTable(t *testing.T) {
+	tbl := CascadeDepth()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (levels 2-5)", len(tbl.Rows))
+	}
+	// Depth 3 must show the paper's 1:9 stages.
+	if tbl.Rows[1][1] != "1:9" {
+		t.Errorf("depth-3 stage ratio = %s, want 1:9", tbl.Rows[1][1])
+	}
+	// Diluent Vnorm grows with depth (more stages, more diluent uses).
+	prev := 0.0
+	for _, r := range tbl.Rows {
+		v, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Errorf("diluent Vnorm not increasing with depth: %v", tbl.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestReplicaSweepTable(t *testing.T) {
+	tbl := ReplicaSweep()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	// 1 replica infeasible; 2+ feasible; 3 replicas ≈ 196 pl (paper).
+	if tbl.Rows[0][3] != "false" {
+		t.Error("1 replica should be infeasible")
+	}
+	for _, r := range tbl.Rows[1:] {
+		if r[3] != "true" {
+			t.Errorf("replicas %s should be feasible", r[0])
+		}
+	}
+	if !strings.Contains(tbl.Rows[2][2], "196") {
+		t.Errorf("3 replicas min dispense = %s, want ≈196 pl", tbl.Rows[2][2])
+	}
+}
+
+func TestRegenStrategyTable(t *testing.T) {
+	tbl := RegenStrategy()
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 assays × 2 strategies)", len(tbl.Rows))
+	}
+}
+
+func TestOutputSkewTable(t *testing.T) {
+	tbl := OutputSkewSweep()
+	// Total output grows monotonically as the bound loosens.
+	prev := 0.0
+	for _, r := range tbl.Rows {
+		v, err := strconv.ParseFloat(r[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-6 {
+			t.Errorf("total output should not shrink as the bound loosens: %v", tbl.Rows)
+		}
+		prev = v
+	}
+	// The unconstrained LP is dramatically skewed.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	ratio, err := strconv.ParseFloat(last[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 10 {
+		t.Errorf("unconstrained max/min = %v, expected heavy skew", ratio)
+	}
+}

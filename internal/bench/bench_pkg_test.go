@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig5Table(t *testing.T) {
+	tbl := Fig5()
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "100.00") {
+		t.Errorf("B should be dispensed 100 nl:\n%s", s)
+	}
+}
+
+func TestGlucoseTable(t *testing.T) {
+	tbl := Glucose()
+	s := tbl.String()
+	if !strings.Contains(s, "3.3") {
+		t.Errorf("expected the 3.3 nl minimum dispense:\n%s", s)
+	}
+	if !strings.Contains(s, "feasible=true") {
+		t.Errorf("glucose must be feasible:\n%s", s)
+	}
+}
+
+func TestGlycomicsTable(t *testing.T) {
+	tbl := Glycomics()
+	s := tbl.String()
+	if !strings.Contains(s, "4 partitions") {
+		t.Errorf("expected 4 partitions:\n%s", s)
+	}
+}
+
+func TestEnzymeTable(t *testing.T) {
+	tbl := Enzyme()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 configurations", len(tbl.Rows))
+	}
+	// Last column of final row reports the automatic transform count.
+	auto := tbl.Rows[4]
+	if auto[3] != "true" {
+		t.Errorf("automatic hierarchy should reach feasibility: %v", auto)
+	}
+}
+
+func TestRoundingTable(t *testing.T) {
+	tbl := Rounding()
+	for _, r := range tbl.Rows {
+		if r[3] != "true" {
+			t.Errorf("rounding broke feasibility: %v", r)
+		}
+	}
+}
+
+func TestRegenTable(t *testing.T) {
+	tbl := Regen()
+	// DAGSolve rows must report zero regenerations.
+	if tbl.Rows[0][2] != "0" || tbl.Rows[1][2] != "0" {
+		t.Errorf("planned regens must be 0: %v", tbl.Rows)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	rows := Scaling(3)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (N=2,3)", len(rows))
+	}
+	if rows[1].Constraints <= rows[0].Constraints {
+		t.Error("constraint count should grow with N")
+	}
+}
+
+func TestTimeIt(t *testing.T) {
+	d := timeIt(func() { time.Sleep(time.Millisecond) })
+	if d < 500*time.Microsecond || d > 50*time.Millisecond {
+		t.Errorf("timeIt = %v, want ≈1ms", d)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtVol(0.0098); got != "9.8 pl" {
+		t.Errorf("fmtVol = %q", got)
+	}
+	if got := fmtVol(3.31); got != "3.31 nl" {
+		t.Errorf("fmtVol = %q", got)
+	}
+	if got := fmtDur(1500 * time.Microsecond); !strings.Contains(got, "ms") {
+		t.Errorf("fmtDur = %q", got)
+	}
+}

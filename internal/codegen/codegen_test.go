@@ -1,0 +1,193 @@
+package codegen_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/lang"
+)
+
+func genFromSource(t *testing.T, src string) *codegen.Result {
+	t.Helper()
+	ep, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func countOp(p *ais.Program, op ais.Opcode) int {
+	c := 0
+	for _, in := range p.Instrs {
+		if in.Op == op {
+			c++
+		}
+	}
+	return c
+}
+
+func TestGenerateGlucose(t *testing.T) {
+	res := genFromSource(t, assays.GlucoseSource)
+	p := res.Prog
+	if got := countOp(p, ais.Input); got != 3 {
+		t.Errorf("input instrs = %d, want 3", got)
+	}
+	if got := countOp(p, ais.Mix); got != 5 {
+		t.Errorf("mix instrs = %d, want 5", got)
+	}
+	if got := countOp(p, ais.SenseOD); got != 5 {
+		t.Errorf("sense instrs = %d, want 5", got)
+	}
+	// Each mix gathers two operands; each sense one: 15 moves total.
+	if got := countOp(p, ais.Move); got != 15 {
+		t.Errorf("move instrs = %d, want 15", got)
+	}
+	// Mix results are sensed immediately: storage-less forwarding means
+	// only the three inputs occupy reservoirs.
+	if res.MaxLiveReservoirs != 3 {
+		t.Errorf("max live reservoirs = %d, want 3", res.MaxLiveReservoirs)
+	}
+	// Listing resembles the paper's Fig. 9(b).
+	text := p.String()
+	for _, want := range []string{"input s1, ip1 ;Glucose", "mix mixer1, 10", "sense.OD sensor1, Result[1]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q\n%s", want, text)
+		}
+	}
+	// The listing assembles back.
+	if _, err := ais.Assemble(text); err != nil {
+		t.Errorf("generated listing does not assemble: %v", err)
+	}
+}
+
+func TestGenerateEdgesAnnotated(t *testing.T) {
+	res := genFromSource(t, assays.GlucoseSource)
+	withEdge := 0
+	for _, in := range res.Prog.Instrs {
+		if in.Op == ais.Move && in.Edge >= 0 {
+			withEdge++
+		}
+	}
+	// All 15 operand-gathering moves carry edge annotations (glucose has
+	// no whole-vessel stores: everything is forwarded).
+	if withEdge != 15 {
+		t.Errorf("edge-annotated moves = %d, want 15", withEdge)
+	}
+}
+
+func TestGenerateSeparatorAuxLoads(t *testing.T) {
+	res := genFromSource(t, assays.GlycomicsSource)
+	text := res.Prog.String()
+	for _, want := range []string{".matrix", ".pusher", "separate.AF", "separate.LC"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+	// lectin, buffer1b, C_18, buffer3b get ports beyond the managed
+	// inputs.
+	for _, aux := range []string{"lectin", "buffer1b", "C_18", "buffer3b"} {
+		if res.InputPort[aux] == 0 {
+			t.Errorf("aux input %s has no port", aux)
+		}
+	}
+}
+
+func TestGenerateGuardsCompileToJumps(t *testing.T) {
+	res := genFromSource(t, `ASSAY g START
+fluid a, b;
+VAR x;
+MIX a AND b FOR 1;
+SENSE OPTICAL it INTO x;
+IF x < 3 START
+  MIX a AND b FOR 10;
+ELSE
+  MIX a AND b FOR 20;
+ENDIF
+END`)
+	p := res.Prog
+	if got := countOp(p, ais.DryJZ); got != 2 {
+		t.Errorf("dry-jz = %d, want 2 (one per guarded branch)", got)
+	}
+	if got := countOp(p, ais.DryNot); got != 1 {
+		t.Errorf("dry-not = %d, want 1 (negated else guard)", got)
+	}
+	if got := countOp(p, ais.DryLT); got != 2 {
+		t.Errorf("dry-lt = %d, want 2", got)
+	}
+	if len(p.Labels) != 2 {
+		t.Errorf("labels = %d, want 2 skip targets", len(p.Labels))
+	}
+}
+
+func TestGenerateOutOfReservoirs(t *testing.T) {
+	ep, err := lang.Compile(assays.EnzymeSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = codegen.Generate(ep, ep.Graph, codegen.Config{NumReservoirs: 4})
+	var oor codegen.ErrOutOfReservoirs
+	if !errors.As(err, &oor) {
+		t.Fatalf("err = %v, want ErrOutOfReservoirs", err)
+	}
+}
+
+func TestGenerateEnzymeFits(t *testing.T) {
+	ep, err := lang.Compile(assays.EnzymeSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 inputs + 12 dilutions stored; combos forward through units.
+	if res.MaxLiveReservoirs > 20 {
+		t.Errorf("max live reservoirs = %d, want <= 20", res.MaxLiveReservoirs)
+	}
+	if got := countOp(res.Prog, ais.Mix); got != 12+64 {
+		t.Errorf("mix instrs = %d, want 76", got)
+	}
+	if got := countOp(res.Prog, ais.Incubate); got != 64 {
+		t.Errorf("incubate instrs = %d, want 64", got)
+	}
+}
+
+// Code generation over a cascade/replication-transformed graph emits the
+// extra stages, excess discards, and replica input loads.
+func TestGenerateTransformedEnzyme(t *testing.T) {
+	ep, err := lang.Compile(assays.EnzymeSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := core.Manage(ep.Graph, core.DefaultConfig(), core.ManageOptions{SkipLP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.Generate(ep, mres.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cascades add mixes beyond the original 76 and excess discards to
+	// the waste port.
+	if got := countOp(res.Prog, ais.Mix); got <= 76 {
+		t.Errorf("mix instrs = %d, want > 76 (cascade stages)", got)
+	}
+	excess := 0
+	for _, in := range res.Prog.Instrs {
+		if in.Op == ais.Output && in.Comment == "excess" {
+			excess++
+		}
+	}
+	if excess == 0 {
+		t.Error("no excess discard instructions for cascade stages")
+	}
+}

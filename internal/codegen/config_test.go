@@ -1,0 +1,135 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aquacore"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/lang"
+	"aquavol/internal/lang/elab"
+)
+
+func compileFor(t *testing.T, src string) *elab.Program {
+	t.Helper()
+	ep, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+const chainSrc = `ASSAY chain START
+fluid a, b, c;
+VAR r;
+MIX a AND b FOR 5;
+MIX it AND c FOR 5;
+INCUBATE it AT 37 FOR 10;
+SENSE OPTICAL it INTO r;
+END`
+
+// NoForwarding routes every result through a reservoir: more moves, more
+// reservoirs, same sensed result.
+func TestNoForwardingEquivalence(t *testing.T) {
+	ep := compileFor(t, chainSrc)
+	plan, err := core.DAGSolve(ep.Graph, core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nofwd, err := codegen.Generate(ep, ep.Graph, codegen.Config{NoForwarding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nofwd.MaxLiveReservoirs <= fwd.MaxLiveReservoirs {
+		t.Errorf("NoForwarding reservoirs %d <= forwarding %d",
+			nofwd.MaxLiveReservoirs, fwd.MaxLiveReservoirs)
+	}
+	run := func(cg *codegen.Result) float64 {
+		m := aquacore.New(aquacore.Config{}, ep.Graph, aquacore.PlanSource{Plan: plan})
+		res, err := m.Run(cg.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Clean() {
+			t.Fatalf("events: %v", res.Events)
+		}
+		return res.Dry["r"]
+	}
+	if a, b := run(fwd), run(nofwd); a != b {
+		t.Errorf("sensed result differs: forwarding %v vs no-forwarding %v", a, b)
+	}
+}
+
+// ReuseReservoirs lowers the high-water mark on assays with dead fluids.
+func TestReuseReservoirsLowersHighWater(t *testing.T) {
+	src := `ASSAY seq START
+fluid a, b, c, d;
+VAR r1, r2;
+x1 = MIX a AND b FOR 5;
+y1 = MIX c AND d FOR 5;
+MIX x1 AND y1 FOR 5;
+SENSE OPTICAL it INTO r1;
+x2 = MIX a AND b FOR 5;
+y2 = MIX c AND d FOR 5;
+MIX x2 AND y2 FOR 5;
+SENSE OPTICAL it INTO r2;
+END`
+	// Declare the intermediates.
+	src = "ASSAY seq START\nfluid a, b, c, d, x1, y1, x2, y2;\nVAR r1, r2;\n" +
+		src[len("ASSAY seq START\nfluid a, b, c, d;\nVAR r1, r2;\n"):]
+	ep := compileFor(t, src)
+	plain, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse, err := codegen.Generate(ep, ep.Graph, codegen.Config{ReuseReservoirs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuse.MaxLiveReservoirs > plain.MaxLiveReservoirs {
+		t.Errorf("reuse high-water %d > plain %d", reuse.MaxLiveReservoirs, plain.MaxLiveReservoirs)
+	}
+}
+
+// Unconsumed leaf products are flushed so the unit starts clean
+// (regression for the residue bug found by the pipeline property test).
+func TestUnconsumedProductFlushed(t *testing.T) {
+	src := `ASSAY waste START
+fluid a, b;
+VAR r;
+MIX a AND b FOR 5;
+MIX a AND b IN RATIOS 1:3 FOR 5;
+SENSE OPTICAL it INTO r;
+END`
+	ep := compileFor(t, src)
+	cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := 0
+	for _, in := range cg.Prog.Instrs {
+		if in.Op == ais.Output && len(in.Comment) >= 5 && in.Comment[:5] == "flush" {
+			flushes++
+		}
+	}
+	if flushes != 1 {
+		t.Fatalf("flush instructions = %d, want 1 (first mix unconsumed)", flushes)
+	}
+	plan, err := core.DAGSolve(ep.Graph, core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := aquacore.New(aquacore.Config{}, ep.Graph, aquacore.PlanSource{Plan: plan})
+	res, err := m.Run(cg.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("events: %v", res.Events)
+	}
+}

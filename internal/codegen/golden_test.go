@@ -1,0 +1,52 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"aquavol/internal/codegen"
+	"aquavol/internal/lang"
+)
+
+// Golden listing: the generated code for a two-mix assay is pinned
+// instruction by instruction. This guards the emission order, operand
+// syntax, storage-less forwarding, and flush behavior against silent
+// regressions (compare the shape of the paper's Fig. 9(b)).
+func TestGoldenListing(t *testing.T) {
+	src := `ASSAY demo START
+fluid A, B, keep;
+VAR r1, r2;
+keep = MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL keep INTO r1;
+MIX A AND B FOR 20;
+SENSE OPTICAL it INTO r2;
+END`
+	ep, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`
+demo{
+  input s1, ip1 ;A
+  input s2, ip2 ;B
+  move mixer1, s1, 0.2
+  move mixer1, s2, 0.8
+  mix mixer1, 10
+  move sensor1, mixer1, 1
+  sense.OD sensor1, r1
+  move mixer1, s1, 0.5
+  move mixer1, s2, 0.5
+  mix mixer1, 20
+  move sensor1, mixer1, 1
+  sense.OD sensor1, r2
+  halt
+}`)
+	got := strings.TrimSpace(cg.Prog.String())
+	if got != want {
+		t.Errorf("listing drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

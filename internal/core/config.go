@@ -1,0 +1,100 @@
+// Package core implements the paper's volume-management algorithms: the
+// RVol/IVol linear-programming formulations (§3.2), the linear-time
+// DAGSolve algorithm (§3.3), the cascading and static-replication
+// extensions (§3.4), run-time handling of statically-unknown volumes
+// (§3.5), rounding of rational volume assignments to integer multiples of
+// the hardware least count, and the volume-management hierarchy of Fig. 6
+// that ties them together.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aquavol/internal/dag"
+)
+
+// Config holds the hardware parameters volume management plans against.
+// All volumes are in nanoliters.
+type Config struct {
+	// MaxCapacity is the maximum volume a reservoir or functional unit can
+	// hold (the paper's "default maximum", 100 nl).
+	MaxCapacity float64
+	// LeastCount is the minimum transport resolution: every dispensed
+	// volume must be an integer multiple of it and no dispense may be
+	// smaller (the paper assumes 100 pl = 0.1 nl, per Unger et al.).
+	LeastCount float64
+	// MinNodeVolume optionally raises the minimum *total input* volume for
+	// specific node kinds (the paper notes separators may need more fluid
+	// than the least count to operate).
+	MinNodeVolume map[dag.Kind]float64
+	// OutputSkew bounds how far LP may skew one output against another:
+	// every output must lie within [1-OutputSkew, 1+OutputSkew] times the
+	// reference output (§3.2's optional relative output-to-output
+	// constraints). Zero disables the constraints.
+	OutputSkew float64
+	// CascadeTrigger is the mix skew above which a persistent underflow is
+	// attributed to an extreme mix ratio (fixed by cascading) rather than
+	// to numerous uses (fixed by replication). Zero selects
+	// sqrt(MaxCapacity/LeastCount).
+	CascadeTrigger float64
+	// MaxAttempts bounds the transform-and-resolve iterations of the
+	// Fig. 6 hierarchy. Zero selects 16.
+	MaxAttempts int
+	// MaxFluidNodes, when nonzero, bounds the number of wet nodes the
+	// transformed DAG may contain; cascading/replication beyond it fails
+	// compilation (the paper: "the replicated code may exceed the PLoC's
+	// resources. In such cases, compilation fails.").
+	MaxFluidNodes int
+}
+
+// DefaultConfig returns the paper's evaluation parameters: 100 nl maximum
+// capacity and 0.1 nl least count.
+func DefaultConfig() Config {
+	return Config{
+		MaxCapacity: 100,
+		LeastCount:  0.1,
+		OutputSkew:  0.10,
+	}
+}
+
+// MaxSkew is the largest mix ratio the hardware can execute directly:
+// MaxCapacity / LeastCount (§3.4.1).
+func (c Config) MaxSkew() float64 { return c.MaxCapacity / c.LeastCount }
+
+func (c Config) cascadeTrigger() float64 {
+	if c.CascadeTrigger > 0 {
+		return c.CascadeTrigger
+	}
+	return math.Sqrt(c.MaxSkew())
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 16
+}
+
+// Validate checks that the configuration is physically meaningful.
+func (c Config) Validate() error {
+	switch {
+	case !(c.MaxCapacity > 0) || math.IsInf(c.MaxCapacity, 0):
+		return fmt.Errorf("core: MaxCapacity must be positive and finite, got %v", c.MaxCapacity)
+	case !(c.LeastCount > 0) || math.IsInf(c.LeastCount, 0):
+		return fmt.Errorf("core: LeastCount must be positive and finite, got %v", c.LeastCount)
+	case c.LeastCount > c.MaxCapacity:
+		return fmt.Errorf("core: LeastCount %v exceeds MaxCapacity %v", c.LeastCount, c.MaxCapacity)
+	case c.OutputSkew < 0 || c.OutputSkew >= 1:
+		return fmt.Errorf("core: OutputSkew must be in [0, 1), got %v", c.OutputSkew)
+	}
+	return nil
+}
+
+// minForNode is the minimum total-input volume required at node n.
+func (c Config) minForNode(n *dag.Node) float64 {
+	if m, ok := c.MinNodeVolume[n.Kind]; ok && m > c.LeastCount {
+		return m
+	}
+	return c.LeastCount
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aquavol/internal/dag"
+)
+
+// IntPlan is a Plan rounded to integer multiples of the hardware least
+// count: the solution to the IVol problem obtained by rounding the RVol
+// solution (§3.2). Rounding perturbs mix ratios slightly; RatioError
+// quantifies the damage (the paper reports ≤ 2% across its assays).
+type IntPlan struct {
+	// Plan is the rational plan this was rounded from.
+	Plan *Plan
+	// EdgeUnits holds each edge's volume in least-count units.
+	EdgeUnits []int64
+	// NodeUnits holds each node's total input volume in least-count units
+	// (for sources: units produced, which equals units consumed downstream
+	// plus nothing — sources produce exactly what their uses draw).
+	NodeUnits []int64
+	// MaxRatioError and MeanRatioError measure the relative deviation of
+	// achieved mix fractions from the specified fractions, across every
+	// inbound edge of every multi-input node.
+	MaxRatioError, MeanRatioError float64
+	// Underflows lists edges whose rounded volume fell below one unit and
+	// nodes exceeding capacity (overflow), which rounding can in principle
+	// cause; empty for all the paper's assays.
+	Underflows []Underflow
+	// Overflows lists node ids whose rounded input exceeds capacity.
+	Overflows []int
+}
+
+// Round converts a rational plan to integer least-count units by rounding
+// each edge volume to the nearest unit, recomputing node totals, and
+// measuring the resulting ratio errors.
+func Round(p *Plan, cfg Config) *IntPlan {
+	g := p.Graph
+	ip := &IntPlan{
+		Plan:      p,
+		EdgeUnits: make([]int64, len(g.Edges())),
+		NodeUnits: make([]int64, len(g.Nodes())),
+	}
+	for _, e := range g.Edges() {
+		if e == nil {
+			continue
+		}
+		u := int64(math.Round(p.EdgeVolume[e.ID()] / cfg.LeastCount))
+		ip.EdgeUnits[e.ID()] = u
+		if u < 1 {
+			ip.Underflows = append(ip.Underflows, Underflow{
+				Edge: e.ID(), Node: e.To.ID(),
+				Volume:  float64(u) * cfg.LeastCount,
+				Minimum: cfg.LeastCount,
+			})
+		}
+	}
+	capUnits := int64(math.Floor(cfg.MaxCapacity/cfg.LeastCount + volTol))
+	for _, n := range g.Nodes() {
+		if n == nil {
+			continue
+		}
+		var total int64
+		if n.IsSource() {
+			for _, e := range n.Out() {
+				total += ip.EdgeUnits[e.ID()]
+			}
+		} else {
+			for _, e := range n.In() {
+				total += ip.EdgeUnits[e.ID()]
+			}
+		}
+		ip.NodeUnits[n.ID()] = total
+		if total > capUnits {
+			ip.Overflows = append(ip.Overflows, n.ID())
+		}
+	}
+	// Ratio errors at multi-input nodes.
+	count := 0
+	for _, n := range g.Nodes() {
+		if n == nil || len(n.In()) < 2 {
+			continue
+		}
+		var total int64
+		for _, e := range n.In() {
+			total += ip.EdgeUnits[e.ID()]
+		}
+		if total == 0 {
+			continue
+		}
+		for _, e := range n.In() {
+			achieved := float64(ip.EdgeUnits[e.ID()]) / float64(total)
+			err := math.Abs(achieved-e.Frac) / e.Frac
+			ip.MeanRatioError += err
+			if err > ip.MaxRatioError {
+				ip.MaxRatioError = err
+			}
+			count++
+		}
+	}
+	if count > 0 {
+		ip.MeanRatioError /= float64(count)
+	}
+	return ip
+}
+
+// Feasible reports whether rounding preserved all hardware limits.
+func (ip *IntPlan) Feasible() bool {
+	return len(ip.Underflows) == 0 && len(ip.Overflows) == 0
+}
+
+// Volume returns edge e's rounded volume in nanoliters.
+func (ip *IntPlan) Volume(e *dag.Edge, cfg Config) float64 {
+	return float64(ip.EdgeUnits[e.ID()]) * cfg.LeastCount
+}
+
+func (ip *IntPlan) String() string {
+	return fmt.Sprintf("intplan: maxErr=%.3g%% meanErr=%.3g%% underflows=%d overflows=%d",
+		100*ip.MaxRatioError, 100*ip.MeanRatioError, len(ip.Underflows), len(ip.Overflows))
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"aquavol/internal/assays"
+	"aquavol/internal/core"
+	"aquavol/internal/dag"
+)
+
+// Weighted outputs: preferring N 3:1 over M skews the dispensed volumes
+// in exactly that proportion (§3.3's "arbitrary output ratios" remark).
+func TestWeightedOutputs(t *testing.T) {
+	g := assays.Fig2DAG()
+	m := g.NodeByName("M")
+	n := g.NodeByName("N")
+	vn, err := core.ComputeVnormsWeighted(g, map[int]float64{m.ID(): 1, n.ID(): 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Dispense(vn, cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := plan.NodeVolume[n.ID()] / plan.NodeVolume[m.ID()]
+	if !approx(ratio, 3) {
+		t.Fatalf("N/M volume ratio = %v, want 3", ratio)
+	}
+	// The bottleneck still receives exactly the machine maximum.
+	_, max := plan.MaxNodeVolume()
+	if !approx(max, 100) {
+		t.Fatalf("max volume = %v, want 100", max)
+	}
+}
+
+func TestWeightedOutputsValidation(t *testing.T) {
+	g := assays.Fig2DAG()
+	b := g.NodeByName("B") // an input, not an output
+	if _, err := core.ComputeVnormsWeighted(g, map[int]float64{b.ID(): 2}); err == nil {
+		t.Fatal("want error for weighting a non-output node")
+	}
+	m := g.NodeByName("M")
+	if _, err := core.ComputeVnormsWeighted(g, map[int]float64{m.ID(): -1}); err == nil {
+		t.Fatal("want error for non-positive weight")
+	}
+	if _, err := core.ComputeVnormsWeighted(g, map[int]float64{9999: 1}); err == nil {
+		t.Fatal("want error for missing node")
+	}
+}
+
+// Equal weights reduce to plain ComputeVnorms.
+func TestWeightedDefaultMatchesPlain(t *testing.T) {
+	g := assays.GlucoseDAG()
+	plain, err := core.ComputeVnorms(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := core.ComputeVnormsWeighted(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Node {
+		if !approx(plain.Node[i], weighted.Node[i]) {
+			t.Fatalf("node %d: %v vs %v", i, plain.Node[i], weighted.Node[i])
+		}
+	}
+}
+
+// Minimum-output dispensing (§3.5): require 10 nl of each Fig. 2 output
+// and check the plan delivers exactly that with minimal inputs.
+func TestDispenseForMinOutputs(t *testing.T) {
+	g := assays.Fig2DAG()
+	vn, err := core.ComputeVnorms(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.NodeByName("M")
+	n := g.NodeByName("N")
+	plan, err := core.DispenseForMinOutputs(vn, cfg(), map[int]float64{
+		m.ID(): 10, n.ID(): 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(plan.NodeVolume[m.ID()], 10) || !approx(plan.NodeVolume[n.ID()], 10) {
+		t.Fatalf("outputs = %v, %v; want 10, 10",
+			plan.NodeVolume[m.ID()], plan.NodeVolume[n.ID()])
+	}
+	// Inputs shrink proportionally: B needs (46/45)×10 ≈ 10.2 nl instead
+	// of 100.
+	b := g.NodeByName("B")
+	if !approx(plan.NodeVolume[b.ID()], 10*46.0/45) {
+		t.Fatalf("B volume = %v, want %v", plan.NodeVolume[b.ID()], 10*46.0/45)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("plan should be feasible: %v", plan.Underflows)
+	}
+}
+
+// Requiring more than the hardware can deliver is reported, not silently
+// clipped.
+func TestDispenseForMinOutputsOverflow(t *testing.T) {
+	g := assays.Fig2DAG()
+	vn, err := core.ComputeVnorms(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.NodeByName("M")
+	plan, err := core.DispenseForMinOutputs(vn, cfg(), map[int]float64{m.ID(): 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B would need (46/45)×99 > 100 nl.
+	if plan.Feasible() {
+		t.Fatal("demanding 99 nl of M must overflow B")
+	}
+}
+
+// Tiny required outputs violate the least count and are reported.
+func TestDispenseForMinOutputsUnderflow(t *testing.T) {
+	g := assays.GlucoseDAG()
+	vn, err := core.ComputeVnorms(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sense *dag.Node
+	for _, n := range g.Nodes() {
+		if n.IsLeaf() {
+			sense = n
+			break
+		}
+	}
+	plan, err := core.DispenseForMinOutputs(vn, cfg(), map[int]float64{sense.ID(): 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 nl output → the 1/9 glucose share of mix d is ~0.056 nl < least
+	// count.
+	if plan.Feasible() {
+		t.Fatal("0.5 nl outputs must underflow the 1:8 dilution")
+	}
+	if math.IsNaN(plan.Scale) || plan.Scale <= 0 {
+		t.Fatalf("scale = %v", plan.Scale)
+	}
+}

@@ -1,0 +1,53 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, useful for documentation
+// and debugging. Node shapes encode kinds; edge labels show fractions.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", title)
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		shape := "ellipse"
+		style := ""
+		switch n.Kind {
+		case Input:
+			shape = "box"
+		case ConstrainedInput:
+			shape = "box"
+			style = ` style=dashed`
+		case Sense:
+			shape = "doublecircle"
+		case Separate:
+			shape = "trapezium"
+			if n.Unknown {
+				style = ` style=filled fillcolor=lightgray`
+			}
+		case Excess:
+			shape = "point"
+		}
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("%s#%d", n.Kind, n.id)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s%s];\n", n.id, label, shape, style)
+	}
+	for _, e := range g.edges {
+		if e == nil {
+			continue
+		}
+		label := fmt.Sprintf("%.3g", e.Frac)
+		if e.Port != PortDefault {
+			label = e.Port + " " + label
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From.id, e.To.id, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExtremeRatio reports the skew of a mix node: the ratio of its largest to
+// smallest inbound fraction. A mix is infeasible to execute directly when
+// this exceeds maxCap/leastCount (§3.4.1). Returns 1 for nodes with fewer
+// than two inbound edges.
+func ExtremeRatio(n *Node) float64 {
+	if len(n.in) < 2 {
+		return 1
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, e := range n.in {
+		lo = math.Min(lo, e.Frac)
+		hi = math.Max(hi, e.Frac)
+	}
+	return hi / lo
+}
+
+// CascadeLevels picks the cascade depth for a two-part mix with skew R
+// (major:minor), such that each stage's ratio 1:r with (1+r)^k = 1+R stays
+// within maxSkew. Following the paper's examples (1:99 → two 1:9 stages,
+// 1:399 → two 1:19 stages, 1:999 → three 1:9 stages), depths whose stage
+// ratio is integral are preferred: the smallest k ≥ 2 with (1+R)^(1/k)
+// integral and stage skew ≤ maxSkew wins; otherwise the smallest k whose
+// stage skew fits is used. Returns 0 if R already fits (no cascade needed).
+func CascadeLevels(R, maxSkew float64) int {
+	if R <= maxSkew {
+		return 0
+	}
+	const maxDepth = 16
+	fallback := 0
+	for k := 2; k <= maxDepth; k++ {
+		base := math.Pow(1+R, 1/float64(k))
+		r := base - 1
+		if r > maxSkew {
+			continue
+		}
+		if fallback == 0 {
+			fallback = k
+		}
+		if isNearInteger(base) {
+			return k
+		}
+	}
+	return fallback
+}
+
+func isNearInteger(x float64) bool {
+	return math.Abs(x-math.Round(x)) < 1e-6
+}
+
+// Cascade rewrites a two-part extreme-ratio mix node into `levels` cascaded
+// stages, each with ratio 1:r where (1+r)^levels = 1+R (Fig. 7). The minor
+// component feeds the first stage; every intermediate stage produces 1+r
+// parts, forwards one part, and routes the remaining r/(1+r) fraction to a
+// synthetic Excess sink. The original node is retained as the final stage so
+// its outbound edges (and identity) are untouched.
+//
+// Cascade returns an error if the node is not a Mix with exactly two
+// inbound edges, or if levels < 2.
+func (g *Graph) Cascade(mix *Node, levels int) error {
+	g.mustOwn(mix)
+	if mix.Kind != Mix {
+		return fmt.Errorf("dag: cascade target %v is not a mix", mix)
+	}
+	if len(mix.in) != 2 {
+		return fmt.Errorf("dag: cascade supports two-part mixes, %v has %d parts", mix, len(mix.in))
+	}
+	if levels < 2 {
+		return fmt.Errorf("dag: cascade needs at least 2 levels, got %d", levels)
+	}
+	minor, major := mix.in[0], mix.in[1]
+	if minor.Frac > major.Frac {
+		minor, major = major, minor
+	}
+	R := major.Frac / minor.Frac
+	stageMinor := math.Pow(1/(1+R), 1/float64(levels)) // 1/(1+r)
+	stageMajor := 1 - stageMinor                       // r/(1+r)
+
+	minorSrc, majorSrc := minor.From, major.From
+	minorPort, majorPort := minor.Port, major.Port
+	g.removeEdge(minor)
+	g.removeEdge(major)
+
+	prev, prevPort := minorSrc, minorPort
+	for i := 1; i < levels; i++ {
+		stage := g.AddNode(Mix, fmt.Sprintf("%s~cascade%d", mix.Name, i))
+		stage.Ref = mix.Ref // inherit front-end op metadata (time, guards)
+		g.AddPortEdge(prev, stage, stageMinor, prevPort)
+		g.AddPortEdge(majorSrc, stage, stageMajor, majorPort)
+		stage.Discard = stageMajor // forward 1 part of 1+r produced
+		excess := g.AddNode(Excess, fmt.Sprintf("%s~excess%d", mix.Name, i))
+		excess.Ref = mix.Ref
+		g.AddEdge(stage, excess, 1)
+		prev, prevPort = stage, PortDefault
+	}
+	g.AddPortEdge(prev, mix, stageMinor, prevPort)
+	g.AddPortEdge(majorSrc, mix, stageMajor, majorPort)
+	g.compactEdges()
+	return nil
+}
+
+// Replicate splits node into `copies` instances and distributes its
+// outbound uses among them. Non-source nodes get their inbound edges
+// duplicated onto every replica (which is what increases demand upstream,
+// per §3.4.2); excess outbound edges are duplicated per replica rather than
+// distributed.
+//
+// assign maps each distributable outbound edge to a replica index in
+// [0, copies); index 0 keeps the edge on the original node. A nil assign
+// distributes round-robin. Replicate returns the replicas (index 0 is the
+// original node) or an error if the node kind cannot be replicated
+// (Unknown-volume nodes and Excess sinks cannot).
+func (g *Graph) Replicate(node *Node, copies int, assign func(e *Edge) int) ([]*Node, error) {
+	g.mustOwn(node)
+	if copies < 2 {
+		return nil, fmt.Errorf("dag: replicate needs at least 2 copies, got %d", copies)
+	}
+	if node.Unknown {
+		return nil, fmt.Errorf("dag: cannot replicate unknown-volume node %v", node)
+	}
+	if node.Kind == Excess || node.Kind == ConstrainedInput {
+		return nil, fmt.Errorf("dag: cannot replicate %v node %v", node.Kind, node)
+	}
+	if assign == nil {
+		i := 0
+		assign = func(*Edge) int {
+			i++
+			return (i - 1) % copies
+		}
+	}
+
+	replicas := make([]*Node, copies)
+	replicas[0] = node
+	for i := 1; i < copies; i++ {
+		r := g.AddNode(node.Kind, fmt.Sprintf("%s~rep%d", node.Name, i))
+		r.OutFrac = node.OutFrac
+		r.Discard = node.Discard
+		r.NoExcess = node.NoExcess
+		r.Ref = node.Ref
+		replicas[i] = r
+		for _, e := range node.in {
+			g.AddPortEdge(e.From, r, e.Frac, e.Port)
+		}
+	}
+
+	// Distribute distributable outbound edges; duplicate excess edges.
+	outs := append([]*Edge(nil), node.out...)
+	for _, e := range outs {
+		if e.To.Kind == Excess {
+			for i := 1; i < copies; i++ {
+				ex := g.AddNode(Excess, fmt.Sprintf("%s~rep%d", e.To.Name, i))
+				g.AddEdge(replicas[i], ex, 1)
+			}
+			continue
+		}
+		idx := assign(e)
+		if idx < 0 || idx >= copies {
+			return nil, fmt.Errorf("dag: replica assignment %d out of range [0,%d)", idx, copies)
+		}
+		if idx == 0 {
+			continue
+		}
+		g.AddPortEdge(replicas[idx], e.To, e.Frac, e.Port)
+		g.removeEdge(e)
+	}
+	g.compactEdges()
+	return replicas, nil
+}

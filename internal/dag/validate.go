@@ -1,0 +1,102 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// fracTol is the tolerance for inbound-fraction sums.
+const fracTol = 1e-9
+
+// Validate checks structural invariants:
+//
+//   - the graph is acyclic;
+//   - every edge fraction is positive, finite, and ≤ 1;
+//   - the inbound fractions of every non-source node sum to 1;
+//   - source nodes are Inputs or ConstrainedInputs, and vice versa;
+//   - OutFrac ∈ (0, 1], Discard ∈ [0, 1), Share ∈ (0, 1] where applicable;
+//   - only Separate nodes use named output ports;
+//   - Excess nodes are leaves with a single inbound edge.
+//
+// It returns the first violation found, or nil.
+func (g *Graph) Validate() error {
+	for _, e := range g.edges {
+		if e == nil {
+			continue
+		}
+		if e.Frac <= 0 || e.Frac > 1+fracTol || math.IsNaN(e.Frac) || math.IsInf(e.Frac, 0) {
+			return fmt.Errorf("dag: edge %v has invalid fraction %v", e, e.Frac)
+		}
+		if e.Port != PortDefault && e.From.Kind != Separate {
+			return fmt.Errorf("dag: edge %v uses port %q but source is %v", e, e.Port, e.From.Kind)
+		}
+	}
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		switch {
+		case n.OutFrac <= 0 || n.OutFrac > 1+fracTol || math.IsNaN(n.OutFrac):
+			return fmt.Errorf("dag: node %v has invalid OutFrac %v", n, n.OutFrac)
+		case n.Discard < 0 || n.Discard >= 1 || math.IsNaN(n.Discard):
+			return fmt.Errorf("dag: node %v has invalid Discard %v", n, n.Discard)
+		}
+		isPseudoSource := n.Kind == Input || n.Kind == ConstrainedInput
+		if n.IsSource() != isPseudoSource {
+			if isPseudoSource {
+				return fmt.Errorf("dag: %v node %v has inbound edges", n.Kind, n)
+			}
+			return fmt.Errorf("dag: node %v has no inbound edges but is not an input", n)
+		}
+		if n.Kind == ConstrainedInput {
+			if n.Share <= 0 || n.Share > 1+fracTol || math.IsNaN(n.Share) {
+				return fmt.Errorf("dag: constrained input %v has invalid share %v", n, n.Share)
+			}
+		}
+		if n.Kind == Excess {
+			if !n.IsLeaf() || len(n.in) != 1 {
+				return fmt.Errorf("dag: excess node %v must be a leaf with one inbound edge", n)
+			}
+		}
+		if !n.IsSource() {
+			sum := 0.0
+			for _, e := range n.in {
+				sum += e.Frac
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("dag: node %v inbound fractions sum to %v, want 1", n, sum)
+			}
+		}
+	}
+	// Cycle check via DFS (TopoOrder panics; keep Validate non-panicking).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Node]int, len(g.nodes))
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		color[n] = gray
+		for _, e := range n.out {
+			switch color[e.To] {
+			case gray:
+				return fmt.Errorf("dag: cycle through %v -> %v", n, e.To)
+			case white:
+				if err := visit(e.To); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, n := range g.nodes {
+		if n != nil && color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package ast defines the abstract syntax tree of the assay language.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"aquavol/internal/lang/token"
+)
+
+// Program is a parsed assay.
+type Program struct {
+	Name  string
+	Decls []*Decl
+	Body  []Stmt
+	Pos   token.Pos
+}
+
+// DeclKind distinguishes fluid from dry (VAR) declarations.
+type DeclKind int
+
+const (
+	// FluidDecl declares fluids (wet variables).
+	FluidDecl DeclKind = iota
+	// VarDecl declares dry scalar/array variables.
+	VarDecl
+)
+
+func (k DeclKind) String() string {
+	if k == FluidDecl {
+		return "fluid"
+	}
+	return "VAR"
+}
+
+// DeclName is one declared name with optional array dimensions.
+type DeclName struct {
+	Name string
+	Dims []int
+	Pos  token.Pos
+}
+
+// Decl is a fluid or VAR declaration.
+type Decl struct {
+	Kind DeclKind
+	// NoExcess marks every fluid in the declaration as excess-forbidden
+	// (§3.4.1: no cascading through these fluids).
+	NoExcess bool
+	Names    []DeclName
+	Pos      token.Pos
+}
+
+// Stmt is any statement.
+type Stmt interface {
+	stmt()
+	Position() token.Pos
+}
+
+// Expr is any dry (arithmetic) expression.
+type Expr interface {
+	expr()
+	Position() token.Pos
+}
+
+// FluidOp is a fluid-producing operation (the RHS of a fluid assignment or
+// a bare operation statement).
+type FluidOp interface {
+	fluidOp()
+	Position() token.Pos
+}
+
+// LValue is a scalar/array/fluid reference, possibly indexed.
+type LValue struct {
+	Name    string
+	Indices []Expr
+	Pos     token.Pos
+}
+
+func (l *LValue) Position() token.Pos { return l.Pos }
+func (l *LValue) expr()               {}
+
+func (l *LValue) String() string {
+	var b strings.Builder
+	b.WriteString(l.Name)
+	for _, ix := range l.Indices {
+		fmt.Fprintf(&b, "[%s]", ExprString(ix))
+	}
+	return b.String()
+}
+
+// FluidRef names a fluid operand: either `it` (the previous operation's
+// result) or a possibly-indexed fluid variable.
+type FluidRef struct {
+	It  bool
+	Ref *LValue // nil when It
+	Pos token.Pos
+}
+
+func (f *FluidRef) String() string {
+	if f.It {
+		return "it"
+	}
+	return f.Ref.String()
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	Pos   token.Pos
+}
+
+func (n *NumberLit) expr()               {}
+func (n *NumberLit) Position() token.Pos { return n.Pos }
+
+// BinaryExpr is a dry arithmetic or comparison expression.
+type BinaryExpr struct {
+	Op   token.Kind // PLUS MINUS STAR SLASH PERCENT LT GT LE GE EQ NE
+	L, R Expr
+	Pos  token.Pos
+}
+
+func (b *BinaryExpr) expr()               {}
+func (b *BinaryExpr) Position() token.Pos { return b.Pos }
+
+// UnaryExpr is a negation.
+type UnaryExpr struct {
+	Op  token.Kind // MINUS
+	X   Expr
+	Pos token.Pos
+}
+
+func (u *UnaryExpr) expr()               {}
+func (u *UnaryExpr) Position() token.Pos { return u.Pos }
+
+// AssignStmt assigns a dry expression or fluid operation. LHS is nil for a
+// bare fluid operation statement whose result is referenced via `it`.
+type AssignStmt struct {
+	LHS *LValue
+	// Exactly one of Expr and Op is set.
+	Expr Expr
+	Op   FluidOp
+	Pos  token.Pos
+}
+
+func (*AssignStmt) stmt()                 {}
+func (s *AssignStmt) Position() token.Pos { return s.Pos }
+
+// SenseMode selects the sensor.
+type SenseMode int
+
+const (
+	// SenseOptical measures optical density (sense.OD).
+	SenseOptical SenseMode = iota
+	// SenseFluorescence measures fluorescence (sense.FL).
+	SenseFluorescence
+)
+
+func (m SenseMode) String() string {
+	if m == SenseOptical {
+		return "OPTICAL"
+	}
+	return "FLUORESCENCE"
+}
+
+// SenseStmt consumes a fluid and stores the reading into a dry variable.
+type SenseStmt struct {
+	Mode SenseMode
+	Arg  *FluidRef
+	Into *LValue
+	Pos  token.Pos
+}
+
+func (*SenseStmt) stmt()                 {}
+func (s *SenseStmt) Position() token.Pos { return s.Pos }
+
+// OutputStmt sends a fluid to an output port.
+type OutputStmt struct {
+	Arg *FluidRef
+	Pos token.Pos
+}
+
+func (*OutputStmt) stmt()                 {}
+func (s *OutputStmt) Position() token.Pos { return s.Pos }
+
+// ForStmt is a counted loop, fully unrolled at compile time (§3.5).
+type ForStmt struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Pos      token.Pos
+}
+
+func (*ForStmt) stmt()                 {}
+func (s *ForStmt) Position() token.Pos { return s.Pos }
+
+// WhileStmt is a condition-controlled loop. MaxIter is the programmer's
+// §3.5 upper-bound hint, required for volume planning: the body is planned
+// MaxIter times and execution stops early when the condition fails.
+type WhileStmt struct {
+	Cond    Expr
+	MaxIter Expr
+	Body    []Stmt
+	Pos     token.Pos
+}
+
+func (*WhileStmt) stmt()                 {}
+func (s *WhileStmt) Position() token.Pos { return s.Pos }
+
+// IfStmt is a conditional; when the condition is not compile-time constant
+// both branches contribute to the volume-planning DAG (§3.5).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  token.Pos
+}
+
+func (*IfStmt) stmt()                 {}
+func (s *IfStmt) Position() token.Pos { return s.Pos }
+
+// MixOp mixes fluids in the given ratios (equal parts when Ratios is nil)
+// for Time seconds.
+type MixOp struct {
+	Args   []*FluidRef
+	Ratios []Expr
+	Time   Expr
+	Pos    token.Pos
+}
+
+func (*MixOp) fluidOp()              {}
+func (o *MixOp) Position() token.Pos { return o.Pos }
+
+// IncubateOp heats a fluid at Temp for Time.
+type IncubateOp struct {
+	Arg  *FluidRef
+	Temp Expr
+	Time Expr
+	Pos  token.Pos
+}
+
+func (*IncubateOp) fluidOp()              {}
+func (o *IncubateOp) Position() token.Pos { return o.Pos }
+
+// ConcentrateOp concentrates a fluid at Temp for Time.
+type ConcentrateOp struct {
+	Arg  *FluidRef
+	Temp Expr
+	Time Expr
+	Pos  token.Pos
+}
+
+func (*ConcentrateOp) fluidOp()              {}
+func (o *ConcentrateOp) Position() token.Pos { return o.Pos }
+
+// SepKind selects the separation mechanism (the AIS separate.* flavors).
+type SepKind int
+
+const (
+	// SepAffinity is affinity separation (separate.AF).
+	SepAffinity SepKind = iota
+	// SepLC is liquid chromatography (separate.LC).
+	SepLC
+	// SepCE is capillary-electrophoresis separation (separate.CE).
+	SepCE
+	// SepSize is separation by size (separate.SIZE).
+	SepSize
+)
+
+func (k SepKind) String() string {
+	switch k {
+	case SepAffinity:
+		return "SEPARATE"
+	case SepLC:
+		return "LCSEPARATE"
+	case SepCE:
+		return "CESEPARATE"
+	case SepSize:
+		return "SIZESEPARATE"
+	default:
+		return fmt.Sprintf("SepKind(%d)", int(k))
+	}
+}
+
+// SeparateOp separates a fluid into effluent and waste. Matrix and Using
+// name auxiliary fluids (affinity matrix, pusher buffer) that are loaded
+// into the separator but are not volume-managed (see package assays).
+// Yield, when non-nil, is the §3.5 programmer hint for the effluent
+// fraction in percent; without it the output volume is statically unknown.
+type SeparateOp struct {
+	Kind   SepKind
+	Arg    *FluidRef
+	Matrix *LValue // may be nil
+	Using  *LValue // may be nil
+	Time   Expr
+	Eff    *LValue
+	Waste  *LValue
+	Yield  Expr
+	Pos    token.Pos
+}
+
+func (*SeparateOp) fluidOp()              {}
+func (o *SeparateOp) Position() token.Pos { return o.Pos }
+
+// ExprString renders a dry expression. Arithmetic sub-expressions are
+// parenthesized to preserve structure; comparisons (which only appear as
+// conditions, where the grammar forbids outer parentheses) are not.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *NumberLit:
+		return trimFloat(e.Value)
+	case *LValue:
+		return e.String()
+	case *UnaryExpr:
+		return "-" + ExprString(e.X)
+	case *BinaryExpr:
+		if isComparison(e.Op) {
+			return fmt.Sprintf("%s %s %s", ExprString(e.L), e.Op, ExprString(e.R))
+		}
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func isComparison(k token.Kind) bool {
+	switch k {
+	case token.LT, token.GT, token.LE, token.GE, token.EQ, token.NE:
+		return true
+	}
+	return false
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

@@ -1,0 +1,131 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to canonical assay-language source. The
+// output parses to a structurally identical AST (see the round-trip tests
+// in the parser package), making Format a formatter for assay files.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ASSAY %s START\n", p.Name)
+	for _, d := range p.Decls {
+		if d.NoExcess {
+			b.WriteString("NOEXCESS ")
+		}
+		fmt.Fprintf(&b, "%s ", d.Kind)
+		for i, n := range d.Names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(n.Name)
+			for _, dim := range n.Dims {
+				fmt.Fprintf(&b, "[%d]", dim)
+			}
+		}
+		b.WriteString(";\n")
+	}
+	formatStmts(&b, p.Body, 0)
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *AssignStmt:
+		if s.LHS != nil {
+			fmt.Fprintf(b, "%s = ", s.LHS)
+		}
+		if s.Op != nil {
+			b.WriteString(formatOp(s.Op))
+		} else {
+			b.WriteString(ExprString(s.Expr))
+		}
+		b.WriteString(";\n")
+	case *SenseStmt:
+		fmt.Fprintf(b, "SENSE %s %s INTO %s;\n", s.Mode, s.Arg, s.Into)
+	case *OutputStmt:
+		fmt.Fprintf(b, "OUTPUT %s;\n", s.Arg)
+	case *ForStmt:
+		fmt.Fprintf(b, "FOR %s FROM %s TO %s START\n", s.Var, ExprString(s.From), ExprString(s.To))
+		formatStmts(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("ENDFOR\n")
+	case *WhileStmt:
+		fmt.Fprintf(b, "WHILE %s MAXITER %s START\n", ExprString(s.Cond), ExprString(s.MaxIter))
+		formatStmts(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("ENDWHILE\n")
+	case *IfStmt:
+		fmt.Fprintf(b, "IF %s START\n", ExprString(s.Cond))
+		formatStmts(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("ELSE\n")
+			formatStmts(b, s.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("ENDIF\n")
+	default:
+		fmt.Fprintf(b, "-- unknown statement %T\n", s)
+	}
+}
+
+func formatOp(op FluidOp) string {
+	switch op := op.(type) {
+	case *MixOp:
+		var b strings.Builder
+		b.WriteString("MIX ")
+		for i, a := range op.Args {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(a.String())
+		}
+		if op.Ratios != nil {
+			b.WriteString(" IN RATIOS ")
+			for i, r := range op.Ratios {
+				if i > 0 {
+					b.WriteString(":")
+				}
+				b.WriteString(ExprString(r))
+			}
+		}
+		return b.String() + " FOR " + ExprString(op.Time)
+	case *IncubateOp:
+		return fmt.Sprintf("INCUBATE %s AT %s FOR %s", op.Arg, ExprString(op.Temp), ExprString(op.Time))
+	case *ConcentrateOp:
+		return fmt.Sprintf("CONCENTRATE %s AT %s FOR %s", op.Arg, ExprString(op.Temp), ExprString(op.Time))
+	case *SeparateOp:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s %s", op.Kind, op.Arg)
+		if op.Matrix != nil {
+			fmt.Fprintf(&b, " MATRIX %s", op.Matrix)
+		}
+		if op.Using != nil {
+			fmt.Fprintf(&b, " USING %s", op.Using)
+		}
+		fmt.Fprintf(&b, " FOR %s INTO %s AND %s", ExprString(op.Time), op.Eff, op.Waste)
+		if op.Yield != nil {
+			fmt.Fprintf(&b, " YIELD %s", ExprString(op.Yield))
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("-- unknown op %T", op)
+	}
+}

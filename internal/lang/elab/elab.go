@@ -1,0 +1,701 @@
+package elab
+
+import (
+	"fmt"
+	"strings"
+
+	"aquavol/internal/dag"
+	"aquavol/internal/lang/ast"
+	"aquavol/internal/lang/sema"
+	"aquavol/internal/lang/token"
+)
+
+// Program is a fully elaborated assay.
+type Program struct {
+	Name string
+	// Graph is the volume-management DAG (both branches of run-time
+	// conditionals included, loops unrolled).
+	Graph *dag.Graph
+	// Ops is the straight-line (guarded) operation list in program order.
+	Ops []Op
+	// Slots names every dry slot; SlotIndex inverts it.
+	Slots     []string
+	SlotIndex map[string]int
+	// Init holds compile-time-known initial dry values, applied to the
+	// runtime environment before execution.
+	Init map[int]float64
+	// Inputs maps assay input fluid names (fluids read before any
+	// assignment) to their Input node ids.
+	Inputs map[string]int
+	// AuxInputs lists auxiliary separator fluids (matrix/pusher), which
+	// occupy reservoirs but are not volume-managed.
+	AuxInputs []string
+}
+
+// Error is one elaboration diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// fluidVal is a bound fluid: a DAG node and the producer port to draw
+// from.
+type fluidVal struct {
+	node *dag.Node
+	port string
+}
+
+type elaborator struct {
+	info *sema.Info
+	prog *Program
+	g    *dag.Graph
+
+	// Compile-time dry environment; known=false means run-time-only.
+	dry *DryEnv
+	// slotBase maps a symbol to its first slot.
+	slotBase map[string]int
+	// fluids maps flattened fluid slot names to bindings.
+	fluids map[string]*fluidVal
+	// poisoned marks fluid slots assigned under a run-time guard and
+	// therefore unusable after the conditional (no fluid φ-nodes).
+	poisoned map[string]token.Pos
+	// it is the previous operation's result.
+	it *fluidVal
+	// guards is the active run-time guard stack.
+	guards []Guard
+	// aux records auxiliary fluids already registered.
+	aux map[string]bool
+}
+
+// Elaborate lowers a checked assay.
+func Elaborate(info *sema.Info) (*Program, error) {
+	e := &elaborator{
+		info: info,
+		g:    dag.New(),
+		prog: &Program{
+			Name:      info.Program.Name,
+			SlotIndex: map[string]int{},
+			Init:      map[int]float64{},
+			Inputs:    map[string]int{},
+		},
+		slotBase: map[string]int{},
+		fluids:   map[string]*fluidVal{},
+		poisoned: map[string]token.Pos{},
+		aux:      map[string]bool{},
+	}
+	e.prog.Graph = e.g
+
+	// Allocate dry slots for every VAR symbol (and loop variables).
+	for _, sym := range sortedSymbols(info) {
+		if sym.Kind != sema.SymVar {
+			continue
+		}
+		e.slotBase[sym.Name] = len(e.prog.Slots)
+		if len(sym.Dims) == 0 {
+			e.prog.SlotIndex[sym.Name] = len(e.prog.Slots)
+			e.prog.Slots = append(e.prog.Slots, sym.Name)
+			continue
+		}
+		total := sym.Size()
+		for i := 0; i < total; i++ {
+			name := fmt.Sprintf("%s%s", sym.Name, indexSuffix(sym.Dims, i))
+			e.prog.SlotIndex[name] = len(e.prog.Slots)
+			e.prog.Slots = append(e.prog.Slots, name)
+		}
+	}
+	e.dry = NewDryEnv(len(e.prog.Slots))
+
+	if err := e.stmts(info.Program.Body); err != nil {
+		return nil, err
+	}
+	// Record compile-time-known dry values for the runtime.
+	for i, known := range e.dry.Known {
+		if known {
+			e.prog.Init[i] = e.dry.Values[i]
+		}
+	}
+	if err := e.g.Validate(); err != nil {
+		return nil, fmt.Errorf("elab: produced invalid DAG: %w", err)
+	}
+	return e.prog, nil
+}
+
+func sortedSymbols(info *sema.Info) []*sema.Symbol {
+	// Deterministic order: by declaration position, then name.
+	var out []*sema.Symbol
+	for _, s := range info.Symbols {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b *sema.Symbol) bool {
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Col != b.Pos.Col {
+		return a.Pos.Col < b.Pos.Col
+	}
+	return a.Name < b.Name
+}
+
+func indexSuffix(dims []int, flat int) string {
+	idx := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i] = flat % dims[i]
+		flat /= dims[i]
+	}
+	var b strings.Builder
+	for _, ix := range idx {
+		fmt.Fprintf(&b, "[%d]", ix+1) // 1-based, as in source
+	}
+	return b.String()
+}
+
+func (e *elaborator) errf(pos token.Pos, format string, args ...any) error {
+	return Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *elaborator) underGuard() bool { return len(e.guards) > 0 }
+
+func (e *elaborator) stmts(list []ast.Stmt) error {
+	for _, s := range list {
+		if err := e.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *elaborator) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Op != nil {
+			return e.fluidAssign(s)
+		}
+		return e.dryAssign(s)
+	case *ast.SenseStmt:
+		return e.sense(s)
+	case *ast.OutputStmt:
+		return e.output(s)
+	case *ast.ForStmt:
+		return e.forLoop(s)
+	case *ast.WhileStmt:
+		return e.whileLoop(s)
+	case *ast.IfStmt:
+		return e.ifStmt(s)
+	default:
+		return e.errf(s.Position(), "elab: unsupported statement %T", s)
+	}
+}
+
+// lowerExpr converts a dry expression to IR and, when possible, a constant
+// value.
+func (e *elaborator) lowerExpr(x ast.Expr) (ExprIR, error) {
+	switch x := x.(type) {
+	case *ast.NumberLit:
+		return ConstIR(x.Value), nil
+	case *ast.UnaryExpr:
+		inner, err := e.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return BinIR{Op: token.MINUS, L: ConstIR(0), R: inner}, nil
+	case *ast.BinaryExpr:
+		l, err := e.lowerExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.lowerExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return BinIR{Op: x.Op, L: l, R: r}, nil
+	case *ast.LValue:
+		slot, err := e.drySlot(x)
+		if err != nil {
+			return nil, err
+		}
+		return SlotIR(slot), nil
+	default:
+		return nil, e.errf(x.Position(), "elab: unsupported expression %T", x)
+	}
+}
+
+// constExpr evaluates a dry expression that must be compile-time known
+// (ratios, loop bounds, indices, times).
+func (e *elaborator) constExpr(x ast.Expr, what string) (float64, error) {
+	ir, err := e.lowerExpr(x)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := ir.Eval(e.dry)
+	if !ok {
+		return 0, e.errf(x.Position(), "elab: %s must be compile-time known", what)
+	}
+	return v, nil
+}
+
+// drySlot resolves a dry lvalue to its flattened slot.
+func (e *elaborator) drySlot(lv *ast.LValue) (int, error) {
+	sym := e.info.Symbols[lv.Name]
+	base := e.slotBase[lv.Name]
+	if len(sym.Dims) == 0 {
+		return base, nil
+	}
+	flat := 0
+	for d, ixExpr := range lv.Indices {
+		v, err := e.constExpr(ixExpr, "array index")
+		if err != nil {
+			return 0, err
+		}
+		ix := int(v)
+		if float64(ix) != v || ix < 1 || ix > sym.Dims[d] {
+			return 0, e.errf(lv.Pos, "elab: index %v out of range [1,%d] for %s", v, sym.Dims[d], lv.Name)
+		}
+		flat = flat*sym.Dims[d] + (ix - 1)
+	}
+	return base + flat, nil
+}
+
+// fluidSlotName flattens a fluid lvalue to its slot name, evaluating
+// indices.
+func (e *elaborator) fluidSlotName(lv *ast.LValue) (string, error) {
+	sym := e.info.Symbols[lv.Name]
+	if len(sym.Dims) == 0 {
+		return lv.Name, nil
+	}
+	var b strings.Builder
+	b.WriteString(lv.Name)
+	for d, ixExpr := range lv.Indices {
+		v, err := e.constExpr(ixExpr, "fluid index")
+		if err != nil {
+			return "", err
+		}
+		ix := int(v)
+		if float64(ix) != v || ix < 1 || ix > sym.Dims[d] {
+			return "", e.errf(lv.Pos, "elab: index %v out of range [1,%d] for %s", v, sym.Dims[d], lv.Name)
+		}
+		fmt.Fprintf(&b, "[%d]", ix)
+	}
+	return b.String(), nil
+}
+
+// readFluid resolves a fluid operand, creating an Input node on first
+// unbound use.
+func (e *elaborator) readFluid(r *ast.FluidRef) (*fluidVal, error) {
+	if r.It {
+		if e.it == nil {
+			return nil, e.errf(r.Pos, "elab: `it` used before any fluid operation")
+		}
+		return e.it, nil
+	}
+	name, err := e.fluidSlotName(r.Ref)
+	if err != nil {
+		return nil, err
+	}
+	if pos, bad := e.poisoned[name]; bad {
+		return nil, e.errf(r.Pos,
+			"elab: fluid %s was assigned under a run-time condition (at %s) and cannot be used afterwards", name, pos)
+	}
+	if fv, ok := e.fluids[name]; ok {
+		return fv, nil
+	}
+	n := e.g.AddInput(name)
+	n.NoExcess = e.info.Symbols[r.Ref.Name].NoExcess
+	fv := &fluidVal{node: n}
+	e.fluids[name] = fv
+	e.prog.Inputs[name] = n.ID()
+	return fv, nil
+}
+
+// bindFluid assigns a fluid slot, handling run-time-guard poisoning.
+func (e *elaborator) bindFluid(lv *ast.LValue, fv *fluidVal) error {
+	name, err := e.fluidSlotName(lv)
+	if err != nil {
+		return err
+	}
+	if e.underGuard() {
+		e.poisoned[name] = lv.Pos
+	} else {
+		delete(e.poisoned, name)
+	}
+	e.fluids[name] = fv
+	return nil
+}
+
+func (e *elaborator) emit(op Op) {
+	op.Guards = append([]Guard(nil), e.guards...)
+	if op.Node >= 0 {
+		// Link the DAG node back to its op so code generation can recover
+		// operation metadata after DAG transforms (which copy Ref).
+		e.g.Node(op.Node).Ref = len(e.prog.Ops)
+	}
+	e.prog.Ops = append(e.prog.Ops, op)
+}
+
+func (e *elaborator) fluidAssign(s *ast.AssignStmt) error {
+	fv, err := e.fluidOp(s.Op, s.LHS)
+	if err != nil {
+		return err
+	}
+	if s.LHS != nil {
+		if err := e.bindFluid(s.LHS, fv); err != nil {
+			return err
+		}
+	}
+	// `it` refers to this op for subsequent statements; ifStmt/whileLoop
+	// clear it when a guarded region closes, since the op may not have
+	// executed.
+	e.it = fv
+	return nil
+}
+
+func (e *elaborator) fluidOp(op ast.FluidOp, lhs *ast.LValue) (*fluidVal, error) {
+	label := ""
+	if lhs != nil {
+		var err error
+		label, err = e.fluidSlotName(lhs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch op := op.(type) {
+	case *ast.MixOp:
+		return e.mix(op, label)
+	case *ast.IncubateOp:
+		return e.unary(dag.Incubate, OpIncubate, op.Arg, op.Temp, op.Time, label, op.Pos)
+	case *ast.ConcentrateOp:
+		return e.concentrate(op, label)
+	case *ast.SeparateOp:
+		return e.separate(op, label)
+	default:
+		return nil, e.errf(op.Position(), "elab: unsupported fluid op %T", op)
+	}
+}
+
+func (e *elaborator) mix(op *ast.MixOp, label string) (*fluidVal, error) {
+	timeSec, err := e.constExpr(op.Time, "mix time")
+	if err != nil {
+		return nil, err
+	}
+	ratios := make([]float64, len(op.Args))
+	if op.Ratios == nil {
+		for i := range ratios {
+			ratios[i] = 1
+		}
+	} else {
+		for i, rx := range op.Ratios {
+			v, err := e.constExpr(rx, "mix ratio")
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 {
+				return nil, e.errf(rx.Position(), "elab: mix ratio must be positive, got %v", v)
+			}
+			ratios[i] = v
+		}
+	}
+	if label == "" {
+		label = fmt.Sprintf("mix@%s", op.Pos)
+	}
+	node := e.g.AddNode(dag.Mix, label)
+	total := 0.0
+	for _, r := range ratios {
+		total += r
+	}
+	var args []int
+	var ports []string
+	fracs := make([]float64, len(op.Args))
+	for i, a := range op.Args {
+		fv, err := e.readFluid(a)
+		if err != nil {
+			return nil, err
+		}
+		e.g.AddPortEdge(fv.node, node, ratios[i]/total, fv.port)
+		args = append(args, fv.node.ID())
+		ports = append(ports, fv.port)
+		fracs[i] = ratios[i] / total
+	}
+	e.emit(Op{
+		Kind: OpMix, Node: node.ID(), Args: args, ArgPorts: ports,
+		Ratios: fracs, TimeSec: timeSec, ResultSlot: -1, Label: label, Pos: op.Pos,
+	})
+	return &fluidVal{node: node}, nil
+}
+
+func (e *elaborator) unary(kind dag.Kind, ok OpKind, arg *ast.FluidRef, temp, tm ast.Expr, label string, pos token.Pos) (*fluidVal, error) {
+	tempC, err := e.constExpr(temp, "temperature")
+	if err != nil {
+		return nil, err
+	}
+	timeSec, err := e.constExpr(tm, "time")
+	if err != nil {
+		return nil, err
+	}
+	fv, err := e.readFluid(arg)
+	if err != nil {
+		return nil, err
+	}
+	if label == "" {
+		label = fmt.Sprintf("%s@%s", ok, pos)
+	}
+	node := e.g.AddNode(kind, label)
+	e.g.AddPortEdge(fv.node, node, 1, fv.port)
+	e.emit(Op{
+		Kind: ok, Node: node.ID(), Args: []int{fv.node.ID()}, ArgPorts: []string{fv.port},
+		TimeSec: timeSec, TempC: tempC, ResultSlot: -1, Label: label, Pos: pos,
+	})
+	return &fluidVal{node: node}, nil
+}
+
+func (e *elaborator) concentrate(op *ast.ConcentrateOp, label string) (*fluidVal, error) {
+	fv, err := e.unary(dag.Concentrate, OpConcentrate, op.Arg, op.Temp, op.Time, label, op.Pos)
+	if err != nil {
+		return nil, err
+	}
+	// Concentration reduces volume by an amount only the run-time can
+	// measure; without a YIELD-style hint the node is unknown-volume.
+	fv.node.Unknown = true
+	return fv, nil
+}
+
+func (e *elaborator) separate(op *ast.SeparateOp, label string) (*fluidVal, error) {
+	timeSec, err := e.constExpr(op.Time, "separation time")
+	if err != nil {
+		return nil, err
+	}
+	fv, err := e.readFluid(op.Arg)
+	if err != nil {
+		return nil, err
+	}
+	if label == "" {
+		label = fmt.Sprintf("sep@%s", op.Pos)
+	}
+	node := e.g.AddNode(dag.Separate, label)
+	e.g.AddPortEdge(fv.node, node, 1, fv.port)
+
+	o := Op{
+		Kind: OpSeparate, Node: node.ID(), Args: []int{fv.node.ID()},
+		ArgPorts: []string{fv.port}, TimeSec: timeSec, Sep: op.Kind,
+		ResultSlot: -1, Label: label, Pos: op.Pos,
+	}
+	if op.Matrix != nil {
+		o.Matrix = op.Matrix.Name
+		e.registerAux(op.Matrix.Name)
+	}
+	if op.Using != nil {
+		o.Pusher = op.Using.Name
+		e.registerAux(op.Using.Name)
+	}
+	if op.Yield != nil {
+		y, err := e.constExpr(op.Yield, "separation yield")
+		if err != nil {
+			return nil, err
+		}
+		if y <= 0 || y >= 100 {
+			return nil, e.errf(op.Yield.Position(), "elab: yield must be in (0,100) percent, got %v", y)
+		}
+		node.OutFrac = y / 100
+		o.Yield = y / 100
+	} else {
+		node.Unknown = true
+	}
+	e.emit(o)
+
+	if err := e.bindFluid(op.Eff, &fluidVal{node: node, port: dag.PortEffluent}); err != nil {
+		return nil, err
+	}
+	if err := e.bindFluid(op.Waste, &fluidVal{node: node, port: dag.PortWaste}); err != nil {
+		return nil, err
+	}
+	return &fluidVal{node: node, port: dag.PortEffluent}, nil
+}
+
+func (e *elaborator) registerAux(name string) {
+	if !e.aux[name] {
+		e.aux[name] = true
+		e.prog.AuxInputs = append(e.prog.AuxInputs, name)
+	}
+}
+
+func (e *elaborator) sense(s *ast.SenseStmt) error {
+	fv, err := e.readFluid(s.Arg)
+	if err != nil {
+		return err
+	}
+	slot, err := e.drySlot(s.Into)
+	if err != nil {
+		return err
+	}
+	label := fmt.Sprintf("sense(%s)", e.prog.Slots[slot])
+	node := e.g.AddNode(dag.Sense, label)
+	e.g.AddPortEdge(fv.node, node, 1, fv.port)
+	e.emit(Op{
+		Kind: OpSense, Node: node.ID(), Args: []int{fv.node.ID()},
+		ArgPorts: []string{fv.port}, SenseMode: s.Mode, ResultSlot: slot,
+		Label: label, Pos: s.Pos,
+	})
+	// The sensed value exists only at run time.
+	e.dry.Known[slot] = false
+	return nil
+}
+
+func (e *elaborator) output(s *ast.OutputStmt) error {
+	fv, err := e.readFluid(s.Arg)
+	if err != nil {
+		return err
+	}
+	label := fmt.Sprintf("output(%s)", s.Arg)
+	node := e.g.AddNode(dag.Output, label)
+	e.g.AddPortEdge(fv.node, node, 1, fv.port)
+	e.emit(Op{
+		Kind: OpOutput, Node: node.ID(), Args: []int{fv.node.ID()},
+		ArgPorts: []string{fv.port}, ResultSlot: -1, Label: label, Pos: s.Pos,
+	})
+	return nil
+}
+
+func (e *elaborator) dryAssign(s *ast.AssignStmt) error {
+	slot, err := e.drySlot(s.LHS)
+	if err != nil {
+		return err
+	}
+	ir, err := e.lowerExpr(s.Expr)
+	if err != nil {
+		return err
+	}
+	if v, ok := ir.Eval(e.dry); ok && !e.underGuard() {
+		// Compile-time fold.
+		e.dry.Set(slot, v)
+		return nil
+	}
+	// Run-time computation (sensed-dependent or conditionally executed).
+	e.emit(Op{Kind: OpDry, Node: -1, ResultSlot: slot, DryExpr: ir, Pos: s.Pos,
+		Label: e.prog.Slots[slot]})
+	e.dry.Known[slot] = false
+	return nil
+}
+
+func (e *elaborator) forLoop(s *ast.ForStmt) error {
+	from, err := e.constExpr(s.From, "loop lower bound")
+	if err != nil {
+		return err
+	}
+	to, err := e.constExpr(s.To, "loop upper bound")
+	if err != nil {
+		return err
+	}
+	lo, hi := int(from), int(to)
+	if float64(lo) != from || float64(hi) != to {
+		return e.errf(s.Pos, "elab: loop bounds must be integers, got %v..%v", from, to)
+	}
+	slot := e.slotBase[s.Var]
+	for i := lo; i <= hi; i++ {
+		e.dry.Set(slot, float64(i))
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *elaborator) whileLoop(s *ast.WhileStmt) error {
+	maxIter, err := e.constExpr(s.MaxIter, "MAXITER bound")
+	if err != nil {
+		return err
+	}
+	n := int(maxIter)
+	if float64(n) != maxIter || n < 1 {
+		return e.errf(s.Pos, "elab: MAXITER must be a positive integer, got %v", maxIter)
+	}
+	condIR, err := e.lowerExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if _, known := condIR.Eval(e.dry); known && !e.underGuard() {
+		// Compile-time loop: iterate directly, re-evaluating the
+		// condition, up to the bound.
+		for i := 0; i < n; i++ {
+			v, ok := condIR.Eval(e.dry)
+			if !ok {
+				// The body made the condition run-time (e.g. sensed); fall
+				// through to guarded unrolling for the remaining
+				// iterations.
+				return e.guardedWhile(s, condIR, n-i)
+			}
+			if v == 0 {
+				return nil
+			}
+			if err := e.stmts(s.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.guardedWhile(s, condIR, n)
+}
+
+// guardedWhile unrolls a run-time while loop to n guarded iterations. Each
+// iteration i is latched on `latch_{i-1} * cond`, so once the condition
+// fails no later iteration can run.
+func (e *elaborator) guardedWhile(s *ast.WhileStmt, condIR ExprIR, n int) error {
+	prevLatch := ExprIR(ConstIR(1))
+	for i := 0; i < n; i++ {
+		latchSlot := len(e.prog.Slots)
+		name := fmt.Sprintf("%%latch@%s#%d", s.Pos, i)
+		e.prog.Slots = append(e.prog.Slots, name)
+		e.prog.SlotIndex[name] = latchSlot
+		e.dry.Values = append(e.dry.Values, 0)
+		e.dry.Known = append(e.dry.Known, false)
+		e.emit(Op{Kind: OpDry, Node: -1, ResultSlot: latchSlot,
+			DryExpr: BinIR{Op: token.STAR, L: prevLatch, R: condIR},
+			Pos:     s.Pos, Label: name})
+		e.guards = append(e.guards, Guard{Cond: SlotIR(latchSlot)})
+		err := e.stmts(s.Body)
+		e.guards = e.guards[:len(e.guards)-1]
+		if err != nil {
+			return err
+		}
+		prevLatch = SlotIR(latchSlot)
+	}
+	e.it = nil
+	return nil
+}
+
+func (e *elaborator) ifStmt(s *ast.IfStmt) error {
+	condIR, err := e.lowerExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if v, ok := condIR.Eval(e.dry); ok && !e.underGuard() {
+		if v != 0 {
+			return e.stmts(s.Then)
+		}
+		return e.stmts(s.Else)
+	}
+	// Run-time condition: both branches planned, ops guarded (§3.5).
+	e.guards = append(e.guards, Guard{Cond: condIR})
+	err = e.stmts(s.Then)
+	e.guards = e.guards[:len(e.guards)-1]
+	if err != nil {
+		return err
+	}
+	if len(s.Else) > 0 {
+		e.guards = append(e.guards, Guard{Cond: condIR, Negate: true})
+		err = e.stmts(s.Else)
+		e.guards = e.guards[:len(e.guards)-1]
+		if err != nil {
+			return err
+		}
+	}
+	e.it = nil
+	return nil
+}

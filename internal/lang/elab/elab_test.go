@@ -1,0 +1,395 @@
+package elab_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aquavol/internal/dag"
+	"aquavol/internal/lang"
+	"aquavol/internal/lang/elab"
+)
+
+func compile(t *testing.T, src string) *elab.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func wantCompileErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := lang.Compile(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestElabSimpleMix(t *testing.T) {
+	p := compile(t, `ASSAY m START
+fluid a, b, c;
+VAR r;
+c = MIX a AND b IN RATIOS 1:4 FOR 10;
+SENSE OPTICAL c INTO r;
+END`)
+	_ = p
+	if len(p.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(p.Ops))
+	}
+	mix := p.Ops[0]
+	if mix.Kind != elab.OpMix || mix.TimeSec != 10 {
+		t.Fatalf("mix op wrong: %+v", mix)
+	}
+	if math.Abs(mix.Ratios[0]-0.2) > 1e-9 || math.Abs(mix.Ratios[1]-0.8) > 1e-9 {
+		t.Fatalf("fractions = %v, want [0.2 0.8]", mix.Ratios)
+	}
+	if len(p.Inputs) != 2 {
+		t.Fatalf("inputs = %v, want a and b", p.Inputs)
+	}
+	if p.Graph.NumNodes() != 4 || p.Graph.NumEdges() != 3 {
+		t.Fatalf("graph = %d nodes %d edges, want 4/3", p.Graph.NumNodes(), p.Graph.NumEdges())
+	}
+}
+
+// Sense INTO an undeclared scalar: sema auto-declares loop vars only, so
+// this must fail.
+func TestElabSenseUndeclared(t *testing.T) {
+	wantCompileErr(t, `ASSAY m START
+fluid a, b;
+MIX a AND b FOR 10;
+SENSE OPTICAL it INTO nothere;
+END`, "undeclared")
+}
+
+func TestElabItChaining(t *testing.T) {
+	p := compile(t, `ASSAY chain START
+fluid a, b, c;
+MIX a AND b FOR 10;
+MIX it AND c FOR 5;
+INCUBATE it AT 37 FOR 30;
+END`)
+	if len(p.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(p.Ops))
+	}
+	// Second mix consumes the first mix's node.
+	if p.Ops[1].Args[0] != p.Ops[0].Node {
+		t.Fatal("`it` did not chain to previous op")
+	}
+	if p.Ops[2].Kind != elab.OpIncubate || p.Ops[2].TempC != 37 {
+		t.Fatalf("incubate wrong: %+v", p.Ops[2])
+	}
+}
+
+func TestElabItBeforeAnyOp(t *testing.T) {
+	wantCompileErr(t, `ASSAY bad START
+fluid a;
+MIX it AND a FOR 10;
+END`, "`it` used before")
+}
+
+func TestElabLoopUnrollingWithDryArithmetic(t *testing.T) {
+	// The enzyme idiom: ratios computed by dry code across iterations.
+	p := compile(t, `ASSAY dil START
+fluid reagent, diluent, D[3];
+VAR i, temp, d;
+d = 1;
+temp = 1;
+FOR i FROM 1 TO 3 START
+  D[i] = MIX reagent AND diluent IN RATIOS 1:d FOR 30;
+  temp = temp * 10;
+  d = temp - 1;
+ENDFOR
+END`)
+	if len(p.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3 (unrolled)", len(p.Ops))
+	}
+	wantMinor := []float64{1.0 / 2, 1.0 / 10, 1.0 / 100}
+	for i, op := range p.Ops {
+		if math.Abs(op.Ratios[0]-wantMinor[i]) > 1e-9 {
+			t.Fatalf("iteration %d minor fraction = %v, want %v", i, op.Ratios[0], wantMinor[i])
+		}
+	}
+}
+
+func TestElabNestedLoops(t *testing.T) {
+	p := compile(t, `ASSAY nest START
+fluid F[2], G[2];
+VAR i, j, R[2][2];
+FOR i FROM 1 TO 2 START
+  FOR j FROM 1 TO 2 START
+    MIX F[i] AND G[j] FOR 10;
+    SENSE OPTICAL it INTO R[i][j];
+  ENDFOR
+ENDFOR
+END`)
+	mixes := 0
+	senses := 0
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case elab.OpMix:
+			mixes++
+		case elab.OpSense:
+			senses++
+		}
+	}
+	if mixes != 4 || senses != 4 {
+		t.Fatalf("mixes=%d senses=%d, want 4/4", mixes, senses)
+	}
+	// Four distinct result slots.
+	slots := map[int]bool{}
+	for _, op := range p.Ops {
+		if op.Kind == elab.OpSense {
+			slots[op.ResultSlot] = true
+		}
+	}
+	if len(slots) != 4 {
+		t.Fatalf("distinct sense slots = %d, want 4", len(slots))
+	}
+}
+
+func TestElabStaticIfFolds(t *testing.T) {
+	p := compile(t, `ASSAY sif START
+fluid a, b;
+VAR x;
+x = 2;
+IF x < 3 START
+  MIX a AND b FOR 10;
+ELSE
+  MIX a AND b FOR 99;
+ENDIF
+END`)
+	if len(p.Ops) != 1 || p.Ops[0].TimeSec != 10 {
+		t.Fatalf("static if should fold to then-branch: %+v", p.Ops)
+	}
+	if len(p.Ops[0].Guards) != 0 {
+		t.Fatal("folded branch must be unguarded")
+	}
+}
+
+func TestElabRuntimeIfBothBranchesPlanned(t *testing.T) {
+	p := compile(t, `ASSAY rif START
+fluid a, b;
+VAR x;
+MIX a AND b FOR 1;
+SENSE OPTICAL it INTO x;
+IF x < 3 START
+  MIX a AND b FOR 10;
+ELSE
+  MIX a AND b FOR 99;
+ENDIF
+END`)
+	var guarded []elab.Op
+	for _, op := range p.Ops {
+		if len(op.Guards) > 0 {
+			guarded = append(guarded, op)
+		}
+	}
+	if len(guarded) != 2 {
+		t.Fatalf("guarded ops = %d, want 2 (both branches)", len(guarded))
+	}
+	if !guarded[1].Guards[0].Negate {
+		t.Fatal("else branch must carry a negated guard")
+	}
+	// Both branches appear in the DAG (conservative planning, §3.5).
+	mixNodes := 0
+	for _, n := range p.Graph.Nodes() {
+		if n.Kind == dag.Mix {
+			mixNodes++
+		}
+	}
+	if mixNodes != 3 {
+		t.Fatalf("DAG mix nodes = %d, want 3 (setup + both branches)", mixNodes)
+	}
+	// Guard evaluation: x = 2 → then-branch runs, else doesn't.
+	env := elab.NewDryEnv(len(p.Slots))
+	for slot, v := range p.Init {
+		env.Set(slot, v)
+	}
+	env.Set(p.SlotIndex["x"], 2)
+	run0, err := guarded[0].Runs(env)
+	if err != nil || !run0 {
+		t.Fatalf("then-branch should run: %v %v", run0, err)
+	}
+	run1, err := guarded[1].Runs(env)
+	if err != nil || run1 {
+		t.Fatalf("else-branch should not run: %v %v", run1, err)
+	}
+}
+
+func TestElabFluidPoisonedAfterRuntimeIf(t *testing.T) {
+	wantCompileErr(t, `ASSAY poison START
+fluid a, b, c;
+VAR x;
+MIX a AND b FOR 1;
+SENSE OPTICAL it INTO x;
+IF x < 3 START
+  c = MIX a AND b FOR 10;
+ENDIF
+MIX c AND a FOR 5;
+END`, "run-time condition")
+}
+
+func TestElabWhileStaticallyBounded(t *testing.T) {
+	p := compile(t, `ASSAY w START
+fluid a, b;
+VAR n;
+n = 3;
+WHILE n > 0 MAXITER 10 START
+  MIX a AND b FOR 10;
+  n = n - 1;
+ENDWHILE
+END`)
+	if len(p.Ops) != 3 {
+		t.Fatalf("static while should run exactly 3 iterations, got %d ops", len(p.Ops))
+	}
+}
+
+func TestElabWhileRuntimeGuarded(t *testing.T) {
+	p := compile(t, `ASSAY w START
+fluid a, b;
+VAR n;
+MIX a AND b FOR 1;
+SENSE OPTICAL it INTO n;
+WHILE n > 0 MAXITER 3 START
+  MIX a AND b FOR 10;
+ENDWHILE
+END`)
+	guarded := 0
+	dryOps := 0
+	for _, op := range p.Ops {
+		if op.Kind == elab.OpDry {
+			dryOps++
+		}
+		if op.Kind == elab.OpMix && len(op.Guards) > 0 {
+			guarded++
+		}
+	}
+	if guarded != 3 {
+		t.Fatalf("guarded mixes = %d, want 3 (MAXITER)", guarded)
+	}
+	if dryOps != 3 {
+		t.Fatalf("latch dry ops = %d, want 3", dryOps)
+	}
+}
+
+func TestElabSeparateBindsPorts(t *testing.T) {
+	p := compile(t, `ASSAY sep START
+fluid a, m, u, e, w, out;
+SEPARATE a MATRIX m USING u FOR 30 INTO e AND w;
+out = MIX e AND a FOR 10;
+END`)
+	sepOp := p.Ops[0]
+	if sepOp.Kind != elab.OpSeparate || sepOp.Matrix != "m" || sepOp.Pusher != "u" {
+		t.Fatalf("separate op wrong: %+v", sepOp)
+	}
+	sepNode := p.Graph.Node(sepOp.Node)
+	if !sepNode.Unknown {
+		t.Fatal("separate without YIELD must be unknown-volume")
+	}
+	// The mix consumes the effluent port.
+	mixOp := p.Ops[1]
+	if mixOp.ArgPorts[0] != dag.PortEffluent {
+		t.Fatalf("mix should draw from effluent port, got %q", mixOp.ArgPorts[0])
+	}
+	// Matrix/pusher are auxiliary, not DAG inputs.
+	if _, ok := p.Inputs["m"]; ok {
+		t.Fatal("matrix fluid must not be a volume-managed input")
+	}
+	if len(p.AuxInputs) != 2 {
+		t.Fatalf("aux inputs = %v, want [m u]", p.AuxInputs)
+	}
+}
+
+func TestElabSeparateYieldHint(t *testing.T) {
+	p := compile(t, `ASSAY sep START
+fluid a, e, w, out;
+LCSEPARATE a FOR 30 INTO e AND w YIELD 40;
+out = MIX e AND a FOR 10;
+END`)
+	sepNode := p.Graph.Node(p.Ops[0].Node)
+	if sepNode.Unknown {
+		t.Fatal("YIELD hint should make the separation statically known")
+	}
+	if math.Abs(sepNode.OutFrac-0.4) > 1e-9 {
+		t.Fatalf("OutFrac = %v, want 0.4", sepNode.OutFrac)
+	}
+}
+
+func TestElabConcentrateUnknown(t *testing.T) {
+	p := compile(t, `ASSAY c START
+fluid a, out;
+CONCENTRATE a AT 60 FOR 100;
+out = MIX it AND a FOR 10;
+END`)
+	if !p.Graph.Node(p.Ops[0].Node).Unknown {
+		t.Fatal("concentrate without hint must be unknown-volume")
+	}
+}
+
+func TestElabIndexOutOfRange(t *testing.T) {
+	wantCompileErr(t, `ASSAY oob START
+fluid F[3], a;
+MIX F[4] AND a FOR 10;
+END`, "out of range")
+}
+
+func TestElabRatioMustBeKnown(t *testing.T) {
+	wantCompileErr(t, `ASSAY rk START
+fluid a, b;
+VAR x;
+MIX a AND b FOR 1;
+SENSE OPTICAL it INTO x;
+MIX a AND b IN RATIOS 1:x FOR 10;
+END`, "compile-time known")
+}
+
+func TestElabLoopBoundsMustBeIntegers(t *testing.T) {
+	wantCompileErr(t, `ASSAY lb START
+fluid a, b;
+FOR i FROM 1 TO 2.5 START
+  MIX a AND b FOR 10;
+ENDFOR
+END`, "integers")
+}
+
+func TestElabOutputStmt(t *testing.T) {
+	p := compile(t, `ASSAY o START
+fluid a, b;
+MIX a AND b FOR 10;
+OUTPUT it;
+END`)
+	last := p.Ops[len(p.Ops)-1]
+	if last.Kind != elab.OpOutput {
+		t.Fatalf("last op = %v, want output", last.Kind)
+	}
+	if p.Graph.Node(last.Node).Kind != dag.Output {
+		t.Fatal("output node kind wrong")
+	}
+}
+
+func TestElabNoExcessPropagates(t *testing.T) {
+	p := compile(t, `ASSAY ne START
+NOEXCESS fluid precious;
+fluid other;
+MIX precious AND other FOR 5;
+END`)
+	n := p.Graph.Node(p.Inputs["precious"])
+	if !n.NoExcess {
+		t.Fatal("NoExcess not propagated to input node")
+	}
+}
+
+func TestElabDryDivisionByZero(t *testing.T) {
+	wantCompileErr(t, `ASSAY dz START
+fluid a, b;
+VAR x, y;
+x = 0;
+y = 1 / x;
+MIX a AND b IN RATIOS 1:y FOR 10;
+END`, "compile-time known")
+}

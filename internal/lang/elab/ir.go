@@ -1,0 +1,220 @@
+// Package elab elaborates a checked assay AST into (a) a straight-line
+// operation list for code generation and simulation and (b) the assay DAG
+// for volume management.
+//
+// Elaboration fully unrolls counted loops (§3.5), interpreting the dry
+// (scalar) arithmetic that drives ratio computations (the enzyme assay's
+// `temp = temp * 10; diluent = temp - 1` idiom). Conditionals with
+// compile-time-constant conditions are folded; run-time conditions (those
+// depending on sensed values) contribute BOTH branches to the DAG — the
+// paper's conservative treatment — and compile to guarded operations that
+// the runtime evaluates. WHILE loops carry the programmer's MAXITER bound
+// and unroll to guarded iterations latched on the loop condition.
+package elab
+
+import (
+	"fmt"
+
+	"aquavol/internal/lang/ast"
+	"aquavol/internal/lang/token"
+)
+
+// ExprIR is a dry expression lowered onto runtime slots. Comparison
+// operators evaluate to 1 or 0.
+type ExprIR interface {
+	// Eval computes the expression over the runtime dry environment.
+	// ok is false if any referenced slot is unset.
+	Eval(env *DryEnv) (v float64, ok bool)
+}
+
+// ConstIR is a constant.
+type ConstIR float64
+
+// Eval implements ExprIR.
+func (c ConstIR) Eval(*DryEnv) (float64, bool) { return float64(c), true }
+
+// SlotIR reads a dry slot.
+type SlotIR int
+
+// Eval implements ExprIR.
+func (s SlotIR) Eval(env *DryEnv) (float64, bool) {
+	if !env.Known[s] {
+		return 0, false
+	}
+	return env.Values[s], true
+}
+
+// BinIR applies an arithmetic or comparison operator.
+type BinIR struct {
+	Op   token.Kind
+	L, R ExprIR
+}
+
+// Eval implements ExprIR.
+func (b BinIR) Eval(env *DryEnv) (float64, bool) {
+	l, ok := b.L.Eval(env)
+	if !ok {
+		return 0, false
+	}
+	r, ok := b.R.Eval(env)
+	if !ok {
+		return 0, false
+	}
+	return applyOp(b.Op, l, r)
+}
+
+func applyOp(op token.Kind, l, r float64) (float64, bool) {
+	switch op {
+	case token.PLUS:
+		return l + r, true
+	case token.MINUS:
+		return l - r, true
+	case token.STAR:
+		return l * r, true
+	case token.SLASH:
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case token.PERCENT:
+		if r == 0 {
+			return 0, false
+		}
+		return float64(int64(l) % int64(r)), true
+	case token.LT:
+		return b2f(l < r), true
+	case token.GT:
+		return b2f(l > r), true
+	case token.LE:
+		return b2f(l <= r), true
+	case token.GE:
+		return b2f(l >= r), true
+	case token.EQ:
+		return b2f(l == r), true
+	case token.NE:
+		return b2f(l != r), true
+	default:
+		return 0, false
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DryEnv is the runtime dry-variable store: one slot per declared scalar
+// or array element, plus synthesized loop latches.
+type DryEnv struct {
+	Values []float64
+	Known  []bool
+}
+
+// NewDryEnv creates an environment of n unset slots.
+func NewDryEnv(n int) *DryEnv {
+	return &DryEnv{Values: make([]float64, n), Known: make([]bool, n)}
+}
+
+// Set stores a value.
+func (e *DryEnv) Set(slot int, v float64) {
+	e.Values[slot] = v
+	e.Known[slot] = true
+}
+
+// Guard gates an operation on a runtime condition. The guard holds when
+// Cond evaluates nonzero, xor Negate.
+type Guard struct {
+	Cond   ExprIR
+	Negate bool
+}
+
+// Holds evaluates the guard; unknown conditions report an error.
+func (g Guard) Holds(env *DryEnv) (bool, error) {
+	v, ok := g.Cond.Eval(env)
+	if !ok {
+		return false, fmt.Errorf("elab: guard condition references unset dry value")
+	}
+	return (v != 0) != g.Negate, nil
+}
+
+// OpKind enumerates elaborated operations.
+type OpKind int
+
+const (
+	// OpMix combines fluids.
+	OpMix OpKind = iota
+	// OpIncubate heats a fluid.
+	OpIncubate
+	// OpConcentrate concentrates a fluid.
+	OpConcentrate
+	// OpSeparate splits a fluid into effluent and waste.
+	OpSeparate
+	// OpSense reads a sensor into a dry slot.
+	OpSense
+	// OpOutput sends a fluid to an output port.
+	OpOutput
+	// OpDry computes a dry value at run time (sensed-dependent
+	// arithmetic; the AIS dry-* instructions).
+	OpDry
+)
+
+var opKindNames = map[OpKind]string{
+	OpMix: "mix", OpIncubate: "incubate", OpConcentrate: "concentrate",
+	OpSeparate: "separate", OpSense: "sense", OpOutput: "output", OpDry: "dry",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one elaborated operation. Fluid operands are identified by their
+// DAG node ids.
+type Op struct {
+	Kind OpKind
+	// Node is the DAG node this operation produces (-1 for OpDry).
+	Node int
+	// Args lists consumed fluids' DAG node ids, in operand order.
+	Args []int
+	// ArgPorts gives the producer port for each arg ("" or
+	// effluent/waste).
+	ArgPorts []string
+	// Ratios are the normalized mix fractions (parallel to Args; nil for
+	// non-mix ops).
+	Ratios []float64
+	// TimeSec and TempC are operation parameters.
+	TimeSec, TempC float64
+	// Sep is the separation flavor for OpSeparate.
+	Sep ast.SepKind
+	// Matrix and Pusher name auxiliary separator fluids ("" if none).
+	Matrix, Pusher string
+	// Yield is the known output-to-input fraction for
+	// separate/concentrate (0 when statically unknown).
+	Yield float64
+	// SenseMode selects the sensor for OpSense.
+	SenseMode ast.SenseMode
+	// ResultSlot is the dry slot written by OpSense/OpDry (-1 otherwise).
+	ResultSlot int
+	// DryExpr is the expression computed by OpDry.
+	DryExpr ExprIR
+	// Guards must all hold for the operation to execute.
+	Guards []Guard
+	// Label names the produced fluid for diagnostics.
+	Label string
+	Pos   token.Pos
+}
+
+// Runs reports whether the op's guards all hold under env.
+func (o *Op) Runs(env *DryEnv) (bool, error) {
+	for _, g := range o.Guards {
+		ok, err := g.Holds(env)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,25 @@
+// Package lang is the assay-language front end façade: it wires the
+// lexer, parser, semantic checker, and elaborator into a single Compile
+// entry point.
+package lang
+
+import (
+	"aquavol/internal/lang/elab"
+	"aquavol/internal/lang/parser"
+	"aquavol/internal/lang/sema"
+)
+
+// Compile parses, checks, and elaborates assay source text into an
+// elaborated program: the straight-line operation list plus the
+// volume-management DAG.
+func Compile(src string) (*elab.Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return elab.Elaborate(info)
+}

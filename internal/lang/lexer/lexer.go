@@ -1,0 +1,165 @@
+// Package lexer tokenizes assay-language source text. Keywords are
+// case-insensitive (the paper's listings mix `fluid` with `MIX`); `--`
+// begins a comment running to end of line.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"aquavol/internal/lang/token"
+)
+
+// Lexer scans assay source text into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens ending with EOF.
+// Illegal characters yield ILLEGAL tokens rather than errors so the parser
+// can report them with position context.
+func Tokenize(src string) []token.Token {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) here() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '-' && l.peek2() == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token.Token{Kind: token.EOF, Pos: l.here()}
+
+scan:
+	pos := l.here()
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			r := l.peek()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			b.WriteRune(l.advance())
+		}
+		text := b.String()
+		if k, ok := token.Keywords[strings.ToUpper(text)]; ok {
+			return token.Token{Kind: k, Text: text, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		seenDot := false
+		for l.pos < len(l.src) {
+			r := l.peek()
+			if r == '.' && !seenDot && unicode.IsDigit(l.peek2()) {
+				seenDot = true
+				b.WriteRune(l.advance())
+				continue
+			}
+			if !unicode.IsDigit(r) {
+				break
+			}
+			b.WriteRune(l.advance())
+		}
+		return token.Token{Kind: token.NUMBER, Text: b.String(), Pos: pos}
+	}
+	l.advance()
+	two := func(next rune, with, without token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: with, Pos: pos}
+		}
+		return token.Token{Kind: without, Pos: pos}
+	}
+	switch r {
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '<':
+		return two('=', token.LE, token.LT)
+	case '>':
+		return two('=', token.GE, token.GT)
+	case '!':
+		return two('=', token.NE, token.ILLEGAL)
+	}
+	return token.Token{Kind: token.ILLEGAL, Text: fmt.Sprintf("%c", r), Pos: pos}
+}

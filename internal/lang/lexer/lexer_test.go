@@ -1,0 +1,98 @@
+package lexer
+
+import (
+	"testing"
+
+	"aquavol/internal/lang/token"
+)
+
+func kinds(src string) []token.Kind {
+	var out []token.Kind
+	for _, t := range Tokenize(src) {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds("a = MIX x AND y IN RATIOS 1 : 2 FOR 10;")
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.MIX, token.IDENT, token.AND,
+		token.IDENT, token.IN, token.RATIOS, token.NUMBER, token.COLON,
+		token.NUMBER, token.FOR, token.NUMBER, token.SEMI, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (in %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"mix", "Mix", "MIX", "mIx"} {
+		toks := Tokenize(src)
+		if toks[0].Kind != token.MIX {
+			t.Fatalf("%q lexed as %v, want MIX", src, toks[0])
+		}
+	}
+	// `it` is a keyword too.
+	if Tokenize("it")[0].Kind != token.IT {
+		t.Fatal("it should lex as IT")
+	}
+	// Identifiers with keyword prefixes stay identifiers.
+	if Tokenize("mixer1")[0].Kind != token.IDENT {
+		t.Fatal("mixer1 should lex as IDENT")
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := Tokenize("x -- a comment\ny")
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("comment not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 2 {
+		t.Fatalf("line tracking wrong: %v", toks[1].Pos)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := Tokenize("10 2.5 0.125")
+	for i, want := range []string{"10", "2.5", "0.125"} {
+		if toks[i].Kind != token.NUMBER || toks[i].Text != want {
+			t.Fatalf("token %d = %v, want NUMBER(%s)", i, toks[i], want)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds("<= >= == != < > = + - * / %")
+	want := []token.Kind{
+		token.LE, token.GE, token.EQ, token.NE, token.LT, token.GT,
+		token.ASSIGN, token.PLUS, token.MINUS, token.STAR, token.SLASH,
+		token.PERCENT, token.EOF,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIllegal(t *testing.T) {
+	toks := Tokenize("a @ b")
+	if toks[1].Kind != token.ILLEGAL {
+		t.Fatalf("@ should be ILLEGAL, got %v", toks[1])
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := Tokenize("ab cd\nef")
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) ||
+		toks[1].Pos != (token.Pos{Line: 1, Col: 4}) ||
+		toks[2].Pos != (token.Pos{Line: 2, Col: 1}) {
+		t.Fatalf("positions wrong: %v %v %v", toks[0].Pos, toks[1].Pos, toks[2].Pos)
+	}
+}

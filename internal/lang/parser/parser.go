@@ -1,0 +1,492 @@
+// Package parser turns assay-language source into an AST by recursive
+// descent. Errors carry source positions; after an error the parser
+// resynchronizes at the next statement boundary so multiple diagnostics
+// can be reported from one run.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aquavol/internal/lang/ast"
+	"aquavol/internal/lang/lexer"
+	"aquavol/internal/lang/token"
+)
+
+// Error is one syntax diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects diagnostics.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Parse parses an assay program. On failure it returns the accumulated
+// ErrorList (and whatever partial AST exists).
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{toks: lexer.Tokenize(src)}
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs ErrorList
+}
+
+// bailout aborts the current statement for resynchronization.
+var bailout = errors.New("parser: resync")
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	panic(bailout)
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sync skips to just past the next semicolon (or to a block keyword).
+func (p *parser) sync() {
+	for {
+		switch p.cur().Kind {
+		case token.EOF, token.END, token.ENDFOR, token.ENDIF, token.ENDWHILE, token.ELSE:
+			return
+		case token.SEMI:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{Pos: p.cur().Pos}
+	defer func() {
+		if r := recover(); r != nil && r != bailout { //nolint:errorlint
+			panic(r)
+		}
+	}()
+	p.expect(token.ASSAY)
+	prog.Name = p.expect(token.IDENT).Text
+	p.expect(token.START)
+	for p.at(token.FLUID) || p.at(token.VAR) || p.at(token.NOEXCESS) {
+		if d := p.parseDecl(); d != nil {
+			prog.Decls = append(prog.Decls, d)
+		}
+	}
+	prog.Body = p.parseStmts(token.END)
+	p.expect(token.END)
+	if !p.at(token.EOF) {
+		p.errorf("unexpected %s after END", p.cur())
+	}
+	return prog
+}
+
+func (p *parser) parseDecl() *ast.Decl {
+	defer p.recoverStmt()
+	d := &ast.Decl{Pos: p.cur().Pos}
+	if p.accept(token.NOEXCESS) {
+		d.NoExcess = true
+	}
+	switch {
+	case p.accept(token.FLUID):
+		d.Kind = ast.FluidDecl
+	case p.accept(token.VAR):
+		if d.NoExcess {
+			p.errorf("NOEXCESS applies only to fluid declarations")
+		}
+		d.Kind = ast.VarDecl
+	default:
+		p.errorf("expected fluid or VAR, found %s", p.cur())
+		panic(bailout)
+	}
+	for {
+		name := p.expect(token.IDENT)
+		dn := ast.DeclName{Name: name.Text, Pos: name.Pos}
+		for p.accept(token.LBRACKET) {
+			n := p.expect(token.NUMBER)
+			dim, err := strconv.Atoi(n.Text)
+			if err != nil || dim < 1 {
+				p.errorf("array dimension must be a positive integer, got %q", n.Text)
+				dim = 1
+			}
+			dn.Dims = append(dn.Dims, dim)
+			p.expect(token.RBRACKET)
+		}
+		d.Names = append(d.Names, dn)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMI)
+	return d
+}
+
+// recoverStmt converts a bailout panic into statement-level resync.
+func (p *parser) recoverStmt() {
+	if r := recover(); r != nil {
+		if r != bailout { //nolint:errorlint
+			panic(r)
+		}
+		p.sync()
+	}
+}
+
+func (p *parser) parseStmts(terminators ...token.Kind) []ast.Stmt {
+	var out []ast.Stmt
+	isTerm := func() bool {
+		k := p.cur().Kind
+		if k == token.EOF {
+			return true
+		}
+		for _, t := range terminators {
+			if k == t {
+				return true
+			}
+		}
+		return false
+	}
+	for !isTerm() {
+		before := p.pos
+		if s := p.parseStmt(); s != nil {
+			out = append(out, s)
+		}
+		if p.pos == before {
+			// A failed statement that also resynchronized without
+			// consuming anything (e.g. a stray ENDWHILE) would loop
+			// forever; force progress.
+			p.next()
+		}
+	}
+	return out
+}
+
+func (p *parser) parseStmt() (s ast.Stmt) {
+	defer p.recoverStmt()
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.SEMI:
+		p.next()
+		return nil
+	case token.MIX, token.INCUBATE, token.CONCENTRATE,
+		token.SEPARATE, token.LCSEPARATE, token.CESEPARATE, token.SIZESEPARATE:
+		op := p.parseFluidOp()
+		p.stmtEnd()
+		return &ast.AssignStmt{Op: op, Pos: pos}
+	case token.SENSE:
+		return p.parseSense()
+	case token.OUTPUT:
+		p.next()
+		arg := p.parseFluidRef()
+		p.stmtEnd()
+		return &ast.OutputStmt{Arg: arg, Pos: pos}
+	case token.FOR:
+		return p.parseFor()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.IF:
+		return p.parseIf()
+	case token.IDENT:
+		lhs := p.parseLValue()
+		p.expect(token.ASSIGN)
+		switch p.cur().Kind {
+		case token.MIX, token.INCUBATE, token.CONCENTRATE,
+			token.SEPARATE, token.LCSEPARATE, token.CESEPARATE, token.SIZESEPARATE:
+			op := p.parseFluidOp()
+			p.stmtEnd()
+			return &ast.AssignStmt{LHS: lhs, Op: op, Pos: pos}
+		default:
+			e := p.parseExpr()
+			p.stmtEnd()
+			return &ast.AssignStmt{LHS: lhs, Expr: e, Pos: pos}
+		}
+	default:
+		p.errorf("unexpected %s at statement start", p.cur())
+		panic(bailout)
+	}
+}
+
+// stmtEnd consumes a semicolon; the final statement before a block
+// terminator may omit it (as the paper's listings do).
+func (p *parser) stmtEnd() {
+	if p.accept(token.SEMI) {
+		return
+	}
+	switch p.cur().Kind {
+	case token.END, token.ENDFOR, token.ENDIF, token.ENDWHILE, token.ELSE, token.EOF:
+		return
+	}
+	p.errorf("expected ; found %s", p.cur())
+	panic(bailout)
+}
+
+func (p *parser) parseFluidOp() ast.FluidOp {
+	pos := p.cur().Pos
+	switch k := p.next().Kind; k {
+	case token.MIX:
+		op := &ast.MixOp{Pos: pos}
+		op.Args = append(op.Args, p.parseFluidRef())
+		for p.accept(token.AND) {
+			op.Args = append(op.Args, p.parseFluidRef())
+		}
+		if p.accept(token.IN) {
+			p.expect(token.RATIOS)
+			op.Ratios = append(op.Ratios, p.parseExpr())
+			for p.accept(token.COLON) {
+				op.Ratios = append(op.Ratios, p.parseExpr())
+			}
+			if len(op.Ratios) != len(op.Args) {
+				p.errorf("mix has %d fluids but %d ratios", len(op.Args), len(op.Ratios))
+			}
+		}
+		p.expect(token.FOR)
+		op.Time = p.parseExpr()
+		return op
+	case token.INCUBATE:
+		op := &ast.IncubateOp{Pos: pos}
+		op.Arg = p.parseFluidRef()
+		p.expect(token.AT)
+		op.Temp = p.parseExpr()
+		p.expect(token.FOR)
+		op.Time = p.parseExpr()
+		return op
+	case token.CONCENTRATE:
+		op := &ast.ConcentrateOp{Pos: pos}
+		op.Arg = p.parseFluidRef()
+		p.expect(token.AT)
+		op.Temp = p.parseExpr()
+		p.expect(token.FOR)
+		op.Time = p.parseExpr()
+		return op
+	case token.SEPARATE, token.LCSEPARATE, token.CESEPARATE, token.SIZESEPARATE:
+		op := &ast.SeparateOp{Pos: pos}
+		switch k {
+		case token.SEPARATE:
+			op.Kind = ast.SepAffinity
+		case token.LCSEPARATE:
+			op.Kind = ast.SepLC
+		case token.CESEPARATE:
+			op.Kind = ast.SepCE
+		case token.SIZESEPARATE:
+			op.Kind = ast.SepSize
+		}
+		op.Arg = p.parseFluidRef()
+		if p.accept(token.MATRIX) {
+			op.Matrix = p.parseLValue()
+		}
+		if p.accept(token.USING) {
+			op.Using = p.parseLValue()
+		}
+		p.expect(token.FOR)
+		op.Time = p.parseExpr()
+		p.expect(token.INTO)
+		op.Eff = p.parseLValue()
+		p.expect(token.AND)
+		op.Waste = p.parseLValue()
+		if p.accept(token.YIELD) {
+			op.Yield = p.parseExpr()
+		}
+		return op
+	default:
+		p.errorf("expected fluid operation")
+		panic(bailout)
+	}
+}
+
+func (p *parser) parseSense() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.SENSE)
+	s := &ast.SenseStmt{Pos: pos}
+	switch {
+	case p.accept(token.OPTICAL):
+		s.Mode = ast.SenseOptical
+	case p.accept(token.FLUORESCENCE):
+		s.Mode = ast.SenseFluorescence
+	default:
+		p.errorf("expected OPTICAL or FLUORESCENCE, found %s", p.cur())
+		panic(bailout)
+	}
+	s.Arg = p.parseFluidRef()
+	p.expect(token.INTO)
+	s.Into = p.parseLValue()
+	p.stmtEnd()
+	return s
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.FOR)
+	name := p.expect(token.IDENT).Text
+	p.expect(token.FROM)
+	from := p.parseExpr()
+	p.expect(token.TO)
+	to := p.parseExpr()
+	p.expect(token.START)
+	body := p.parseStmts(token.ENDFOR)
+	p.expect(token.ENDFOR)
+	return &ast.ForStmt{Var: name, From: from, To: to, Body: body, Pos: pos}
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.WHILE)
+	cond := p.parseCond()
+	p.expect(token.MAXITER)
+	max := p.parseExpr()
+	p.expect(token.START)
+	body := p.parseStmts(token.ENDWHILE)
+	p.expect(token.ENDWHILE)
+	return &ast.WhileStmt{Cond: cond, MaxIter: max, Body: body, Pos: pos}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.cur().Pos
+	p.expect(token.IF)
+	cond := p.parseCond()
+	p.expect(token.START)
+	then := p.parseStmts(token.ELSE, token.ENDIF)
+	var els []ast.Stmt
+	if p.accept(token.ELSE) {
+		els = p.parseStmts(token.ENDIF)
+	}
+	p.expect(token.ENDIF)
+	return &ast.IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+}
+
+func (p *parser) parseFluidRef() *ast.FluidRef {
+	pos := p.cur().Pos
+	if p.accept(token.IT) {
+		return &ast.FluidRef{It: true, Pos: pos}
+	}
+	return &ast.FluidRef{Ref: p.parseLValue(), Pos: pos}
+}
+
+func (p *parser) parseLValue() *ast.LValue {
+	name := p.expect(token.IDENT)
+	lv := &ast.LValue{Name: name.Text, Pos: name.Pos}
+	for p.accept(token.LBRACKET) {
+		lv.Indices = append(lv.Indices, p.parseExpr())
+		p.expect(token.RBRACKET)
+	}
+	return lv
+}
+
+// parseCond parses a comparison between dry expressions.
+func (p *parser) parseCond() ast.Expr {
+	pos := p.cur().Pos
+	l := p.parseExpr()
+	switch k := p.cur().Kind; k {
+	case token.LT, token.GT, token.LE, token.GE, token.EQ, token.NE:
+		p.next()
+		r := p.parseExpr()
+		return &ast.BinaryExpr{Op: k, L: l, R: r, Pos: pos}
+	default:
+		p.errorf("expected comparison operator, found %s", p.cur())
+		panic(bailout)
+	}
+}
+
+// parseExpr parses + and - over terms.
+func (p *parser) parseExpr() ast.Expr {
+	e := p.parseTerm()
+	for {
+		k := p.cur().Kind
+		if k != token.PLUS && k != token.MINUS {
+			return e
+		}
+		pos := p.next().Pos
+		r := p.parseTerm()
+		e = &ast.BinaryExpr{Op: k, L: e, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) parseTerm() ast.Expr {
+	e := p.parseFactor()
+	for {
+		k := p.cur().Kind
+		if k != token.STAR && k != token.SLASH && k != token.PERCENT {
+			return e
+		}
+		pos := p.next().Pos
+		r := p.parseFactor()
+		e = &ast.BinaryExpr{Op: k, L: e, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) parseFactor() ast.Expr {
+	switch p.cur().Kind {
+	case token.NUMBER:
+		t := p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errorf("bad number %q", t.Text)
+		}
+		return &ast.NumberLit{Value: v, Pos: t.Pos}
+	case token.MINUS:
+		pos := p.next().Pos
+		return &ast.UnaryExpr{Op: token.MINUS, X: p.parseFactor(), Pos: pos}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	case token.IDENT:
+		return p.parseLValue()
+	default:
+		p.errorf("expected expression, found %s", p.cur())
+		panic(bailout)
+	}
+}

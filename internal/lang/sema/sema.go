@@ -1,0 +1,246 @@
+// Package sema performs name resolution and kind checking for parsed
+// assays: every identifier must be declared (loop variables are declared
+// implicitly), fluid operations must name fluids, dry expressions must
+// reference dry (VAR) variables, and index arities must match declared
+// dimensions.
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"aquavol/internal/lang/ast"
+	"aquavol/internal/lang/token"
+)
+
+// SymKind distinguishes wet from dry symbols.
+type SymKind int
+
+const (
+	// SymFluid is a wet (fluid) variable.
+	SymFluid SymKind = iota
+	// SymVar is a dry scalar or array variable.
+	SymVar
+)
+
+func (k SymKind) String() string {
+	if k == SymFluid {
+		return "fluid"
+	}
+	return "VAR"
+}
+
+// Symbol is one declared name.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	// Dims are array dimensions; empty means scalar.
+	Dims []int
+	// NoExcess marks fluids for which excess production is forbidden.
+	NoExcess bool
+	Pos      token.Pos
+	// LoopVar records implicit declaration by a FOR statement.
+	LoopVar bool
+}
+
+// Size is the flattened element count (1 for scalars).
+func (s *Symbol) Size() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Info is the result of a successful Check.
+type Info struct {
+	Program *ast.Program
+	Symbols map[string]*Symbol
+}
+
+// Error is one semantic diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects diagnostics.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+type checker struct {
+	syms map[string]*Symbol
+	errs ErrorList
+}
+
+// Check resolves and kind-checks prog.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{syms: map[string]*Symbol{}}
+	for _, d := range prog.Decls {
+		kind := SymFluid
+		if d.Kind == ast.VarDecl {
+			kind = SymVar
+		}
+		for _, n := range d.Names {
+			if old, ok := c.syms[n.Name]; ok {
+				c.errorf(n.Pos, "%s redeclared (previous declaration at %s)", n.Name, old.Pos)
+				continue
+			}
+			c.syms[n.Name] = &Symbol{
+				Name: n.Name, Kind: kind, Dims: n.Dims,
+				NoExcess: d.NoExcess && kind == SymFluid, Pos: n.Pos,
+			}
+		}
+	}
+	c.stmts(prog.Body)
+	if len(c.errs) > 0 {
+		return nil, c.errs
+	}
+	return &Info{Program: prog, Symbols: c.syms}, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Op != nil {
+			c.fluidOp(s.Op)
+			if s.LHS != nil {
+				c.lvalue(s.LHS, SymFluid)
+			}
+			return
+		}
+		c.lvalue(s.LHS, SymVar)
+		c.dryExpr(s.Expr)
+	case *ast.SenseStmt:
+		c.fluidRef(s.Arg)
+		c.lvalue(s.Into, SymVar)
+	case *ast.OutputStmt:
+		c.fluidRef(s.Arg)
+	case *ast.ForStmt:
+		if sym, ok := c.syms[s.Var]; ok {
+			if sym.Kind != SymVar || len(sym.Dims) > 0 {
+				c.errorf(s.Pos, "loop variable %s must be a dry scalar", s.Var)
+			}
+		} else {
+			c.syms[s.Var] = &Symbol{Name: s.Var, Kind: SymVar, Pos: s.Pos, LoopVar: true}
+		}
+		c.dryExpr(s.From)
+		c.dryExpr(s.To)
+		c.stmts(s.Body)
+	case *ast.WhileStmt:
+		c.dryExpr(s.Cond)
+		c.dryExpr(s.MaxIter)
+		c.stmts(s.Body)
+	case *ast.IfStmt:
+		c.dryExpr(s.Cond)
+		c.stmts(s.Then)
+		c.stmts(s.Else)
+	default:
+		panic(fmt.Sprintf("sema: unknown statement %T", s))
+	}
+}
+
+func (c *checker) fluidOp(op ast.FluidOp) {
+	switch op := op.(type) {
+	case *ast.MixOp:
+		if len(op.Args) < 2 {
+			c.errorf(op.Pos, "mix needs at least two fluids")
+		}
+		for _, a := range op.Args {
+			c.fluidRef(a)
+		}
+		for _, r := range op.Ratios {
+			c.dryExpr(r)
+		}
+		c.dryExpr(op.Time)
+	case *ast.IncubateOp:
+		c.fluidRef(op.Arg)
+		c.dryExpr(op.Temp)
+		c.dryExpr(op.Time)
+	case *ast.ConcentrateOp:
+		c.fluidRef(op.Arg)
+		c.dryExpr(op.Temp)
+		c.dryExpr(op.Time)
+	case *ast.SeparateOp:
+		c.fluidRef(op.Arg)
+		if op.Matrix != nil {
+			c.lvalue(op.Matrix, SymFluid)
+		}
+		if op.Using != nil {
+			c.lvalue(op.Using, SymFluid)
+		}
+		c.dryExpr(op.Time)
+		c.lvalue(op.Eff, SymFluid)
+		c.lvalue(op.Waste, SymFluid)
+		if op.Yield != nil {
+			c.dryExpr(op.Yield)
+		}
+	default:
+		panic(fmt.Sprintf("sema: unknown fluid op %T", op))
+	}
+}
+
+func (c *checker) fluidRef(r *ast.FluidRef) {
+	if r.It {
+		return
+	}
+	c.lvalue(r.Ref, SymFluid)
+}
+
+// lvalue checks a reference against the expected symbol kind and its index
+// arity against the declaration.
+func (c *checker) lvalue(lv *ast.LValue, want SymKind) {
+	sym, ok := c.syms[lv.Name]
+	if !ok {
+		c.errorf(lv.Pos, "undeclared identifier %s", lv.Name)
+		return
+	}
+	if sym.Kind != want {
+		c.errorf(lv.Pos, "%s is a %s, expected %s", lv.Name, sym.Kind, want)
+		return
+	}
+	if len(lv.Indices) != len(sym.Dims) {
+		c.errorf(lv.Pos, "%s has %d dimension(s), got %d index(es)", lv.Name, len(sym.Dims), len(lv.Indices))
+	}
+	for _, ix := range lv.Indices {
+		c.dryExpr(ix)
+	}
+}
+
+func (c *checker) dryExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.NumberLit:
+	case *ast.UnaryExpr:
+		c.dryExpr(e.X)
+	case *ast.BinaryExpr:
+		c.dryExpr(e.L)
+		c.dryExpr(e.R)
+	case *ast.LValue:
+		c.lvalue(e, SymVar)
+	default:
+		panic(fmt.Sprintf("sema: unknown expression %T", e))
+	}
+}

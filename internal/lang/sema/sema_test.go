@@ -1,0 +1,140 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"aquavol/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	info := mustCheck(t, `ASSAY ok START
+fluid a, b, c;
+VAR x, R[3];
+c = MIX a AND b IN RATIOS 1:x FOR 10;
+SENSE OPTICAL c INTO R[1];
+END`)
+	if info.Symbols["a"].Kind != SymFluid || info.Symbols["x"].Kind != SymVar {
+		t.Fatal("symbol kinds wrong")
+	}
+	if info.Symbols["R"].Size() != 3 {
+		t.Fatal("array size wrong")
+	}
+}
+
+func TestUndeclared(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid a;
+MIX a AND ghost FOR 10;
+END`, "undeclared identifier ghost")
+}
+
+func TestRedeclared(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid a;
+VAR a;
+MIX a AND a FOR 10;
+END`, "redeclared")
+}
+
+func TestKindMismatchFluidAsVar(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid a, b;
+a = b + 1;
+END`, "expected VAR")
+}
+
+func TestKindMismatchVarAsFluid(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid a; VAR x;
+MIX a AND x FOR 10;
+END`, "expected fluid")
+}
+
+func TestIndexArity(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid F[3]; VAR i;
+MIX F[1][2] AND F[1] FOR 10;
+END`, "dimension")
+}
+
+func TestSenseIntoMustBeVar(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid a, b;
+SENSE OPTICAL a INTO b;
+END`, "expected VAR")
+}
+
+func TestLoopVarAutoDeclared(t *testing.T) {
+	info := mustCheck(t, `ASSAY loop START
+fluid a, b;
+FOR n FROM 1 TO 3 START
+  MIX a AND b IN RATIOS 1:n FOR 10;
+ENDFOR
+END`)
+	sym := info.Symbols["n"]
+	if sym == nil || !sym.LoopVar {
+		t.Fatal("loop variable not auto-declared")
+	}
+}
+
+func TestLoopVarMustBeScalar(t *testing.T) {
+	wantErr(t, `ASSAY bad START
+fluid a, b; VAR R[3];
+FOR R FROM 1 TO 3 START
+  MIX a AND b FOR 10;
+ENDFOR
+END`, "dry scalar")
+}
+
+func TestNoExcessOnlyOnFluids(t *testing.T) {
+	// The parser rejects NOEXCESS on VAR declarations.
+	_, err := parser.Parse(`ASSAY bad START
+NOEXCESS VAR x;
+fluid a, b;
+MIX a AND b FOR 1;
+END`)
+	if err == nil || !strings.Contains(err.Error(), "NOEXCESS") {
+		t.Fatalf("want NOEXCESS error from parser, got %v", err)
+	}
+}
+
+func TestNoExcessRecorded(t *testing.T) {
+	info := mustCheck(t, `ASSAY ne START
+NOEXCESS fluid precious;
+fluid other;
+MIX precious AND other FOR 5;
+END`)
+	if !info.Symbols["precious"].NoExcess || info.Symbols["other"].NoExcess {
+		t.Fatal("NoExcess flags wrong")
+	}
+}

@@ -1,0 +1,145 @@
+// Package token defines the lexical tokens of the assay language — the
+// "simple high-level language" of §4.1, whose syntax mirrors conventional
+// assay-specification format (Figs. 9-11 of the paper), extended with the
+// control-flow and hint constructs of §3.5.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	// Special.
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // buffer1a, Diluted_Inhibitor
+	NUMBER // 10, 2.5
+
+	// Punctuation and operators.
+	SEMI     // ;
+	COLON    // :
+	COMMA    // ,
+	ASSIGN   // =
+	LBRACKET // [
+	RBRACKET // ]
+	LPAREN   // (
+	RPAREN   // )
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+
+	// Keywords (case-insensitive in source).
+	ASSAY
+	START
+	END
+	FLUID
+	VAR
+	MIX
+	AND
+	IN
+	RATIOS
+	FOR
+	INCUBATE
+	AT
+	SENSE
+	OPTICAL
+	FLUORESCENCE
+	INTO
+	SEPARATE
+	LCSEPARATE
+	CESEPARATE
+	SIZESEPARATE
+	MATRIX
+	USING
+	CONCENTRATE
+	FROM
+	TO
+	ENDFOR
+	IF
+	ELSE
+	ENDIF
+	WHILE
+	ENDWHILE
+	MAXITER
+	YIELD
+	NOEXCESS
+	OUTPUT
+	IT
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "identifier", NUMBER: "number",
+	SEMI: ";", COLON: ":", COMMA: ",", ASSIGN: "=",
+	LBRACKET: "[", RBRACKET: "]", LPAREN: "(", RPAREN: ")",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	LT: "<", GT: ">", LE: "<=", GE: ">=", EQ: "==", NE: "!=",
+	ASSAY: "ASSAY", START: "START", END: "END", FLUID: "fluid", VAR: "VAR",
+	MIX: "MIX", AND: "AND", IN: "IN", RATIOS: "RATIOS", FOR: "FOR",
+	INCUBATE: "INCUBATE", AT: "AT", SENSE: "SENSE", OPTICAL: "OPTICAL",
+	FLUORESCENCE: "FLUORESCENCE", INTO: "INTO", SEPARATE: "SEPARATE",
+	LCSEPARATE: "LCSEPARATE", CESEPARATE: "CESEPARATE", SIZESEPARATE: "SIZESEPARATE",
+	MATRIX: "MATRIX", USING: "USING", CONCENTRATE: "CONCENTRATE",
+	FROM: "FROM", TO: "TO", ENDFOR: "ENDFOR",
+	IF: "IF", ELSE: "ELSE", ENDIF: "ENDIF",
+	WHILE: "WHILE", ENDWHILE: "ENDWHILE", MAXITER: "MAXITER",
+	YIELD: "YIELD", NOEXCESS: "NOEXCESS", OUTPUT: "OUTPUT", IT: "it",
+}
+
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps upper-cased spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"ASSAY": ASSAY, "START": START, "END": END, "FLUID": FLUID, "VAR": VAR,
+	"MIX": MIX, "AND": AND, "IN": IN, "RATIOS": RATIOS, "FOR": FOR,
+	"INCUBATE": INCUBATE, "AT": AT, "SENSE": SENSE, "OPTICAL": OPTICAL,
+	"FLUORESCENCE": FLUORESCENCE, "INTO": INTO, "SEPARATE": SEPARATE,
+	"LCSEPARATE": LCSEPARATE, "CESEPARATE": CESEPARATE, "SIZESEPARATE": SIZESEPARATE,
+	"MATRIX": MATRIX, "USING": USING, "CONCENTRATE": CONCENTRATE,
+	"FROM": FROM, "TO": TO, "ENDFOR": ENDFOR,
+	"IF": IF, "ELSE": ELSE, "ENDIF": ENDIF,
+	"WHILE": WHILE, "ENDWHILE": ENDWHILE, "MAXITER": MAXITER,
+	"YIELD": YIELD, "NOEXCESS": NOEXCESS, "OUTPUT": OUTPUT, "IT": IT,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position is set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	// Text is the literal source text for IDENT and NUMBER tokens.
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

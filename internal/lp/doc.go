@@ -1,0 +1,30 @@
+// Package lp implements a self-contained linear-programming solver.
+//
+// The paper "Automatic Volume Management for Programmable Microfluidics"
+// (PLDI 2008) solves its Rational Volume Management (RVol) formulation with
+// Matlab's linprog (LIPSOL). This repository is stdlib-only, so this package
+// provides the substitute: a dense two-phase primal simplex over float64,
+// plus an exact mirror over math/big.Rat used to cross-validate the floating
+// point path in tests.
+//
+// The solver handles problems of the form
+//
+//	min (or max)  cᵀx
+//	subject to    aᵢᵀx  {≤, ≥, =}  bᵢ      for each constraint i
+//	              lo_j ≤ x_j ≤ hi_j        for each variable j
+//
+// Finite lower bounds are eliminated by shifting, finite upper bounds become
+// internal rows, and free variables are split into positive and negative
+// parts, so the core simplex only ever sees x ≥ 0.
+//
+// Determinism: given the same Problem, Solve always performs the same pivot
+// sequence (Dantzig's rule with a Bland's-rule anti-cycling fallback), so
+// results are reproducible across runs.
+//
+// The package is intentionally dense (a flat tableau), which is the right
+// trade-off for the paper's problem sizes: the glucose assay generates ~50
+// constraints, the enzyme assay ~900, and the scaled Enzyme10 stress test
+// ~13k. The largest of these fits in a dense tableau in well under a
+// gigabyte and is exercised only by opt-in long benchmarks, mirroring the
+// paper's own observation that LP becomes impractically slow at that scale.
+package lp
