@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	fluidc [-plan] [-dot] [-no-manage] assay.asy
+//	fluidc [-plan] [-dot] [-lint] [-Werror] [-no-manage] assay.asy
 //
 // -plan prints the volume plan alongside the listing, -dot emits the
-// (transformed) assay DAG in Graphviz format, -no-manage skips the
-// cascading/replication hierarchy (plain DAGSolve only).
+// (transformed) assay DAG in Graphviz format, -lint runs the compile-time
+// volume-safety analyzer (see cmd/fluidlint) before volume management and
+// fails on error findings, -Werror additionally promotes lint warnings to
+// errors, -no-manage skips the cascading/replication hierarchy (plain
+// DAGSolve only).
 package main
 
 import (
@@ -18,14 +21,18 @@ import (
 	"fmt"
 	"os"
 
+	"aquavol/internal/analysis"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
+	"aquavol/internal/diag"
 	"aquavol/internal/lang"
 )
 
 func main() {
 	showPlan := flag.Bool("plan", false, "print the volume plan")
 	showDot := flag.Bool("dot", false, "emit the assay DAG in Graphviz dot")
+	lint := flag.Bool("lint", false, "run the volume-safety analyzer before compiling")
+	wError := flag.Bool("Werror", false, "treat lint warnings as errors (implies -lint)")
 	noManage := flag.Bool("no-manage", false, "skip the cascading/replication hierarchy")
 	outFile := flag.String("o", "", "write the AIS listing to this file instead of stdout")
 	volFile := flag.String("voltab", "", "write the per-instruction volume table to this file (static assays only)")
@@ -43,6 +50,24 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.DefaultConfig()
+
+	if *lint || *wError {
+		findings, err := analysis.Analyze(ep, cfg, analysis.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		bad := false
+		for _, d := range findings {
+			if *wError && d.Severity == diag.Warning {
+				d.Severity = diag.Error
+			}
+			bad = bad || d.Severity == diag.Error
+			fmt.Fprintf(os.Stderr, "%s:%s\n", flag.Arg(0), d.Error())
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
 
 	// Volume management: statically-known assays go through the Fig. 6
 	// hierarchy; assays with unknown volumes get compile-time Vnorms and

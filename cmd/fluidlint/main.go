@@ -1,0 +1,112 @@
+// Command fluidlint is the standalone compile-time volume-safety linter:
+// it parses, checks, and elaborates assay sources, then runs the
+// internal/analysis passes (volume intervals, mix skew, dead fluid/waste,
+// least-count divisibility) without invoking any solver or generating
+// code.
+//
+// Usage:
+//
+//	fluidlint [-json] [-Werror] [-waste-threshold F] assay.asy...
+//
+// Findings print one per line as file:line:col: severity[CODE]: message;
+// suggestion. With -json a machine-readable array of findings is emitted
+// instead. The exit status is 1 if and only if any finding has error
+// severity (after -Werror promotion), 2 on usage or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aquavol/internal/analysis"
+	"aquavol/internal/core"
+	"aquavol/internal/diag"
+)
+
+// record is the JSON shape of one finding.
+type record struct {
+	File       string        `json:"file"`
+	Line       int           `json:"line,omitempty"`
+	Col        int           `json:"col,omitempty"`
+	Severity   diag.Severity `json:"severity"`
+	Code       string        `json:"code,omitempty"`
+	Message    string        `json:"message"`
+	Suggestion string        `json:"suggestion,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fluidlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	wError := fs.Bool("Werror", false, "treat warnings as errors")
+	threshold := fs.Float64("waste-threshold", 0, "statically-discarded input fraction that triggers VOL021 (default 0.25)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: fluidlint [-json] [-Werror] [-waste-threshold F] assay.asy...")
+		return 2
+	}
+
+	cfg := core.DefaultConfig()
+	opts := analysis.Options{DiscardThreshold: *threshold}
+	type finding struct {
+		file string
+		d    diag.Diagnostic
+	}
+	var all []finding
+	failed := false
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "fluidlint:", err)
+			return 2
+		}
+		findings, _, err := analysis.LintSource(string(src), cfg, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "fluidlint:", err)
+			return 2
+		}
+		for _, d := range findings {
+			if *wError && d.Severity == diag.Warning {
+				d.Severity = diag.Error
+			}
+			if d.Severity == diag.Error {
+				failed = true
+			}
+			all = append(all, finding{file: file, d: d})
+		}
+	}
+
+	if *jsonOut {
+		records := make([]record, 0, len(all))
+		for _, f := range all {
+			records = append(records, record{
+				File: f.file, Line: f.d.Pos.Line, Col: f.d.Pos.Col,
+				Severity: f.d.Severity, Code: f.d.Code,
+				Message: f.d.Msg, Suggestion: f.d.Suggestion,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(stderr, "fluidlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintf(stdout, "%s:%s\n", f.file, f.d.Error())
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

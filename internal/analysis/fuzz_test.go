@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aquavol/internal/analysis"
+	"aquavol/internal/assays"
+	"aquavol/internal/core"
+)
+
+// FuzzLint drives the full parse → check → elaborate → analyze pipeline on
+// arbitrary source text. The property is simply "no panic, no hang": every
+// input either lints (possibly with findings) or is rejected with
+// positioned front-end diagnostics.
+func FuzzLint(f *testing.F) {
+	f.Add(assays.GlucoseSource)
+	f.Add(assays.GlycomicsSource)
+	f.Add(assays.EnzymeSource(2))
+	files, err := filepath.Glob(filepath.Join("testdata", "lint", "*.asy"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	cfg := core.DefaultConfig()
+	f.Fuzz(func(t *testing.T, src string) {
+		findings, prog, err := analysis.LintSource(src, cfg, analysis.Options{})
+		if err != nil {
+			return // unusable input, reported as an error — fine
+		}
+		if prog == nil && len(findings) == 0 {
+			t.Errorf("front end rejected the source without diagnostics")
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"errors"
+
+	"aquavol/internal/core"
+	"aquavol/internal/diag"
+	"aquavol/internal/lang"
+	"aquavol/internal/lang/elab"
+)
+
+// LintSource runs the whole linting front door on assay source text:
+// parse → check → elaborate → Analyze, folding front-end syntax/semantic
+// errors and analyzer findings into one sorted list. When the front end
+// fails, its diagnostics are the result and the returned program is nil.
+// The error return is reserved for analyzer-infrastructure failures
+// (invalid Config, invalid DAG).
+func LintSource(src string, cfg core.Config, opts Options) (diag.List, *elab.Program, error) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		list := asList(err)
+		list.Sort()
+		return list, nil, nil
+	}
+	findings, err := Analyze(prog, cfg, opts)
+	if err != nil {
+		return nil, prog, err
+	}
+	return findings, prog, nil
+}
+
+// asList coerces a front-end error into diagnostics, preserving structure
+// when it already is one.
+func asList(err error) diag.List {
+	var list diag.List
+	if errors.As(err, &list) {
+		return list
+	}
+	var d diag.Diagnostic
+	if errors.As(err, &d) {
+		return diag.List{d}
+	}
+	return diag.List{{Severity: diag.Error, Msg: err.Error()}}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"aquavol/internal/core"
+	"aquavol/internal/dag"
+	"aquavol/internal/diag"
+)
+
+// SkewPass is the skew/feasibility analysis: every mix's effective ratio
+// (largest to smallest inbound fraction) is checked against the hardware's
+// MaxSkew = MaxCapacity/LeastCount (§3.4.1).
+//
+//   - VOL010 (warning): the ratio exceeds MaxSkew but cascading repairs
+//     it; the suggestion carries the minimal sufficient depth.
+//   - VOL011 (error): the ratio exceeds MaxSkew and cascading cannot
+//     apply (NOEXCESS fluids, more than two parts, or no feasible depth).
+//   - VOL012 (info): the ratio is executable but above the cascade
+//     trigger, so the volume manager will cascade if DAGSolve underflows.
+type SkewPass struct{}
+
+// Name implements Pass.
+func (SkewPass) Name() string { return "skew" }
+
+// Run implements Pass.
+func (SkewPass) Run(ctx *Context) diag.List {
+	var out diag.List
+	maxSkew := ctx.Cfg.MaxSkew()
+	trigger := cascadeTrigger(ctx.Cfg)
+	for _, n := range ctx.Graph.Nodes() {
+		if n == nil || n.Kind != dag.Mix || len(n.In()) < 2 {
+			continue
+		}
+		R := dag.ExtremeRatio(n)
+		switch {
+		case R > maxSkew:
+			if depth := dag.CascadeLevels(R, maxSkew); depth >= 2 && len(n.In()) == 2 && !cascadeForbidden(n) {
+				out = append(out, diag.Diagnostic{
+					Pos: ctx.PosOf(n), Severity: diag.Warning, Code: CodeExtremeRatio,
+					Msg:        fmt.Sprintf("mix %s %s exceeds MaxSkew %.6g", n.Name, ratioString(n, R), maxSkew),
+					Suggestion: fmt.Sprintf("cascade depth %d suffices; the volume manager applies it automatically", depth),
+				})
+			} else {
+				out = append(out, diag.Diagnostic{
+					Pos: ctx.PosOf(n), Severity: diag.Error, Code: CodeUncascadable,
+					Msg: fmt.Sprintf("mix %s %s exceeds MaxSkew %.6g and cannot be cascaded (%s)",
+						n.Name, ratioString(n, R), maxSkew, uncascadableReason(n, R, maxSkew)),
+					Suggestion: "split the dilution into serial stages by hand, or relax the ratio",
+				})
+			}
+		case R > trigger && len(n.In()) == 2 && !cascadeForbidden(n):
+			if depth := dag.CascadeLevels(R, trigger); depth >= 2 {
+				out = append(out, diag.Diagnostic{
+					Pos: ctx.PosOf(n), Severity: diag.Info, Code: CodeCascadeExpected,
+					Msg: fmt.Sprintf("mix %s %s exceeds the cascade trigger %.4g; the volume manager will cascade it (depth %d) if dispensing underflows",
+						n.Name, ratioString(n, R), trigger, depth),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ratioString renders a mix's skew: as a 1:R ratio for two-part mixes,
+// as a bare skew factor otherwise.
+func ratioString(n *dag.Node, R float64) string {
+	if len(n.In()) == 2 {
+		return fmt.Sprintf("ratio 1:%.6g", R)
+	}
+	return fmt.Sprintf("skew %.6g", R)
+}
+
+func uncascadableReason(n *dag.Node, R, maxSkew float64) string {
+	switch {
+	case len(n.In()) != 2:
+		return fmt.Sprintf("cascading supports two-part mixes, this one has %d parts", len(n.In()))
+	case cascadeForbidden(n):
+		return "its fluids forbid excess production (NOEXCESS)"
+	case dag.CascadeLevels(R, maxSkew) < 2:
+		return "no supported cascade depth brings each stage under MaxSkew"
+	default:
+		return "unknown"
+	}
+}
+
+// cascadeForbidden mirrors core's rule: cascading never introduces excess
+// of a mix whose result or components are marked NOEXCESS.
+func cascadeForbidden(n *dag.Node) bool {
+	if n.NoExcess {
+		return true
+	}
+	for _, e := range n.In() {
+		if e.From.NoExcess {
+			return true
+		}
+	}
+	return false
+}
+
+// cascadeTrigger mirrors core's default: sqrt(MaxSkew) when unset.
+func cascadeTrigger(cfg core.Config) float64 {
+	if cfg.CascadeTrigger > 0 {
+		return cfg.CascadeTrigger
+	}
+	return math.Sqrt(cfg.MaxSkew())
+}

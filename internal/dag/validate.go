@@ -1,6 +1,7 @@
 package dag
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -14,48 +15,61 @@ const fracTol = 1e-9
 //   - every edge fraction is positive, finite, and ≤ 1;
 //   - the inbound fractions of every non-source node sum to 1;
 //   - source nodes are Inputs or ConstrainedInputs, and vice versa;
-//   - OutFrac ∈ (0, 1], Discard ∈ [0, 1), Share ∈ (0, 1] where applicable;
+//   - OutFrac ∈ (0, 1], Discard ∈ [0, 1), Share ∈ (0, 1] where applicable,
+//     and all three are finite (neither NaN nor ±Inf);
 //   - only Separate nodes use named output ports;
 //   - Excess nodes are leaves with a single inbound edge.
 //
-// It returns the first violation found, or nil.
+// It returns every violation found, joined into a single error (nil if the
+// graph is valid). Use ValidateAll to examine violations individually.
 func (g *Graph) Validate() error {
+	return errors.Join(g.ValidateAll()...)
+}
+
+// ValidateAll is Validate returning the individual violations instead of a
+// joined error. It returns nil for a valid graph.
+func (g *Graph) ValidateAll() []error {
+	var errs []error
+	badf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
 	for _, e := range g.edges {
 		if e == nil {
 			continue
 		}
 		if e.Frac <= 0 || e.Frac > 1+fracTol || math.IsNaN(e.Frac) || math.IsInf(e.Frac, 0) {
-			return fmt.Errorf("dag: edge %v has invalid fraction %v", e, e.Frac)
+			badf("dag: edge %v has invalid fraction %v", e, e.Frac)
 		}
 		if e.Port != PortDefault && e.From.Kind != Separate {
-			return fmt.Errorf("dag: edge %v uses port %q but source is %v", e, e.Port, e.From.Kind)
+			badf("dag: edge %v uses port %q but source is %v", e, e.Port, e.From.Kind)
 		}
 	}
 	for _, n := range g.nodes {
 		if n == nil {
 			continue
 		}
-		switch {
-		case n.OutFrac <= 0 || n.OutFrac > 1+fracTol || math.IsNaN(n.OutFrac):
-			return fmt.Errorf("dag: node %v has invalid OutFrac %v", n, n.OutFrac)
-		case n.Discard < 0 || n.Discard >= 1 || math.IsNaN(n.Discard):
-			return fmt.Errorf("dag: node %v has invalid Discard %v", n, n.Discard)
+		if n.OutFrac <= 0 || n.OutFrac > 1+fracTol || math.IsNaN(n.OutFrac) || math.IsInf(n.OutFrac, 0) {
+			badf("dag: node %v has invalid OutFrac %v", n, n.OutFrac)
+		}
+		if n.Discard < 0 || n.Discard >= 1 || math.IsNaN(n.Discard) || math.IsInf(n.Discard, 0) {
+			badf("dag: node %v has invalid Discard %v", n, n.Discard)
 		}
 		isPseudoSource := n.Kind == Input || n.Kind == ConstrainedInput
 		if n.IsSource() != isPseudoSource {
 			if isPseudoSource {
-				return fmt.Errorf("dag: %v node %v has inbound edges", n.Kind, n)
+				badf("dag: %v node %v has inbound edges", n.Kind, n)
+			} else {
+				badf("dag: node %v has no inbound edges but is not an input", n)
 			}
-			return fmt.Errorf("dag: node %v has no inbound edges but is not an input", n)
 		}
 		if n.Kind == ConstrainedInput {
-			if n.Share <= 0 || n.Share > 1+fracTol || math.IsNaN(n.Share) {
-				return fmt.Errorf("dag: constrained input %v has invalid share %v", n, n.Share)
+			if n.Share <= 0 || n.Share > 1+fracTol || math.IsNaN(n.Share) || math.IsInf(n.Share, 0) {
+				badf("dag: constrained input %v has invalid share %v", n, n.Share)
 			}
 		}
 		if n.Kind == Excess {
 			if !n.IsLeaf() || len(n.in) != 1 {
-				return fmt.Errorf("dag: excess node %v must be a leaf with one inbound edge", n)
+				badf("dag: excess node %v must be a leaf with one inbound edge", n)
 			}
 		}
 		if !n.IsSource() {
@@ -64,11 +78,12 @@ func (g *Graph) Validate() error {
 				sum += e.Frac
 			}
 			if math.Abs(sum-1) > 1e-6 {
-				return fmt.Errorf("dag: node %v inbound fractions sum to %v, want 1", n, sum)
+				badf("dag: node %v inbound fractions sum to %v, want 1", n, sum)
 			}
 		}
 	}
 	// Cycle check via DFS (TopoOrder panics; keep Validate non-panicking).
+	// One representative cycle is reported rather than every rotation.
 	const (
 		white = 0
 		gray  = 1
@@ -94,9 +109,10 @@ func (g *Graph) Validate() error {
 	for _, n := range g.nodes {
 		if n != nil && color[n] == white {
 			if err := visit(n); err != nil {
-				return err
+				errs = append(errs, err)
+				break
 			}
 		}
 	}
-	return nil
+	return errs
 }

@@ -1,0 +1,169 @@
+// Package diag defines the shared diagnostic currency of the compiler:
+// position-carrying findings with a severity, a stable machine-readable
+// code, and an optional fix suggestion. The language front end (parser,
+// sema, elab) and the static volume-safety analyzer (internal/analysis)
+// all report through this package so that syntax errors, semantic errors,
+// and lint findings print and sort identically.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aquavol/internal/lang/token"
+)
+
+// Severity classifies a diagnostic. The zero value is Error so that bare
+// Diagnostic{Pos, Msg} literals (the historical sema/parser error shape)
+// keep error severity.
+type Severity int
+
+const (
+	// Error findings make compilation fail (or fluidlint exit non-zero).
+	Error Severity = iota
+	// Warning findings flag likely problems the compiler can work around.
+	Warning
+	// Info findings are advisory.
+	Info
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Info:
+		return "info"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON parses the lower-case severity names MarshalJSON emits, so
+// tools consuming fluidlint -json output can round-trip findings.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"error"`:
+		*s = Error
+	case `"warning"`:
+		*s = Warning
+	case `"info"`:
+		*s = Info
+	default:
+		return fmt.Errorf("diag: unknown severity %s", data)
+	}
+	return nil
+}
+
+// Diagnostic is one finding. Pos may be the zero value for findings with
+// no source anchor (e.g. analyses over programmatically-built DAGs).
+type Diagnostic struct {
+	Pos      token.Pos
+	Severity Severity
+	// Code is a stable machine-readable identifier ("VOL001"). Front-end
+	// syntax and semantic errors leave it empty.
+	Code string
+	Msg  string
+	// Suggestion optionally describes a concrete fix ("cascade depth 2
+	// suffices").
+	Suggestion string
+}
+
+// Error renders the diagnostic as "line:col: severity[CODE]: msg;
+// suggestion", omitting the parts that are unset. Code-less errors print
+// as the historical "line:col: msg" so front-end messages are unchanged.
+func (d Diagnostic) Error() string {
+	var b strings.Builder
+	if d.Pos.IsValid() {
+		b.WriteString(d.Pos.String())
+		b.WriteString(": ")
+	}
+	if d.Code != "" || d.Severity != Error {
+		fmt.Fprintf(&b, "%s[%s]: ", d.Severity, d.Code)
+	}
+	b.WriteString(d.Msg)
+	if d.Suggestion != "" {
+		b.WriteString("; ")
+		b.WriteString(d.Suggestion)
+	}
+	return b.String()
+}
+
+// Errorf builds an error-severity diagnostic.
+func Errorf(pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: pos, Severity: Error, Msg: fmt.Sprintf(format, args...)}
+}
+
+// List collects diagnostics. It implements error.
+type List []Diagnostic
+
+func (l List) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, d := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+	}
+	return b.String()
+}
+
+// Err returns the list as an error, or nil when it is empty.
+func (l List) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// HasErrors reports whether any finding has Error severity.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Count reports the number of findings with the given severity.
+func (l List) Count(s Severity) int {
+	n := 0
+	for _, d := range l {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Sort orders the list by source position, then severity (errors first),
+// then code, then message, so reports are deterministic.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}

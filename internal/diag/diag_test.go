@@ -1,0 +1,72 @@
+package diag
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"aquavol/internal/lang/token"
+)
+
+func TestDiagnosticError(t *testing.T) {
+	pos := token.Pos{Line: 3, Col: 7}
+	cases := []struct {
+		d    Diagnostic
+		want string
+	}{
+		// The historical front-end shape: code-less error at a position.
+		{Diagnostic{Pos: pos, Msg: "undeclared identifier x"},
+			"3:7: undeclared identifier x"},
+		{Diagnostic{Pos: pos, Severity: Warning, Code: "VOL010", Msg: "ratio too skewed", Suggestion: "cascade depth 2 suffices"},
+			"3:7: warning[VOL010]: ratio too skewed; cascade depth 2 suffices"},
+		{Diagnostic{Severity: Info, Code: "VOL012", Msg: "will cascade"},
+			"info[VOL012]: will cascade"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Error, Warning, Info} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %s -> %v", s, data, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity name should not unmarshal")
+	}
+}
+
+func TestListSortAndHelpers(t *testing.T) {
+	l := List{
+		{Pos: token.Pos{Line: 5, Col: 1}, Severity: Info, Code: "VOL012", Msg: "b"},
+		{Pos: token.Pos{Line: 2, Col: 4}, Severity: Warning, Code: "VOL010", Msg: "a"},
+		{Pos: token.Pos{Line: 2, Col: 4}, Severity: Error, Code: "VOL001", Msg: "c"},
+	}
+	l.Sort()
+	if l[0].Code != "VOL001" || l[1].Code != "VOL010" || l[2].Code != "VOL012" {
+		t.Errorf("sort order wrong: %v", l)
+	}
+	if !l.HasErrors() || l.Count(Error) != 1 || l.Count(Warning) != 1 || l.Count(Info) != 1 {
+		t.Errorf("helpers disagree with contents: %v", l)
+	}
+	if List(nil).Err() != nil {
+		t.Error("empty list should Err() nil")
+	}
+	var asList List
+	if err := error(l); !errors.As(err, &asList) || len(asList) != 3 {
+		t.Error("List should round-trip through error via errors.As")
+	}
+}

@@ -5,10 +5,20 @@ import (
 	"strings"
 
 	"aquavol/internal/dag"
+	"aquavol/internal/diag"
 	"aquavol/internal/lang/ast"
 	"aquavol/internal/lang/sema"
 	"aquavol/internal/lang/token"
 )
+
+// FluidDecl records one declared fluid symbol, for analyses that need to
+// relate DAG-level facts back to source declarations (unused-input lint).
+type FluidDecl struct {
+	Name string
+	Pos  token.Pos
+	// NoExcess marks fluids for which excess production is forbidden.
+	NoExcess bool
+}
 
 // Program is a fully elaborated assay.
 type Program struct {
@@ -30,15 +40,17 @@ type Program struct {
 	// AuxInputs lists auxiliary separator fluids (matrix/pusher), which
 	// occupy reservoirs but are not volume-managed.
 	AuxInputs []string
+	// FluidDecls lists the declared fluid symbols in declaration order.
+	FluidDecls []FluidDecl
+	// UsedFluids records, by declared (base) name, every fluid symbol the
+	// program references — read, assigned, or used as an auxiliary
+	// separator fluid.
+	UsedFluids map[string]bool
 }
 
-// Error is one elaboration diagnostic.
-type Error struct {
-	Pos token.Pos
-	Msg string
-}
-
-func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+// Error is one elaboration diagnostic, shared with the rest of the
+// compiler via internal/diag.
+type Error = diag.Diagnostic
 
 // fluidVal is a bound fluid: a DAG node and the producer port to draw
 // from.
@@ -67,7 +79,16 @@ type elaborator struct {
 	guards []Guard
 	// aux records auxiliary fluids already registered.
 	aux map[string]bool
+	// iterations counts total loop iterations, bounding elaboration work
+	// on hostile input (a FOR loop to 10^9 would otherwise hang the
+	// compiler during unrolling).
+	iterations int
 }
+
+// maxIterations bounds total unrolled loop iterations per elaboration. The
+// paper's largest benchmark (Enzyme10) needs 1030; the bound only rejects
+// degenerate programs.
+const maxIterations = 1 << 20
 
 // Elaborate lowers a checked assay.
 func Elaborate(info *sema.Info) (*Program, error) {
@@ -75,10 +96,11 @@ func Elaborate(info *sema.Info) (*Program, error) {
 		info: info,
 		g:    dag.New(),
 		prog: &Program{
-			Name:      info.Program.Name,
-			SlotIndex: map[string]int{},
-			Init:      map[int]float64{},
-			Inputs:    map[string]int{},
+			Name:       info.Program.Name,
+			SlotIndex:  map[string]int{},
+			Init:       map[int]float64{},
+			Inputs:     map[string]int{},
+			UsedFluids: map[string]bool{},
 		},
 		slotBase: map[string]int{},
 		fluids:   map[string]*fluidVal{},
@@ -87,8 +109,15 @@ func Elaborate(info *sema.Info) (*Program, error) {
 	}
 	e.prog.Graph = e.g
 
-	// Allocate dry slots for every VAR symbol (and loop variables).
+	// Record declared fluids for downstream analyses, and allocate dry
+	// slots for every VAR symbol (and loop variables).
 	for _, sym := range sortedSymbols(info) {
+		if sym.Kind == sema.SymFluid {
+			e.prog.FluidDecls = append(e.prog.FluidDecls, FluidDecl{
+				Name: sym.Name, Pos: sym.Pos, NoExcess: sym.NoExcess,
+			})
+			continue
+		}
 		if sym.Kind != sema.SymVar {
 			continue
 		}
@@ -301,6 +330,7 @@ func (e *elaborator) readFluid(r *ast.FluidRef) (*fluidVal, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.prog.UsedFluids[r.Ref.Name] = true
 	if pos, bad := e.poisoned[name]; bad {
 		return nil, e.errf(r.Pos,
 			"elab: fluid %s was assigned under a run-time condition (at %s) and cannot be used afterwards", name, pos)
@@ -322,6 +352,7 @@ func (e *elaborator) bindFluid(lv *ast.LValue, fv *fluidVal) error {
 	if err != nil {
 		return err
 	}
+	e.prog.UsedFluids[lv.Name] = true
 	if e.underGuard() {
 		e.poisoned[name] = lv.Pos
 	} else {
@@ -520,6 +551,7 @@ func (e *elaborator) separate(op *ast.SeparateOp, label string) (*fluidVal, erro
 }
 
 func (e *elaborator) registerAux(name string) {
+	e.prog.UsedFluids[name] = true
 	if !e.aux[name] {
 		e.aux[name] = true
 		e.prog.AuxInputs = append(e.prog.AuxInputs, name)
@@ -599,10 +631,23 @@ func (e *elaborator) forLoop(s *ast.ForStmt) error {
 	}
 	slot := e.slotBase[s.Var]
 	for i := lo; i <= hi; i++ {
+		if err := e.spendIteration(s.Pos); err != nil {
+			return err
+		}
 		e.dry.Set(slot, float64(i))
 		if err := e.stmts(s.Body); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// spendIteration charges one unrolled loop iteration against the
+// elaboration budget.
+func (e *elaborator) spendIteration(pos token.Pos) error {
+	e.iterations++
+	if e.iterations > maxIterations {
+		return e.errf(pos, "elab: loop unrolling exceeds %d total iterations", maxIterations)
 	}
 	return nil
 }
@@ -624,6 +669,9 @@ func (e *elaborator) whileLoop(s *ast.WhileStmt) error {
 		// Compile-time loop: iterate directly, re-evaluating the
 		// condition, up to the bound.
 		for i := 0; i < n; i++ {
+			if err := e.spendIteration(s.Pos); err != nil {
+				return err
+			}
 			v, ok := condIR.Eval(e.dry)
 			if !ok {
 				// The body made the condition run-time (e.g. sensed); fall
@@ -649,6 +697,9 @@ func (e *elaborator) whileLoop(s *ast.WhileStmt) error {
 func (e *elaborator) guardedWhile(s *ast.WhileStmt, condIR ExprIR, n int) error {
 	prevLatch := ExprIR(ConstIR(1))
 	for i := 0; i < n; i++ {
+		if err := e.spendIteration(s.Pos); err != nil {
+			return err
+		}
 		latchSlot := len(e.prog.Slots)
 		name := fmt.Sprintf("%%latch@%s#%d", s.Pos, i)
 		e.prog.Slots = append(e.prog.Slots, name)

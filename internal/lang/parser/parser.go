@@ -6,39 +6,20 @@ package parser
 
 import (
 	"errors"
-	"fmt"
 	"strconv"
-	"strings"
 
+	"aquavol/internal/diag"
 	"aquavol/internal/lang/ast"
 	"aquavol/internal/lang/lexer"
 	"aquavol/internal/lang/token"
 )
 
-// Error is one syntax diagnostic.
-type Error struct {
-	Pos token.Pos
-	Msg string
-}
-
-func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+// Error is one syntax diagnostic, shared with the rest of the compiler via
+// internal/diag.
+type Error = diag.Diagnostic
 
 // ErrorList collects diagnostics.
-type ErrorList []Error
-
-func (l ErrorList) Error() string {
-	if len(l) == 0 {
-		return "no errors"
-	}
-	var b strings.Builder
-	for i, e := range l {
-		if i > 0 {
-			b.WriteByte('\n')
-		}
-		b.WriteString(e.Error())
-	}
-	return b.String()
-}
+type ErrorList = diag.List
 
 // Parse parses an assay program. On failure it returns the accumulated
 // ErrorList (and whatever partial AST exists).
@@ -95,7 +76,7 @@ func (p *parser) expect(k token.Kind) token.Token {
 }
 
 func (p *parser) errorf(format string, args ...any) {
-	p.errs = append(p.errs, Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+	p.errs = append(p.errs, diag.Errorf(p.cur().Pos, format, args...))
 }
 
 // sync skips to just past the next semicolon (or to a block keyword).

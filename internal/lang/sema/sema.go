@@ -7,8 +7,8 @@ package sema
 
 import (
 	"fmt"
-	"strings"
 
+	"aquavol/internal/diag"
 	"aquavol/internal/lang/ast"
 	"aquavol/internal/lang/token"
 )
@@ -58,27 +58,13 @@ type Info struct {
 	Symbols map[string]*Symbol
 }
 
-// Error is one semantic diagnostic.
-type Error struct {
-	Pos token.Pos
-	Msg string
-}
-
-func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+// Error is one semantic diagnostic, shared with the rest of the compiler
+// via internal/diag so that semantic errors and lint findings print and
+// sort identically.
+type Error = diag.Diagnostic
 
 // ErrorList collects diagnostics.
-type ErrorList []Error
-
-func (l ErrorList) Error() string {
-	var b strings.Builder
-	for i, e := range l {
-		if i > 0 {
-			b.WriteByte('\n')
-		}
-		b.WriteString(e.Error())
-	}
-	return b.String()
-}
+type ErrorList = diag.List
 
 type checker struct {
 	syms map[string]*Symbol
@@ -112,7 +98,7 @@ func Check(prog *ast.Program) (*Info, error) {
 }
 
 func (c *checker) errorf(pos token.Pos, format string, args ...any) {
-	c.errs = append(c.errs, Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	c.errs = append(c.errs, diag.Errorf(pos, format, args...))
 }
 
 func (c *checker) stmts(list []ast.Stmt) {
