@@ -21,4 +21,18 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke (10s each) =="
+go test -fuzz=FuzzAssemble -fuzztime=10s ./internal/ais
+go test -fuzz=FuzzLint -fuzztime=10s ./internal/analysis
+
+echo "== aisverify over compiled examples =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+# Static assay: verify the shipped (listing, volume table) pair.
+go run ./cmd/fluidc -o "$tmp/glucose.ais" -voltab "$tmp/glucose.vol" testdata/glucose.asy
+go run ./cmd/aisverify -voltab "$tmp/glucose.vol" "$tmp/glucose.ais"
+# Staged assay (§3.5): volumes resolve at run time.
+go run ./cmd/fluidc -o "$tmp/glycomics.ais" testdata/glycomics.asy
+go run ./cmd/aisverify -unknown-volumes "$tmp/glycomics.ais"
+
 echo "CI OK"

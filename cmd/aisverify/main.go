@@ -1,0 +1,146 @@
+// Command aisverify is the instruction-level volume-safety verifier for
+// compiled AIS listings — the artifact-level counterpart of cmd/fluidlint.
+// It assembles each listing, runs internal/aisverify's abstract
+// interpretation (per-vessel volume intervals, dry-register definedness,
+// functional-unit port protocol), and reports findings with stable AIS0xx
+// codes; assembler errors report as ASM0xx findings through the same
+// channel.
+//
+// Usage:
+//
+//	aisverify [-json] [-Werror] [-voltab prog.vol] [-yield F] prog.ais...
+//
+// Findings print one per line as file:line:col: severity[CODE]: message.
+// With -json a machine-readable array of findings is emitted instead.
+// -voltab supplies the shipped per-instruction volume table (single
+// listing only). The exit status is 1 if and only if any finding has
+// error severity (after -Werror promotion), 2 on usage or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aisverify"
+	"aquavol/internal/diag"
+)
+
+// record is the JSON shape of one finding, matching fluidlint's.
+type record struct {
+	File       string        `json:"file"`
+	Line       int           `json:"line,omitempty"`
+	Col        int           `json:"col,omitempty"`
+	Severity   diag.Severity `json:"severity"`
+	Code       string        `json:"code,omitempty"`
+	Message    string        `json:"message"`
+	Suggestion string        `json:"suggestion,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aisverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	wError := fs.Bool("Werror", false, "treat warnings as errors")
+	volFile := fs.String("voltab", "", "per-instruction volume table for the listing")
+	yield := fs.Float64("yield", 0, "separation effluent yield fraction (default 0.4)")
+	unknown := fs.Bool("unknown-volumes", false, "volumes are assigned at run time (staged assays)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: aisverify [-json] [-Werror] [-voltab prog.vol] [-yield F] prog.ais...")
+		return 2
+	}
+	if *volFile != "" && fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "aisverify: -voltab applies to a single listing")
+		return 2
+	}
+
+	var tab ais.VolumeTable
+	if *volFile != "" {
+		vsrc, err := os.ReadFile(*volFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "aisverify:", err)
+			return 2
+		}
+		tab, err = ais.ParseVolumeTable(string(vsrc))
+		if err != nil {
+			fmt.Fprintln(stderr, "aisverify:", err)
+			return 2
+		}
+	}
+
+	type finding struct {
+		file string
+		d    diag.Diagnostic
+	}
+	var all []finding
+	failed := false
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "aisverify:", err)
+			return 2
+		}
+		var findings diag.List
+		prog, err := ais.Assemble(string(src))
+		if err != nil {
+			// Assembler diagnostics are findings; anything else is I/O-grade.
+			var dl diag.List
+			if !errors.As(err, &dl) {
+				fmt.Fprintln(stderr, "aisverify:", err)
+				return 2
+			}
+			findings = dl
+		} else {
+			findings = aisverify.Verify(prog, aisverify.Options{
+				Volumes:         tab,
+				UnknownVolumes:  *unknown,
+				SeparationYield: *yield,
+			})
+		}
+		for _, d := range findings {
+			if *wError && d.Severity == diag.Warning {
+				d.Severity = diag.Error
+			}
+			if d.Severity == diag.Error {
+				failed = true
+			}
+			all = append(all, finding{file: file, d: d})
+		}
+	}
+
+	if *jsonOut {
+		records := make([]record, 0, len(all))
+		for _, f := range all {
+			records = append(records, record{
+				File: f.file, Line: f.d.Pos.Line, Col: f.d.Pos.Col,
+				Severity: f.d.Severity, Code: f.d.Code,
+				Message: f.d.Msg, Suggestion: f.d.Suggestion,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(stderr, "aisverify:", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintf(stdout, "%s:%s\n", f.file, f.d.Error())
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fluidc [-plan] [-dot] [-lint] [-Werror] [-no-manage] assay.asy
+//	fluidc [-plan] [-dot] [-lint] [-Werror] [-no-manage] [-no-verify] assay.asy
 //
 // -plan prints the volume plan alongside the listing, -dot emits the
 // (transformed) assay DAG in Graphviz format, -lint runs the compile-time
@@ -13,6 +13,10 @@
 // fails on error findings, -Werror additionally promotes lint warnings to
 // errors, -no-manage skips the cascading/replication hierarchy (plain
 // DAGSolve only).
+//
+// After code generation the emitted listing is checked by the
+// instruction-level verifier (internal/aisverify) against the volume plan;
+// error findings fail the compile. -no-verify skips this pass.
 package main
 
 import (
@@ -21,7 +25,10 @@ import (
 	"fmt"
 	"os"
 
+	"aquavol/internal/ais"
+	"aquavol/internal/aisverify"
 	"aquavol/internal/analysis"
+	"aquavol/internal/aquacore"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
 	"aquavol/internal/diag"
@@ -34,6 +41,7 @@ func main() {
 	lint := flag.Bool("lint", false, "run the volume-safety analyzer before compiling")
 	wError := flag.Bool("Werror", false, "treat lint warnings as errors (implies -lint)")
 	noManage := flag.Bool("no-manage", false, "skip the cascading/replication hierarchy")
+	noVerify := flag.Bool("no-verify", false, "skip the post-codegen instruction-level verifier")
 	outFile := flag.String("o", "", "write the AIS listing to this file instead of stdout")
 	volFile := flag.String("voltab", "", "write the per-instruction volume table to this file (static assays only)")
 	flag.Parse()
@@ -126,6 +134,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tab ais.VolumeTable
+	if plan != nil {
+		tab, err = cg.VolumeTable(func(edge int) (float64, bool) {
+			if edge < 0 || edge >= len(plan.EdgeVolume) {
+				return 0, false
+			}
+			return plan.EdgeVolume[edge], true
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if !*noVerify {
+		opts := aisverify.Options{Volumes: tab, UnknownVolumes: plan == nil}
+		for name := range codegen.DryInit(ep) {
+			opts.DefinedRegs = append(opts.DefinedRegs, name)
+		}
+		if plan != nil {
+			opts.NodeVolume = aquacore.PlanSource{Plan: plan}.NodeVolume
+		}
+		findings := aisverify.Verify(cg.Prog, opts)
+		for _, d := range findings {
+			fmt.Fprintf(os.Stderr, "aisverify: %s\n", d.Error())
+		}
+		if findings.HasErrors() {
+			os.Exit(1)
+		}
+	}
+
 	listing := cg.Prog.String()
 	if *outFile != "" {
 		if err := os.WriteFile(*outFile, []byte(listing), 0o644); err != nil {
@@ -137,15 +175,6 @@ func main() {
 	if *volFile != "" {
 		if plan == nil {
 			fatal(fmt.Errorf("-voltab requires a statically-solvable assay"))
-		}
-		tab, err := cg.VolumeTable(func(edge int) (float64, bool) {
-			if edge < 0 || edge >= len(plan.EdgeVolume) {
-				return 0, false
-			}
-			return plan.EdgeVolume[edge], true
-		})
-		if err != nil {
-			fatal(err)
 		}
 		if err := os.WriteFile(*volFile, []byte(tab.String()), 0o644); err != nil {
 			fatal(err)

@@ -8,6 +8,10 @@
 //
 //	fluidvm [-yield F] [-trace] assay.asy
 //	fluidvm -ais prog.ais -voltab prog.vol       # run a shipped listing
+//
+// -trace streams one line per executed instruction to stderr with the
+// pre→post volume of every vessel the instruction touches — the concrete
+// replay channel for aisverify findings.
 package main
 
 import (
@@ -25,12 +29,16 @@ import (
 
 func main() {
 	yield := flag.Float64("yield", 0.4, "separation effluent yield fraction")
-	trace := flag.Bool("trace", false, "print the AIS listing before running")
+	trace := flag.Bool("trace", false, "stream executed instructions with pre/post vessel volumes")
 	aisFile := flag.String("ais", "", "execute a textual AIS listing (requires -voltab)")
 	volFile := flag.String("voltab", "", "per-instruction volume table for -ais")
 	flag.Parse()
+	var traceFn func(aquacore.TraceEntry)
+	if *trace {
+		traceFn = printTrace
+	}
 	if *aisFile != "" {
-		runShipped(*aisFile, *volFile, *yield)
+		runShipped(*aisFile, *volFile, *yield, traceFn)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -83,16 +91,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *trace {
-		fmt.Println(cg.Prog)
-	}
-
-	m := aquacore.New(aquacore.Config{SeparationYield: *yield}, g, source)
-	dry := map[string]float64{}
-	for slot, v := range ep.Init {
-		dry[ep.Slots[slot]] = v
-	}
-	m.SetDry(dry)
+	m := aquacore.New(aquacore.Config{SeparationYield: *yield, Trace: traceFn}, g, source)
+	m.SetDry(codegen.DryInit(ep))
 	res, err := m.Run(cg.Prog)
 	if err != nil {
 		fatal(err)
@@ -103,7 +103,7 @@ func main() {
 
 // runShipped executes a compiled (listing, volume table) pair — the
 // artifact fluidc -o/-voltab produces — with no source or DAG available.
-func runShipped(aisFile, volFile string, yield float64) {
+func runShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry)) {
 	src, err := os.ReadFile(aisFile)
 	if err != nil {
 		fatal(err)
@@ -112,7 +112,7 @@ func runShipped(aisFile, volFile string, yield float64) {
 	if err != nil {
 		fatal(err)
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: yield}, nil, nil)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn}, nil, nil)
 	if volFile != "" {
 		vsrc, err := os.ReadFile(volFile)
 		if err != nil {
@@ -156,6 +156,20 @@ func report(res *aquacore.Result) {
 	for _, o := range res.Outputs {
 		fmt.Printf("output %s: %.3f nl\n", o.Port, o.Volume)
 	}
+}
+
+// printTrace renders one executed instruction as a stderr line:
+//
+//	step 4 pc 4: move-abs mixer1, s1, 300 | s1 100→70 mixer1 0→30
+func printTrace(e aquacore.TraceEntry) {
+	fmt.Fprintf(os.Stderr, "step %d pc %d: %s", e.Step, e.PC, e.Instr)
+	for i, d := range e.Vessels {
+		if i == 0 {
+			fmt.Fprint(os.Stderr, " |")
+		}
+		fmt.Fprintf(os.Stderr, " %s %.4g→%.4g", d.Name, d.Pre, d.Post)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ package ais
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -221,6 +222,11 @@ type Instr struct {
 	Node int
 	// Comment is emitted after ';' in the listing.
 	Comment string
+	// Line is the 1-based source line the instruction was assembled from
+	// (0 for programs built programmatically, e.g. by codegen). It anchors
+	// assembler and verifier diagnostics; it is not part of the textual
+	// ISA and does not round-trip.
+	Line int
 }
 
 // String renders the instruction in the paper's listing syntax.
@@ -254,6 +260,9 @@ func (p *Program) String() string {
 	byIndex := map[int][]string{}
 	for name, ix := range p.Labels {
 		byIndex[ix] = append(byIndex[ix], name)
+	}
+	for _, names := range byIndex {
+		sort.Strings(names)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s{\n", p.Name)

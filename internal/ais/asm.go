@@ -5,55 +5,95 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"aquavol/internal/diag"
+	"aquavol/internal/lang/token"
+)
+
+// Assembler diagnostic codes. Stable, machine-readable, documented in the
+// README's AIS verification section alongside the AIS0xx verifier codes.
+const (
+	// CodeUnknownOpcode flags an unrecognized mnemonic.
+	CodeUnknownOpcode = "ASM001"
+	// CodeBadOperand flags an operand that does not parse.
+	CodeBadOperand = "ASM002"
+	// CodeDuplicateLabel flags a label defined twice.
+	CodeDuplicateLabel = "ASM003"
+	// CodeUndefinedLabel flags a jump to a label that is never defined.
+	CodeUndefinedLabel = "ASM004"
 )
 
 // Assemble parses AIS listing text (the format produced by
-// Program.String) back into a Program. It exists for the fluidvm CLI and
-// for round-trip testing of the instruction encoding. Edge/Node
-// annotations are not part of the textual ISA and come back as -1.
+// Program.String) back into a Program. It exists for the fluidvm and
+// aisverify CLIs and for round-trip testing of the instruction encoding.
+// Edge/Node annotations are not part of the textual ISA and come back as
+// -1; Instr.Line records the 1-based source line of each instruction.
+//
+// On failure the returned error is a diag.List of positioned diagnostics
+// with stable ASM0xx codes; assembly continues past recoverable errors so
+// one pass reports every problem in the listing.
 func Assemble(src string) (*Program, error) {
 	p := &Program{Labels: map[string]int{}}
+	var errs diag.List
+	errf := func(line, col int, code, format string, args ...any) {
+		errs = append(errs, diag.Diagnostic{
+			Pos:      token.Pos{Line: line, Col: col},
+			Severity: diag.Error,
+			Code:     code,
+			Msg:      fmt.Sprintf(format, args...),
+		})
+	}
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
 		line := raw
+		comment := ""
 		if i := strings.Index(line, ";"); i >= 0 {
+			comment = line[i+1:] // preserved verbatim so listings round-trip
 			line = line[:i]
 		}
-		line = strings.TrimSpace(line)
-		if line == "" {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
 			continue
 		}
+		col := 1 + strings.Index(line, trimmed[:1]) // column of first token
 		// Program header/footer from String().
-		if strings.HasSuffix(line, "{") {
-			p.Name = strings.TrimSpace(strings.TrimSuffix(line, "{"))
+		if strings.HasSuffix(trimmed, "{") {
+			p.Name = strings.TrimSpace(strings.TrimSuffix(trimmed, "{"))
 			continue
 		}
-		if line == "}" {
+		if trimmed == "}" {
 			continue
 		}
-		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t,") {
-			label := strings.TrimSuffix(line, ":")
+		if strings.HasSuffix(trimmed, ":") && !strings.ContainsAny(trimmed, " \t,") {
+			label := strings.TrimSuffix(trimmed, ":")
 			if _, dup := p.Labels[label]; dup {
-				return nil, fmt.Errorf("ais: line %d: duplicate label %q", ln+1, label)
+				errf(ln+1, col, CodeDuplicateLabel, "duplicate label %q", label)
+				continue
 			}
 			p.Labels[label] = len(p.Instrs)
 			continue
 		}
-		in, err := parseInstr(line)
-		if err != nil {
-			return nil, fmt.Errorf("ais: line %d: %w", ln+1, err)
+		in, ok := parseInstr(trimmed, ln+1, col, errf)
+		if !ok {
+			continue
 		}
+		in.Comment = comment
 		p.Instrs = append(p.Instrs, in)
 	}
 	// Validate label references.
-	for i, in := range p.Instrs {
+	for _, in := range p.Instrs {
 		for _, op := range in.Operands {
 			if op.Kind == Label {
 				if _, ok := p.Labels[op.Name]; !ok {
-					return nil, fmt.Errorf("ais: instruction %d references undefined label %q", i, op.Name)
+					errf(in.Line, 1, CodeUndefinedLabel,
+						"%s references undefined label %q", in.Op, op.Name)
 				}
 			}
 		}
+	}
+	if len(errs) > 0 {
+		errs.Sort()
+		return nil, errs
 	}
 	return p, nil
 }
@@ -65,24 +105,38 @@ var (
 	reUnit      = regexp.MustCompile(`^(mixer|heater|separator|sensor|concentrator)(\d+)(?:\.(\w+))?$`)
 )
 
-func parseInstr(line string) (Instr, error) {
-	mnemonic := line
+// parseInstr parses one instruction line. line/col anchor diagnostics;
+// errf collects them. ok is false when the instruction is unusable.
+func parseInstr(text string, line, col int, errf func(line, col int, code, format string, args ...any)) (Instr, bool) {
+	mnemonic := text
 	rest := ""
-	if i := strings.IndexAny(line, " \t"); i >= 0 {
-		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		mnemonic, rest = text[:i], strings.TrimSpace(text[i+1:])
 	}
-	op, ok := opcodeByName[mnemonic]
-	if !ok {
-		return Instr{}, fmt.Errorf("unknown opcode %q", mnemonic)
+	op, okOp := opcodeByName[mnemonic]
+	if !okOp {
+		errf(line, col, CodeUnknownOpcode, "unknown opcode %q", mnemonic)
+		return Instr{}, false
 	}
-	in := Instr{Op: op, Edge: -1, Node: -1}
+	in := Instr{Op: op, Edge: -1, Node: -1, Line: line}
+	ok := true
 	if rest != "" {
+		// Track each operand's column within the original line.
+		base := col + strings.Index(text, rest)
+		offset := 0
 		for _, f := range strings.Split(rest, ",") {
-			o, err := parseOperand(strings.TrimSpace(f))
+			fTrim := strings.TrimSpace(f)
+			opCol := base + offset
+			if fTrim != "" {
+				opCol += strings.Index(f, fTrim[:1])
+			}
+			o, err := parseOperand(fTrim)
 			if err != nil {
-				return Instr{}, err
+				errf(line, opCol, CodeBadOperand, "%s: %v", mnemonic, err)
+				ok = false
 			}
 			in.Operands = append(in.Operands, o)
+			offset += len(f) + 1
 		}
 	}
 	// Jump instructions take their target label as the final operand;
@@ -93,7 +147,7 @@ func parseInstr(line string) (Instr, error) {
 			last.Kind = Label
 		}
 	}
-	return in, nil
+	return in, ok
 }
 
 func parseOperand(s string) (Operand, error) {

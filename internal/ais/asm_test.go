@@ -1,0 +1,97 @@
+package ais
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aquavol/internal/diag"
+)
+
+// findCode returns the diagnostics in err carrying the given ASM0xx code.
+func findCode(t *testing.T, err error, code string) []diag.Diagnostic {
+	t.Helper()
+	var list diag.List
+	if !errors.As(err, &list) {
+		t.Fatalf("error is %T, want diag.List: %v", err, err)
+	}
+	var out []diag.Diagnostic
+	for _, d := range list {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestAssembleUnknownOpcodeDiagnostic(t *testing.T) {
+	_, err := Assemble("nop\nfrobnicate s1, s2\nhalt")
+	ds := findCode(t, err, CodeUnknownOpcode)
+	if len(ds) != 1 {
+		t.Fatalf("want one ASM001, got %v", err)
+	}
+	if ds[0].Pos.Line != 2 || ds[0].Pos.Col != 1 {
+		t.Errorf("pos = %v, want 2:1", ds[0].Pos)
+	}
+	if !strings.Contains(ds[0].Msg, "frobnicate") {
+		t.Errorf("msg = %q, want the bad mnemonic", ds[0].Msg)
+	}
+}
+
+func TestAssembleBadOperandDiagnostic(t *testing.T) {
+	_, err := Assemble("move s1, , 3")
+	ds := findCode(t, err, CodeBadOperand)
+	if len(ds) != 1 {
+		t.Fatalf("want one ASM002, got %v", err)
+	}
+	if ds[0].Pos.Line != 1 {
+		t.Errorf("line = %d, want 1", ds[0].Pos.Line)
+	}
+}
+
+func TestAssembleDuplicateLabelDiagnostic(t *testing.T) {
+	_, err := Assemble("top:\nnop\ntop:\nhalt")
+	ds := findCode(t, err, CodeDuplicateLabel)
+	if len(ds) != 1 {
+		t.Fatalf("want one ASM003, got %v", err)
+	}
+	if ds[0].Pos.Line != 3 {
+		t.Errorf("line = %d, want 3", ds[0].Pos.Line)
+	}
+}
+
+func TestAssembleUndefinedLabelDiagnostic(t *testing.T) {
+	_, err := Assemble("nop\ndry-jmp nowhere\nhalt")
+	ds := findCode(t, err, CodeUndefinedLabel)
+	if len(ds) != 1 {
+		t.Fatalf("want one ASM004, got %v", err)
+	}
+	if ds[0].Pos.Line != 2 {
+		t.Errorf("line = %d, want 2", ds[0].Pos.Line)
+	}
+}
+
+// One pass reports every problem, not just the first.
+func TestAssembleCollectsMultipleErrors(t *testing.T) {
+	_, err := Assemble("bogus1 x\nbogus2 y\ndry-jz r0, gone\nhalt")
+	var list diag.List
+	if !errors.As(err, &list) {
+		t.Fatalf("error is %T, want diag.List", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(list), list)
+	}
+}
+
+func TestAssembleRecordsSourceLines(t *testing.T) {
+	p, err := Assemble("glucose{\n  input s1, ip1\n\n  move mixer1, s1\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 2 {
+		t.Fatalf("got %d instrs", len(p.Instrs))
+	}
+	if p.Instrs[0].Line != 2 || p.Instrs[1].Line != 4 {
+		t.Errorf("lines = %d, %d; want 2, 4", p.Instrs[0].Line, p.Instrs[1].Line)
+	}
+}

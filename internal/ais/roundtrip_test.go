@@ -1,0 +1,98 @@
+package ais_test
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/lang"
+)
+
+// roundTrip asserts that re-assembling a program's textual listing
+// reproduces the listing exactly — the property that makes the .ais file
+// a faithful shipping format.
+func roundTrip(t *testing.T, prog *ais.Program) {
+	t.Helper()
+	text := prog.String()
+	again, err := ais.Assemble(text)
+	if err != nil {
+		t.Fatalf("listing did not re-assemble: %v\n%s", err, text)
+	}
+	if got := again.String(); got != text {
+		t.Fatalf("round trip changed the listing:\n--- first\n%s\n--- second\n%s", text, got)
+	}
+}
+
+func TestRoundTripExampleAssays(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"glucose", assays.GlucoseSource},
+		{"glycomics", assays.GlycomicsSource},
+		{"enzyme2", assays.EnzymeSource(2)},
+		{"enzyme4", assays.EnzymeSource(4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ep, err := lang.Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, cg.Prog)
+		})
+	}
+}
+
+// TestRoundTripFuzzCorpus replays the seeded fuzz corpus as a regular
+// test, so `go test` exercises the corpus even without -fuzz.
+func TestRoundTripFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzAssemble")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty fuzz corpus")
+	}
+	for _, e := range entries {
+		t.Run(e.Name(), func(t *testing.T) {
+			src := readCorpusSeed(t, filepath.Join(dir, e.Name()))
+			prog, err := ais.Assemble(src)
+			if err != nil {
+				t.Fatalf("seed does not assemble: %v", err)
+			}
+			roundTrip(t, prog)
+		})
+	}
+}
+
+// readCorpusSeed parses the "go test fuzz v1" corpus file format: a
+// version header followed by one Go-quoted string literal per argument.
+func readCorpusSeed(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(strings.TrimSpace(string(data)), "\n", 2)
+	if len(lines) != 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		t.Fatalf("%s: not a go fuzz corpus file", path)
+	}
+	lit := strings.TrimSpace(lines[1])
+	lit = strings.TrimSuffix(strings.TrimPrefix(lit, "string("), ")")
+	src, err := strconv.Unquote(lit)
+	if err != nil {
+		t.Fatalf("%s: bad string literal: %v", path, err)
+	}
+	return src
+}

@@ -1,0 +1,152 @@
+package aisverify_test
+
+import (
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aisverify"
+	"aquavol/internal/aquacore"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/diag"
+	"aquavol/internal/lang"
+)
+
+// The differential contract of the verifier, direction one: a program the
+// verifier passes must simulate event-free. Every example assay compiles,
+// verifies with zero findings, and runs on the machine with zero volume
+// events.
+func TestVerifierCleanProgramsSimulateClean(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"glucose", assays.GlucoseSource},
+		{"glycomics", assays.GlycomicsSource},
+		{"enzyme2", assays.EnzymeSource(2)},
+		{"enzyme4", assays.EnzymeSource(4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ep, err := lang.Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			opts := aisverify.Options{}
+			for name := range codegen.DryInit(ep) {
+				opts.DefinedRegs = append(opts.DefinedRegs, name)
+			}
+
+			g := ep.Graph
+			hasUnknown := false
+			for _, n := range g.Nodes() {
+				if n != nil && n.Unknown && !n.IsLeaf() {
+					hasUnknown = true
+				}
+			}
+			var source aquacore.VolumeSource
+			usedLP := false
+			if hasUnknown {
+				sp, err := core.NewStagedPlan(g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				source, err = aquacore.NewStagedSource(sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.UnknownVolumes = true
+				usedLP = true
+			} else {
+				res, err := core.Manage(g, cfg, core.ManageOptions{SkipLP: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g = res.Graph
+				ps := aquacore.PlanSource{Plan: res.Plan}
+				source = ps
+				opts.NodeVolume = ps.NodeVolume
+				usedLP = res.UsedLP
+			}
+
+			cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasUnknown {
+				ps := source.(aquacore.PlanSource)
+				opts.Volumes, err = cg.VolumeTable(ps.EdgeVolume)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if findings := aisverify.Verify(cg.Prog, opts); len(findings) != 0 {
+				t.Fatalf("verifier findings on %s:\n%v", tc.name, findings)
+			}
+
+			m := aquacore.New(aquacore.Config{}, g, source)
+			m.SetDry(codegen.DryInit(ep))
+			res, err := m.Run(cg.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Clean() {
+				t.Fatalf("simulation events (%d): first %v", len(res.Events), res.Events[0])
+			}
+		})
+	}
+}
+
+// Direction two: every error-severity AIS0xx code has a witness program
+// that the verifier flags and whose simulation actually faults (a volume
+// event or a machine error). Warning codes flag conditions the machine
+// tolerates and so have no fault obligation.
+func TestErrorCodesHaveFaultingWitnesses(t *testing.T) {
+	witnesses := []struct {
+		code string
+		src  string
+		tab  ais.VolumeTable
+	}{
+		{aisverify.CodeRanOut, // draw from a never-filled reservoir
+			"input s1, ip1\nmove-abs mixer1, s2, 10\nhalt", nil},
+		{aisverify.CodeOverflow, // 60 nl + 60 nl into one 100 nl mixer
+			"input s1, ip1\nmove-abs mixer1, s1, 600\ninput s1, ip1\nmove-abs mixer1, s1, 600\nhalt", nil},
+		{aisverify.CodeLeastCount, // half a least-count unit
+			"input s1, ip1\nmove-abs mixer1, s1, 0.5\nhalt", nil},
+		{aisverify.CodeOccupiedPort, // refill an output port that still holds fluid
+			"input s1, ip1\nmove-abs separator1.out1, s1, 600\nmove-abs separator1.out1, s1, 600\nhalt", nil},
+		{aisverify.CodeUseBeforeDef, // dry arithmetic on an unset register
+			"dry-add r0, 1\nhalt", nil},
+		{aisverify.CodeMalformed, // a register where a vessel belongs
+			"move s1, r0\nhalt", nil},
+	}
+	for _, w := range witnesses {
+		t.Run(w.code, func(t *testing.T) {
+			prog, err := ais.Assemble(w.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flagged := false
+			for _, d := range aisverify.Verify(prog, aisverify.Options{Volumes: w.tab}) {
+				if d.Code == w.code && d.Severity == diag.Error {
+					flagged = true
+				}
+			}
+			if !flagged {
+				t.Fatalf("verifier does not flag %s on its witness", w.code)
+			}
+
+			m := aquacore.New(aquacore.Config{}, nil, nil)
+			if w.tab != nil {
+				m.SetVolumeTable(w.tab)
+			}
+			res, err := m.Run(prog)
+			if err == nil && res.Clean() {
+				t.Fatalf("witness for %s simulates clean — no fault to predict", w.code)
+			}
+		})
+	}
+}

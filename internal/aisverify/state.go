@@ -1,0 +1,117 @@
+package aisverify
+
+// itv is a closed volume interval [lo, hi] in nanoliters. The zero value
+// is the definitely-empty vessel.
+type itv struct {
+	lo, hi float64
+}
+
+func exact(v float64) itv { return itv{v, v} }
+
+// state is the abstract AquaCore machine state at one program point:
+// per-vessel volume intervals plus the definedness of dry registers.
+// Vessels absent from the map are definitely empty (the machine's
+// initial condition).
+type state struct {
+	vessels map[string]itv
+	// must holds registers defined on every path here; may holds
+	// registers defined on at least one path. must ⊆ may.
+	must, may map[string]bool
+}
+
+func newState() *state {
+	return &state{
+		vessels: map[string]itv{},
+		must:    map[string]bool{},
+		may:     map[string]bool{},
+	}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.vessels {
+		c.vessels[k] = v
+	}
+	for k := range s.must {
+		c.must[k] = true
+	}
+	for k := range s.may {
+		c.may[k] = true
+	}
+	return c
+}
+
+func (s *state) get(name string) itv { return s.vessels[name] }
+
+func (s *state) set(name string, v itv) {
+	if v.lo < 0 {
+		v.lo = 0
+	}
+	if v.hi < v.lo {
+		v.hi = v.lo
+	}
+	s.vessels[name] = v
+}
+
+func (s *state) define(reg string) {
+	s.must[reg] = true
+	s.may[reg] = true
+}
+
+// join widens s to cover other (interval hull, must-intersection,
+// may-union), reporting whether s changed.
+func (s *state) join(other *state) bool {
+	changed := false
+	for k, ov := range other.vessels {
+		v, ok := s.vessels[k]
+		if !ok {
+			v = itv{} // absent = definitely empty
+		}
+		if ov.lo < v.lo {
+			v.lo = ov.lo
+			changed = true
+		}
+		if ov.hi > v.hi {
+			v.hi = ov.hi
+			changed = true
+		}
+		if !ok {
+			changed = changed || v != (itv{})
+		}
+		s.vessels[k] = v
+	}
+	// Vessels known here but absent in other join with definitely-empty.
+	for k, v := range s.vessels {
+		if _, ok := other.vessels[k]; !ok && v.lo > 0 {
+			v.lo = 0
+			s.vessels[k] = v
+			changed = true
+		}
+	}
+	for k := range s.must {
+		if !other.must[k] {
+			delete(s.must, k)
+			changed = true
+		}
+	}
+	for k := range other.may {
+		if !s.may[k] {
+			s.may[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// widen pushes every vessel interval to its extreme bounds, guaranteeing
+// the fixpoint terminates on volume-accumulating loops. capLimit bounds
+// the hi side (anything above machine capacity is already an overflow).
+func (s *state) widen(capLimit float64) {
+	for k, v := range s.vessels {
+		v.lo = 0
+		if v.hi > 0 {
+			v.hi = capLimit
+		}
+		s.vessels[k] = v
+	}
+}

@@ -1,0 +1,257 @@
+package aisverify
+
+import (
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/diag"
+)
+
+// verifySrc assembles src and verifies it with opts.
+func verifySrc(t *testing.T, src string, opts Options) diag.List {
+	t.Helper()
+	prog, err := ais.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Verify(prog, opts)
+}
+
+func codesOf(l diag.List) map[string]diag.Severity {
+	m := map[string]diag.Severity{}
+	for _, d := range l {
+		if _, seen := m[d.Code]; !seen {
+			m[d.Code] = d.Severity
+		}
+	}
+	return m
+}
+
+func wantCode(t *testing.T, l diag.List, code string, sev diag.Severity) {
+	t.Helper()
+	for _, d := range l {
+		if d.Code == code {
+			if d.Severity != sev {
+				t.Errorf("%s severity = %v, want %v (%v)", code, d.Severity, sev, d)
+			}
+			return
+		}
+	}
+	t.Errorf("missing %s in findings: %v", code, l)
+}
+
+func TestVerifyCleanProgram(t *testing.T) {
+	l := verifySrc(t, `input s1, ip1
+move-abs mixer1, s1, 500
+mix mixer1, 10
+move sensor1, mixer1
+sense.OD sensor1, r
+halt`, Options{})
+	if len(l) != 0 {
+		t.Fatalf("clean program has findings: %v", l)
+	}
+}
+
+func TestVerifyRanOutFromEmpty(t *testing.T) {
+	l := verifySrc(t, `input s1, ip1
+move-abs mixer1, s2, 10
+halt`, Options{})
+	wantCode(t, l, CodeRanOut, diag.Error)
+}
+
+func TestVerifyMaybeRanOutAtMerge(t *testing.T) {
+	// One path drains 60 nl from s1, the other leaves it full; the
+	// post-merge 60 nl draw fits the full path but not the drained one.
+	l := verifySrc(t, `input s1, ip1
+dry-mov r0, 1
+dry-jz r0, skip
+move-abs mixer1, s1, 600
+skip:
+move-abs sensor1, s1, 600
+halt`, Options{})
+	wantCode(t, l, CodeMaybeRanOut, diag.Warning)
+	if _, hard := codesOf(l)[CodeRanOut]; hard {
+		t.Errorf("merge draw reported as definite ran-out: %v", l)
+	}
+}
+
+func TestVerifyDefiniteOverflow(t *testing.T) {
+	l := verifySrc(t, `input s1, ip1
+move-abs mixer1, s1, 600
+input s1, ip1
+move-abs mixer1, s1, 600
+halt`, Options{})
+	wantCode(t, l, CodeOverflow, diag.Error)
+}
+
+func TestVerifyPossibleOverflowAtMerge(t *testing.T) {
+	l := verifySrc(t, `input s1, ip1
+dry-mov r0, 1
+dry-jz r0, skip
+move-abs mixer1, s1, 600
+skip:
+input s2, ip2
+move-abs mixer1, s2, 600
+halt`, Options{})
+	wantCode(t, l, CodeMaybeOverflow, diag.Warning)
+	if _, hard := codesOf(l)[CodeOverflow]; hard {
+		t.Errorf("merge overflow reported as definite: %v", l)
+	}
+}
+
+func TestVerifyLeastCountViolations(t *testing.T) {
+	// Sub-unit and non-integral move-abs volumes.
+	for _, units := range []string{"0.5", "1.5"} {
+		l := verifySrc(t, "input s1, ip1\nmove-abs mixer1, s1, "+units+"\nhalt", Options{})
+		wantCode(t, l, CodeLeastCount, diag.Error)
+	}
+	// A planned table volume below the least count.
+	prog, err := ais.Assemble("input s1, ip1\nmove mixer1, s1, 1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Verify(prog, Options{Volumes: ais.VolumeTable{1: 0.05}})
+	wantCode(t, l, CodeLeastCount, diag.Error)
+}
+
+func TestVerifyOccupiedOutputPort(t *testing.T) {
+	l := verifySrc(t, `input s1, ip1
+move-abs separator1.out1, s1, 300
+move-abs separator1.out1, s1, 300
+halt`, Options{})
+	wantCode(t, l, CodeOccupiedPort, diag.Error)
+}
+
+func TestVerifyUseBeforeDef(t *testing.T) {
+	l := verifySrc(t, "dry-add r0, 1\nhalt", Options{})
+	wantCode(t, l, CodeUseBeforeDef, diag.Error)
+	// Presetting the register (the runtime's SetDry) silences it.
+	l = verifySrc(t, "dry-add r0, 1\nhalt", Options{DefinedRegs: []string{"r0"}})
+	if len(l) != 0 {
+		t.Errorf("preset register still flagged: %v", l)
+	}
+}
+
+func TestVerifyMaybeUndefinedAtMerge(t *testing.T) {
+	l := verifySrc(t, `dry-mov c, 0
+dry-jz c, skip
+dry-mov x, 1
+skip:
+dry-mov y, x
+halt`, Options{})
+	wantCode(t, l, CodeMaybeUndef, diag.Warning)
+	if _, hard := codesOf(l)[CodeUseBeforeDef]; hard {
+		t.Errorf("partially-defined register reported as never-defined: %v", l)
+	}
+}
+
+func TestVerifyUnreachable(t *testing.T) {
+	l := verifySrc(t, "halt\nnop\nnop\nhalt", Options{})
+	wantCode(t, l, CodeUnreachable, diag.Warning)
+	n := 0
+	for _, d := range l {
+		if d.Code == CodeUnreachable {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("contiguous unreachable run reported %d times, want once: %v", n, l)
+	}
+}
+
+func TestVerifySeparationWithoutMatrix(t *testing.T) {
+	l := verifySrc(t, `input s1, ip1
+move separator1, s1
+separate.AF separator1, 30
+halt`, Options{})
+	wantCode(t, l, CodeNoMatrix, diag.Warning)
+	// Loading the matrix first silences it.
+	l = verifySrc(t, `input s1, ip1
+input s2, ip2
+move separator1.matrix, s2
+move separator1, s1
+separate.AF separator1, 30
+halt`, Options{})
+	if _, found := codesOf(l)[CodeNoMatrix]; found {
+		t.Errorf("loaded matrix still flagged: %v", l)
+	}
+}
+
+func TestVerifyEmptySense(t *testing.T) {
+	l := verifySrc(t, "sense.OD sensor1, r0\nhalt", Options{})
+	wantCode(t, l, CodeEmptySense, diag.Warning)
+}
+
+func TestVerifyMalformed(t *testing.T) {
+	for _, src := range []string{
+		"mix mixer1\nhalt",          // missing mix time
+		"move s1, r0\nhalt",         // register as move source
+		"input s1, s2\nhalt",        // reservoir as input port
+		"sense.OD sensor1, 3\nhalt", // immediate as sense target
+	} {
+		l := verifySrc(t, src, Options{})
+		wantCode(t, l, CodeMalformed, diag.Error)
+	}
+}
+
+// A dry loop that repeatedly tops up a reservoir must reach a fixpoint
+// and not report spurious definite errors.
+func TestVerifyLoopTerminates(t *testing.T) {
+	l := verifySrc(t, `dry-mov i, 3
+top:
+input s1, ip1
+move-abs mixer1, s1, 100
+output op1, mixer1
+dry-sub i, 1
+dry-jz i, done
+dry-jmp top
+done:
+halt`, Options{})
+	for _, d := range l {
+		if d.Severity == diag.Error {
+			t.Fatalf("loop program has definite error: %v", d)
+		}
+	}
+}
+
+// The separation model follows the machine's deterministic yield: the
+// effluent of a full separation is exactly yield × load.
+func TestVerifySeparationYieldModel(t *testing.T) {
+	// 100 nl in, 0.4 yield → out1 = 40 nl; drawing 40 nl is clean,
+	// drawing 50 nl definitely runs out.
+	prog, err := ais.Assemble(`input s1, ip1
+move separator1, s1
+separate.SIZE separator1, 10
+move-abs mixer1, separator1.out1, 400
+halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := Verify(prog, Options{}); len(l) != 0 {
+		t.Fatalf("exact-yield draw flagged: %v", l)
+	}
+	prog, err = ais.Assemble(`input s1, ip1
+move separator1, s1
+separate.SIZE separator1, 10
+move-abs mixer1, separator1.out1, 500
+halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCode(t, Verify(prog, Options{}), CodeRanOut, diag.Error)
+}
+
+// UnknownVolumes (staged §3.5 assays) suppresses the possible-severity
+// checks for runtime-resolved volumes: a verifier for artifacts whose
+// volumes arrive at run time cannot cry wolf on every move.
+func TestVerifyUnknownVolumesQuiet(t *testing.T) {
+	prog := &ais.Program{Labels: map[string]int{}, Instrs: []ais.Instr{
+		{Op: ais.Input, Operands: []ais.Operand{ais.Res(1), ais.IP(1)}, Edge: -1, Node: 3},
+		{Op: ais.Move, Operands: []ais.Operand{ais.FU("mixer1"), ais.Res(1), ais.Num(0.5)}, Edge: 7, Node: -1},
+		{Op: ais.Mix, Operands: []ais.Operand{ais.FU("mixer1"), ais.Num(10)}, Edge: -1, Node: -1},
+		{Op: ais.Halt, Edge: -1, Node: -1},
+	}}
+	if l := Verify(prog, Options{UnknownVolumes: true}); len(l) != 0 {
+		t.Fatalf("unknown-volume program has findings: %v", l)
+	}
+}

@@ -45,6 +45,31 @@ type Config struct {
 	// Sense computes a sensor reading from vessel contents. nil selects
 	// the total volume in nanoliters (deterministic and plan-checkable).
 	Sense func(volume float64, composition map[string]float64, op ais.Opcode) float64
+	// Trace, when non-nil, receives one entry per executed instruction
+	// with the volumes of the instruction's vessels before and after the
+	// step — the concrete replay channel for aisverify findings
+	// (fluidvm -trace).
+	Trace func(TraceEntry)
+}
+
+// TraceEntry reports one executed instruction to Config.Trace.
+type TraceEntry struct {
+	// Step is the execution-step ordinal (distinct from PC under jumps).
+	Step int
+	// PC is the instruction index executed.
+	PC int
+	// Instr is the executed instruction.
+	Instr ais.Instr
+	// Vessels lists the instruction's vessels (operands plus, for
+	// separations, the unit's out/matrix/pusher ports) with their volumes
+	// before and after the step.
+	Vessels []VesselDelta
+}
+
+// VesselDelta is one vessel's volume change across a traced step.
+type VesselDelta struct {
+	Name      string
+	Pre, Post float64
 }
 
 func (c Config) withDefaults() Config {
@@ -276,9 +301,28 @@ func (m *Machine) Run(prog *ais.Program) (*Result, error) {
 			return nil, fmt.Errorf("aquacore: instruction budget exhausted (dry-code loop?)")
 		}
 		in := prog.Instrs[pc]
+		var traced []VesselDelta
+		if m.cfg.Trace != nil {
+			for _, name := range m.touched(in) {
+				d := VesselDelta{Name: name}
+				if v, ok := m.vessels[name]; ok {
+					d.Pre = v.vol
+				}
+				traced = append(traced, d)
+			}
+		}
+		at := pc
 		jumped, err := m.step(pc, in, prog, &pc)
 		if err != nil {
 			return nil, err
+		}
+		if m.cfg.Trace != nil {
+			for i := range traced {
+				if v, ok := m.vessels[traced[i].Name]; ok {
+					traced[i].Post = v.vol
+				}
+			}
+			m.cfg.Trace(TraceEntry{Step: steps, PC: at, Instr: in, Vessels: traced})
 		}
 		if in.Op == ais.Halt {
 			break
@@ -296,7 +340,54 @@ func (m *Machine) Run(prog *ais.Program) (*Result, error) {
 	return m.res, nil
 }
 
+// touched lists the vessels a traced instruction can affect: its operand
+// vessels plus, for separations, the unit's derived ports.
+func (m *Machine) touched(in ais.Instr) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, o := range in.Operands {
+		if n, ok := operandVessel(o); ok {
+			add(n)
+		}
+	}
+	if in.Op.IsSeparate() && len(in.Operands) > 0 {
+		u := in.Operands[0].Name
+		for _, sub := range []string{"out1", "out2", "matrix", "pusher"} {
+			add(u + "." + sub)
+		}
+	}
+	return names
+}
+
+// minOperands is the operand count below which step would be unable to
+// execute the opcode at all. Assembled listings can be malformed (the ISA
+// text is hand-editable), so the machine reports a clean error instead of
+// indexing out of range; the aisverify structural pass flags the same
+// programs at compile time (AIS012).
+func minOperands(op ais.Opcode) int {
+	switch op {
+	case ais.Nop, ais.Halt:
+		return 0
+	case ais.Mix, ais.Incubate, ais.Concentrate,
+		ais.SeparateCE, ais.SeparateSize, ais.SeparateAF, ais.SeparateLC,
+		ais.DryNot, ais.DryJump:
+		return 1
+	default:
+		return 2
+	}
+}
+
 func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jumped bool, err error) {
+	if len(in.Operands) < minOperands(in.Op) {
+		return false, fmt.Errorf("aquacore: pc %d: malformed instruction %q: %s needs at least %d operands",
+			pc, in, in.Op, minOperands(in.Op))
+	}
 	cfg := m.cfg
 	wet := func(seconds float64) {
 		m.res.WetInstrs++

@@ -1,0 +1,89 @@
+package aquacore
+
+import (
+	"strings"
+	"testing"
+
+	"aquavol/internal/ais"
+)
+
+func TestTraceReportsVesselDeltas(t *testing.T) {
+	prog, err := ais.Assemble(`input s1, ip1
+move-abs mixer1, s1, 300
+halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []TraceEntry
+	m := New(Config{Trace: func(e TraceEntry) { entries = append(entries, e) }}, nil, nil)
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("events: %v", res.Events)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d trace entries, want 3: %v", len(entries), entries)
+	}
+	for i, e := range entries {
+		if e.Step != i || e.PC != i {
+			t.Errorf("entry %d: step=%d pc=%d", i, e.Step, e.PC)
+		}
+	}
+	// The move draws 30 nl from a full 100 nl reservoir.
+	mv := entries[1]
+	deltas := map[string][2]float64{}
+	for _, d := range mv.Vessels {
+		deltas[d.Name] = [2]float64{d.Pre, d.Post}
+	}
+	if got := deltas["s1"]; got != [2]float64{100, 70} {
+		t.Errorf("s1 delta = %v, want [100 70]", got)
+	}
+	if got := deltas["mixer1"]; got != [2]float64{0, 30} {
+		t.Errorf("mixer1 delta = %v, want [0 30]", got)
+	}
+}
+
+func TestTraceCoversSeparationPorts(t *testing.T) {
+	prog, err := ais.Assemble(`input s1, ip1
+move separator1, s1
+separate.SIZE separator1, 10
+halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sep *TraceEntry
+	m := New(Config{Trace: func(e TraceEntry) {
+		if e.Instr.Op == ais.SeparateSize {
+			cp := e
+			sep = &cp
+		}
+	}}, nil, nil)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if sep == nil {
+		t.Fatal("separation not traced")
+	}
+	names := map[string]bool{}
+	for _, d := range sep.Vessels {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"separator1", "separator1.out1", "separator1.out2"} {
+		if !names[want] {
+			t.Errorf("separation trace missing %s (have %v)", want, sep.Vessels)
+		}
+	}
+}
+
+func TestMalformedInstructionFaults(t *testing.T) {
+	prog := &ais.Program{Labels: map[string]int{}, Instrs: []ais.Instr{
+		{Op: ais.Mix, Edge: -1, Node: -1}, // mix with no operands
+	}}
+	m := New(Config{}, nil, nil)
+	_, err := m.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "malformed instruction") {
+		t.Fatalf("err = %v, want malformed-instruction fault", err)
+	}
+}

@@ -762,3 +762,17 @@ func (gen *generator) compileExpr(e elab.ExprIR) ais.Operand {
 		panic(fmt.Sprintf("codegen: unsupported expression %T", e))
 	}
 }
+
+// DryInit returns the elaborated program's compile-time-known initial
+// dry-register bindings keyed by register name — the values
+// aquacore.Machine.SetDry applies before execution and the registers
+// aisverify treats as defined at entry. fluidc, fluidvm, and the
+// verifier all consume the same map so the simulated and verified entry
+// states cannot drift apart.
+func DryInit(ep *elab.Program) map[string]float64 {
+	init := make(map[string]float64, len(ep.Init))
+	for slot, v := range ep.Init {
+		init[ep.Slots[slot]] = v
+	}
+	return init
+}

@@ -1,0 +1,24 @@
+package codegen
+
+import (
+	"testing"
+
+	"aquavol/internal/lang/elab"
+)
+
+func TestDryInit(t *testing.T) {
+	ep := &elab.Program{
+		Slots: []string{"n", "thresh", "r"},
+		Init:  map[int]float64{0: 3, 1: 0.5},
+	}
+	got := DryInit(ep)
+	want := map[string]float64{"n": 3, "thresh": 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("DryInit = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("DryInit[%q] = %g, want %g", k, got[k], v)
+		}
+	}
+}
