@@ -35,4 +35,11 @@ go run ./cmd/aisverify -voltab "$tmp/glucose.vol" "$tmp/glucose.ais"
 go run ./cmd/fluidc -o "$tmp/glycomics.ais" testdata/glycomics.asy
 go run ./cmd/aisverify -unknown-volumes "$tmp/glycomics.ais"
 
+echo "== fault-injection determinism =="
+# Same (listing, seed, profile) must give byte-identical output, trace
+# included: faults and recovery draw from one seeded PRNG stream.
+go run ./cmd/fluidvm -faults moderate -seed 42 -recover -trace testdata/glucose.asy >"$tmp/run1.out" 2>&1
+go run ./cmd/fluidvm -faults moderate -seed 42 -recover -trace testdata/glucose.asy >"$tmp/run2.out" 2>&1
+cmp "$tmp/run1.out" "$tmp/run2.out"
+
 echo "CI OK"

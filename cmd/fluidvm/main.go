@@ -6,12 +6,21 @@
 //
 // Usage:
 //
-//	fluidvm [-yield F] [-trace] assay.asy
+//	fluidvm [-yield F] [-trace] [-faults PROFILE] [-seed N] [-margin F]
+//	        [-recover] [-retries N] assay.asy
 //	fluidvm -ais prog.ais -voltab prog.vol       # run a shipped listing
 //
 // -trace streams one line per executed instruction to stderr with the
 // pre→post volume of every vessel the instruction touches — the concrete
 // replay channel for aisverify findings.
+//
+// -faults injects imperfect fluidics: a preset (none, mild, moderate,
+// harsh) or a comma list like "jitter=0.02,dead=0.05,evap=5e-5,
+// noise=0.02,fail=0.01". The run is reproducible from -seed. -margin
+// over-provisions every planned volume by (1+F). -recover wraps execution
+// in the recovery runtime (bounded retries, capped by -retries per
+// instruction, plus backward-slice regeneration of depleted fluids);
+// shipped listings (-ais) recover with retries only, having no DAG.
 package main
 
 import (
@@ -24,7 +33,10 @@ import (
 	"aquavol/internal/aquacore"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
+	"aquavol/internal/dag"
+	"aquavol/internal/faults"
 	"aquavol/internal/lang"
+	recovery "aquavol/internal/recover"
 )
 
 func main() {
@@ -32,13 +44,27 @@ func main() {
 	trace := flag.Bool("trace", false, "stream executed instructions with pre/post vessel volumes")
 	aisFile := flag.String("ais", "", "execute a textual AIS listing (requires -voltab)")
 	volFile := flag.String("voltab", "", "per-instruction volume table for -ais")
+	faultSpec := flag.String("faults", "none", "fault profile: preset name or k=v list")
+	seed := flag.Int64("seed", 0, "fault-injection PRNG seed")
+	margin := flag.Float64("margin", 0, "safety margin: over-provision planned volumes by (1+F)")
+	rec := flag.Bool("recover", false, "enable the recovery runtime (retry + regeneration)")
+	retries := flag.Int("retries", 3, "retry budget per failed instruction under -recover")
 	flag.Parse()
 	var traceFn func(aquacore.TraceEntry)
 	if *trace {
 		traceFn = printTrace
 	}
+	prof, err := faults.ParseProfile(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var inj *faults.Injector
+	if prof.Enabled() {
+		inj = faults.New(prof, *seed)
+	}
+	ropts := recovery.Options{RetriesPerInstr: *retries}
 	if *aisFile != "" {
-		runShipped(*aisFile, *volFile, *yield, traceFn)
+		runShipped(*aisFile, *volFile, *yield, traceFn, inj, *rec, ropts)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -54,6 +80,10 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.DefaultConfig()
+	cfg.SafetyMargin = *margin
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 
 	g := ep.Graph
 	hasUnknown := false
@@ -87,12 +117,23 @@ func main() {
 		usedLP = res.UsedLP
 	}
 
-	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP})
+	// Forwarding is unsafe whenever production can exceed consumption:
+	// LP plans (no flow conservation) and any positive safety margin.
+	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP || *margin > 0})
 	if err != nil {
 		fatal(err)
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: *yield, Trace: traceFn}, g, source)
+	m := aquacore.New(aquacore.Config{SeparationYield: *yield, Trace: traceFn, Faults: inj}, g, source)
 	m.SetDry(codegen.DryInit(ep))
+	if *rec {
+		out := recovery.Run(m, cg.Prog, g, cg.Clusters, ropts)
+		fmt.Printf("recovery: %s\n", out.Summary())
+		report(out.Result)
+		if out.Err != nil {
+			fatal(out.Err)
+		}
+		return
+	}
 	res, err := m.Run(cg.Prog)
 	if err != nil {
 		fatal(err)
@@ -103,7 +144,10 @@ func main() {
 
 // runShipped executes a compiled (listing, volume table) pair — the
 // artifact fluidc -o/-voltab produces — with no source or DAG available.
-func runShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry)) {
+// Recovery is retry-only here: regeneration needs the DAG and cluster map
+// that only a fresh compile carries.
+func runShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry),
+	inj *faults.Injector, rec bool, ropts recovery.Options) {
 	src, err := os.ReadFile(aisFile)
 	if err != nil {
 		fatal(err)
@@ -112,7 +156,7 @@ func runShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.Tr
 	if err != nil {
 		fatal(err)
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn}, nil, nil)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, Faults: inj}, nil, nil)
 	if volFile != "" {
 		vsrc, err := os.ReadFile(volFile)
 		if err != nil {
@@ -123,6 +167,15 @@ func runShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.Tr
 			fatal(err)
 		}
 		m.SetVolumeTable(tab)
+	}
+	if rec {
+		out := recovery.Run(m, prog, (*dag.Graph)(nil), nil, ropts)
+		fmt.Printf("recovery: %s\n", out.Summary())
+		report(out.Result)
+		if out.Err != nil {
+			fatal(out.Err)
+		}
+		return
 	}
 	res, err := m.Run(prog)
 	if err != nil {
@@ -140,6 +193,19 @@ func report(res *aquacore.Result) {
 		fmt.Printf("%d volume events:\n", len(res.Events))
 		for _, e := range res.Events {
 			fmt.Println(" ", e)
+		}
+	}
+	if res.VolumeDrift != nil {
+		fmt.Printf("injected-fault loss %.4g nl; expected-vs-actual drift:\n", res.FaultLoss())
+		names := make([]string, 0, len(res.VolumeDrift))
+		for name := range res.VolumeDrift {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if d := res.VolumeDrift[name]; d != 0 {
+				fmt.Printf("  %s %+.4g nl\n", name, d)
+			}
 		}
 	}
 	if len(res.Dry) > 0 {

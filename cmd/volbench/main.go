@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen]
-//	         [-full] [-sweep N]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep]
+//	         [-full] [-sweep N] [-seeds N]
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
 // roughly a gigabyte of tableau, which is the paper's point).
@@ -22,6 +22,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	full := flag.Bool("full", false, "include the long Enzyme10 LP solve")
 	sweep := flag.Int("sweep", 5, "max N for the EnzymeN scaling sweep")
+	seeds := flag.Int("seeds", 5, "seeds per cell in the robustness Monte-Carlo sweep")
 	flag.Parse()
 
 	var tables []*bench.Table
@@ -61,6 +62,10 @@ func main() {
 		tables = []*bench.Table{bench.RegenStrategy()}
 	case "output-skew":
 		tables = []*bench.Table{bench.OutputSkewSweep()}
+	case "robustness":
+		tables = []*bench.Table{bench.Robustness(*seeds)}
+	case "margin-sweep":
+		tables = []*bench.Table{bench.MarginSweep()}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -21,6 +21,7 @@ import (
 	"aquavol/internal/ais"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
+	"aquavol/internal/faults"
 )
 
 // Config parameterizes the machine.
@@ -50,6 +51,13 @@ type Config struct {
 	// step — the concrete replay channel for aisverify findings
 	// (fluidvm -trace).
 	Trace func(TraceEntry)
+	// Faults, when non-nil and enabled, injects imperfect fluidics at the
+	// same choke points Trace observes: metering jitter and dead-volume
+	// loss on transports, evaporation over wet time, sensor noise, and
+	// transient FU failures. nil (or a disabled profile) leaves execution
+	// bit-identical to the ideal-physics machine. One injector serves
+	// exactly one run; its PRNG stream position is machine state.
+	Faults *faults.Injector
 }
 
 // TraceEntry reports one executed instruction to Config.Trace.
@@ -120,6 +128,22 @@ const (
 	// EventRanOut is a draw exceeding the source's remaining volume —
 	// the failure volume management exists to prevent.
 	EventRanOut
+	// EventFaultLoss is injected physics removing fluid (dead volume in a
+	// transport channel), distinguishing chaos from plan bugs in traces.
+	EventFaultLoss
+	// EventFUFailure is an injected transient functional-unit failure: the
+	// operation did nothing this attempt (the retry-able fault class).
+	EventFUFailure
+	// EventRetry marks a recovery-runtime re-attempt of a failed
+	// instruction.
+	EventRetry
+	// EventRegen marks a recovery-runtime re-execution of a depleted
+	// fluid's backward slice.
+	EventRegen
+	// EventSolveFailed surfaces a runtime volume-solve error recorded by
+	// the volume source (e.g. StagedSource.SolvePart), so a later
+	// "missing volume" cannot mask its root cause.
+	EventSolveFailed
 )
 
 func (k EventKind) String() string {
@@ -130,6 +154,16 @@ func (k EventKind) String() string {
 		return "overflow"
 	case EventRanOut:
 		return "ran-out"
+	case EventFaultLoss:
+		return "fault-loss"
+	case EventFUFailure:
+		return "fu-failure"
+	case EventRetry:
+		return "retry"
+	case EventRegen:
+		return "regen"
+	case EventSolveFailed:
+		return "solve-failed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -171,10 +205,34 @@ type Result struct {
 	// transport channel, keyed "transport") that spent it, for
 	// utilization analysis.
 	UnitSeconds map[string]float64
+	// VolumeDrift maps vessel (and output-port) names to the cumulative
+	// planned-minus-delivered volume (nl) caused by injected faults:
+	// positive entries are fluid lost to jitter, dead volume, and
+	// evaporation; negative entries are over-delivery from jitter. nil
+	// when no faults were injected.
+	VolumeDrift map[string]float64
 }
 
 // Clean reports whether execution raised no volume violations.
 func (r *Result) Clean() bool { return len(r.Events) == 0 }
+
+// FaultLoss sums the positive drift entries: the total volume injected
+// faults removed from the run. Summation is in sorted vessel order so the
+// float total is reproducible across runs.
+func (r *Result) FaultLoss() float64 {
+	names := make([]string, 0, len(r.VolumeDrift))
+	for name := range r.VolumeDrift {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total float64
+	for _, name := range names {
+		if d := r.VolumeDrift[name]; d > 0 {
+			total += d
+		}
+	}
+	return total
+}
 
 // vessel is any fluid container: reservoir, functional unit, or unit
 // output port.
@@ -230,6 +288,17 @@ type Machine struct {
 	regs     map[string]float64
 	known    map[string]bool
 	res      *Result
+	// flt is cfg.Faults when enabled, nil otherwise: the single gate every
+	// fault hook checks, keeping the faults-off path bit-identical to the
+	// ideal machine.
+	flt   *faults.Injector
+	drift map[string]float64
+	// steps/budget carry the execution-step ordinal and instruction budget
+	// across ExecOne calls so external drivers share Run's loop guard.
+	steps, budget int
+	// solveErrsSeen tracks how many source solve errors have already been
+	// surfaced as events.
+	solveErrsSeen int
 }
 
 // New creates a machine for one program run. g is the volume DAG the
@@ -237,7 +306,7 @@ type Machine struct {
 // may be nil when running an assembled listing with an attached
 // per-instruction volume table (SetVolumeTable).
 func New(cfg Config, g *dag.Graph, src VolumeSource) *Machine {
-	return &Machine{
+	m := &Machine{
 		cfg:     cfg.withDefaults(),
 		g:       g,
 		src:     src,
@@ -246,6 +315,11 @@ func New(cfg Config, g *dag.Graph, src VolumeSource) *Machine {
 		known:   map[string]bool{},
 		res:     &Result{Dry: map[string]float64{}, UnitSeconds: map[string]float64{}},
 	}
+	if m.cfg.Faults.Enabled() {
+		m.flt = m.cfg.Faults
+		m.drift = map[string]float64{}
+	}
+	return m
 }
 
 // SetVolumeTable attaches per-instruction absolute volumes (the shipped
@@ -294,50 +368,188 @@ func (m *Machine) event(kind EventKind, pc int, in ais.Instr, format string, arg
 // Run executes the program to completion (or the instruction budget) and
 // returns the result.
 func (m *Machine) Run(prog *ais.Program) (*Result, error) {
-	budget := 100*len(prog.Instrs) + 10000
 	pc := 0
-	for steps := 0; pc < len(prog.Instrs); steps++ {
-		if steps > budget {
-			return nil, fmt.Errorf("aquacore: instruction budget exhausted (dry-code loop?)")
-		}
-		in := prog.Instrs[pc]
-		var traced []VesselDelta
-		if m.cfg.Trace != nil {
-			for _, name := range m.touched(in) {
-				d := VesselDelta{Name: name}
-				if v, ok := m.vessels[name]; ok {
-					d.Pre = v.vol
-				}
-				traced = append(traced, d)
-			}
-		}
-		at := pc
-		jumped, err := m.step(pc, in, prog, &pc)
+	for pc < len(prog.Instrs) {
+		next, halted, err := m.ExecOne(prog, pc)
 		if err != nil {
 			return nil, err
 		}
-		if m.cfg.Trace != nil {
-			for i := range traced {
-				if v, ok := m.vessels[traced[i].Name]; ok {
-					traced[i].Post = v.vol
-				}
-			}
-			m.cfg.Trace(TraceEntry{Step: steps, PC: at, Instr: in, Vessels: traced})
-		}
-		if in.Op == ais.Halt {
+		if halted {
 			break
 		}
-		if !jumped {
-			pc++
+		pc = next
+	}
+	return m.Finalize(), nil
+}
+
+// ExecOne executes the single instruction at pc and returns the next pc
+// (after jumps) and whether the program halted. It is Run's loop body,
+// exported so an external recovery runtime can interleave retries and
+// backward-slice re-execution between instructions; the instruction
+// budget and step ordinal are machine state shared with Run.
+func (m *Machine) ExecOne(prog *ais.Program, pc int) (next int, halted bool, err error) {
+	if m.budget == 0 {
+		m.budget = 100*len(prog.Instrs) + 10000
+	}
+	if m.steps > m.budget {
+		return 0, false, fmt.Errorf("aquacore: instruction budget exhausted (dry-code loop?)")
+	}
+	if pc < 0 || pc >= len(prog.Instrs) {
+		return 0, false, fmt.Errorf("aquacore: pc %d out of range [0,%d)", pc, len(prog.Instrs))
+	}
+	in := prog.Instrs[pc]
+	var traced []VesselDelta
+	if m.cfg.Trace != nil {
+		for _, name := range m.touched(in) {
+			d := VesselDelta{Name: name}
+			if v, ok := m.vessels[name]; ok {
+				d.Pre = v.vol
+			}
+			traced = append(traced, d)
 		}
 	}
-	// Final register file.
+	next = pc
+	wetBefore := m.res.WetSeconds
+	jumped, err := m.step(pc, in, prog, &next)
+	if err != nil {
+		return 0, false, err
+	}
+	if m.flt != nil {
+		m.evaporate(m.res.WetSeconds - wetBefore)
+	}
+	if m.cfg.Trace != nil {
+		for i := range traced {
+			if v, ok := m.vessels[traced[i].Name]; ok {
+				traced[i].Post = v.vol
+			}
+		}
+		m.cfg.Trace(TraceEntry{Step: m.steps, PC: pc, Instr: in, Vessels: traced})
+	}
+	m.steps++
+	if in.Op == ais.Halt {
+		return pc, true, nil
+	}
+	if !jumped {
+		next = pc + 1
+	}
+	return next, false, nil
+}
+
+// Finalize snapshots the final register file into the result and returns
+// it. Run calls it automatically; external drivers call it once after
+// their own execution loop.
+func (m *Machine) Finalize() *Result {
 	for k, v := range m.regs {
 		if m.known[k] {
 			m.res.Dry[k] = v
 		}
 	}
-	return m.res, nil
+	if m.drift != nil {
+		m.res.VolumeDrift = m.drift
+	}
+	return m.res
+}
+
+// evaporate removes the injected evaporation fraction for dt seconds of
+// wet time from every vessel. Deterministic (no PRNG draw), so the map
+// iteration order cannot perturb the fault stream.
+func (m *Machine) evaporate(dt float64) {
+	frac := m.flt.EvapFraction(dt)
+	if frac <= 0 {
+		return
+	}
+	for name, v := range m.vessels {
+		if v.vol <= 0 {
+			continue
+		}
+		loss := v.vol * frac
+		v.draw(loss)
+		m.drift[name] += loss
+	}
+}
+
+// VesselVolume reports the current volume (nl) held by a named vessel
+// (reservoir, unit, or unit port); unknown vessels hold 0. Recovery
+// runtimes use it for pre-transfer shortfall checks.
+func (m *Machine) VesselVolume(name string) float64 {
+	if v, ok := m.vessels[name]; ok {
+		return v.vol
+	}
+	return 0
+}
+
+// Faults returns the active fault injector (nil when faults are off).
+// Recovery runtimes read its profile to pad shortfall checks by the
+// worst-case metering jitter.
+func (m *Machine) Faults() *faults.Injector { return m.flt }
+
+// Events returns the events recorded so far (the live slice, not a
+// copy); external drivers diff its length across ExecOne calls to detect
+// per-instruction faults.
+func (m *Machine) Events() []Event { return m.res.Events }
+
+// RecordEvent appends an externally-generated event (retries and
+// regenerations from a recovery runtime) so the causal chain lives in
+// one place.
+func (m *Machine) RecordEvent(e Event) { m.res.Events = append(m.res.Events, e) }
+
+// Idle advances simulated wet time without executing an instruction —
+// the recovery runtime's retry backoff. Evaporation (when injected)
+// continues during the wait.
+func (m *Machine) Idle(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	m.res.WetSeconds += seconds
+	m.res.UnitSeconds["idle"] += seconds
+	if m.flt != nil {
+		m.evaporate(seconds)
+	}
+}
+
+// PlannedTransfer reports the planned (pre-fault) source vessel and
+// volume of the transfer instruction at pc, resolving exactly as step
+// would: absolute operand, volume table, then edge-keyed VolumeSource.
+// ok is false for non-transfer instructions and for whole-vessel moves,
+// whose draw amount is whatever the vessel holds.
+func (m *Machine) PlannedTransfer(pc int, in ais.Instr) (src string, vol float64, ok bool) {
+	switch in.Op {
+	case ais.Move, ais.MoveAbs, ais.Output:
+	default:
+		return "", 0, false
+	}
+	if len(in.Operands) < 2 {
+		return "", 0, false
+	}
+	src, ok = operandVessel(in.Operands[1])
+	if !ok {
+		return "", 0, false
+	}
+	if in.Op == ais.MoveAbs {
+		if len(in.Operands) > 2 && in.Operands[2].Kind == ais.Imm {
+			return src, in.Operands[2].Value * m.cfg.Volume.LeastCount, true
+		}
+		return "", 0, false
+	}
+	if v, has := m.instrVol[pc]; has {
+		return src, v, true
+	}
+	if in.Edge >= 0 && m.src != nil {
+		if v, has := m.src.EdgeVolume(in.Edge); has {
+			return src, v, true
+		}
+	}
+	return "", 0, false
+}
+
+// noteSolveErrors surfaces any volume-solve errors the source recorded
+// since the last check as EventSolveFailed events, anchored at the
+// measuring instruction that triggered the solve.
+func (m *Machine) noteSolveErrors(pc int, in ais.Instr) {
+	errs := m.sourceSolveErrors()
+	for ; m.solveErrsSeen < len(errs); m.solveErrsSeen++ {
+		m.event(EventSolveFailed, pc, in, "runtime volume solve failed: %v", errs[m.solveErrsSeen])
+	}
 }
 
 // touched lists the vessels a traced instruction can affect: its operand
@@ -428,6 +640,11 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		if name == "" {
 			name = dstName
 		}
+		if m.flt != nil {
+			planned := vol
+			vol = math.Min(m.flt.Meter(vol), cfg.Volume.MaxCapacity)
+			m.drift[dstName] += planned - vol
+		}
 		dst := m.vessel(dstName)
 		dst.clear()
 		dst.add(vol, map[string]float64{name: vol})
@@ -444,6 +661,7 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		}
 		srcV := m.vessel(srcName)
 		var vol float64
+		metered := true
 		tabVol, hasTab := m.instrVol[pc]
 		switch {
 		case in.Op == ais.MoveAbs:
@@ -453,6 +671,10 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		case in.Edge >= 0 && m.src != nil:
 			v, ok := m.src.EdgeVolume(in.Edge)
 			if !ok {
+				if errs := m.sourceSolveErrors(); len(errs) > 0 {
+					return false, fmt.Errorf("aquacore: pc %d: no volume for edge %d: runtime solve failed earlier: %v",
+						pc, in.Edge, errs[len(errs)-1])
+				}
 				return false, fmt.Errorf("aquacore: pc %d: no volume for edge %d (runtime plan not ready?)", pc, in.Edge)
 			}
 			vol = v
@@ -460,9 +682,22 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 			return false, fmt.Errorf("aquacore: pc %d: edge-annotated move but no volume source or table", pc)
 		default:
 			vol = srcV.vol // whole-vessel transfer
+			metered = false
 		}
 		if vol < cfg.Volume.LeastCount-1e-9 && vol > 0 {
 			m.event(EventUnderflow, pc, in, "move of %.4g nl below least count %.4g nl", vol, cfg.Volume.LeastCount)
+		}
+		planned := vol
+		if m.flt != nil {
+			// Fixed draw order: failure coin first, then metering jitter.
+			// Whole-vessel drains are not metered, so no jitter there.
+			if m.flt.Fails() {
+				m.event(EventFUFailure, pc, in, "transient transport failure: nothing moved from %s to %s", srcName, dstName)
+				break
+			}
+			if metered {
+				vol = m.flt.Meter(vol)
+			}
 		}
 		// volTol absorbs serialization rounding (volume tables round to 9
 		// significant digits); it is 10⁵× below the least count.
@@ -472,8 +707,17 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 			vol = srcV.vol
 		}
 		comp := srcV.draw(vol)
+		delivered := vol
+		if m.flt != nil {
+			if dead := math.Min(m.flt.Dead(), delivered); dead > 0 {
+				scaleComp(comp, (delivered-dead)/delivered)
+				delivered -= dead
+				m.event(EventFaultLoss, pc, in, "dead volume: %.4g nl lost in the channel to %s", dead, dstName)
+			}
+			m.drift[dstName] += planned - delivered
+		}
 		dstV := m.vessel(dstName)
-		dstV.add(vol, comp)
+		dstV.add(delivered, comp)
 		if dstV.vol > cfg.Volume.MaxCapacity+1e-6 {
 			m.event(EventOverflow, pc, in, "%s at %.4g nl exceeds capacity %.4g nl", dstName, dstV.vol, cfg.Volume.MaxCapacity)
 		}
@@ -486,41 +730,83 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		}
 		srcV := m.vessel(srcName)
 		vol := srcV.vol
+		metered := false
 		if v, ok := m.instrVol[pc]; ok {
 			vol = v
+			metered = true
 		} else if in.Edge >= 0 && m.src != nil {
 			if v, ok := m.src.EdgeVolume(in.Edge); ok {
 				vol = v
+				metered = true
+			}
+		}
+		planned := vol
+		port := in.Operands[0].Name
+		if m.flt != nil {
+			if m.flt.Fails() {
+				m.event(EventFUFailure, pc, in, "transient transport failure: nothing delivered from %s to %s", srcName, port)
+				break
+			}
+			if metered {
+				vol = m.flt.Meter(vol)
 			}
 		}
 		comp := srcV.draw(vol)
+		delivered := vol
+		if m.flt != nil {
+			if dead := math.Min(m.flt.Dead(), delivered); dead > 0 {
+				scaleComp(comp, (delivered-dead)/delivered)
+				delivered -= dead
+				m.event(EventFaultLoss, pc, in, "dead volume: %.4g nl lost in the channel to %s", dead, port)
+			}
+			m.drift[port] += planned - delivered
+		}
 		m.res.Outputs = append(m.res.Outputs, Output{
-			Port: in.Operands[0].Name, Volume: vol, Composition: comp,
+			Port: port, Volume: delivered, Composition: comp,
 		})
 	case ais.Mix:
 		wet(cfg.MoveSeconds + argNum(1))
 		attr("transport", cfg.MoveSeconds)
 		attr(in.Operands[0].Name, argNum(1))
+		if m.flt != nil && m.flt.Fails() {
+			m.event(EventFUFailure, pc, in, "transient FU failure: %s did not run", in.Operands[0].Name)
+		}
 	case ais.Incubate:
 		wet(cfg.MoveSeconds + argNum(2))
 		attr("transport", cfg.MoveSeconds)
 		attr(in.Operands[0].Name, argNum(2))
+		if m.flt != nil && m.flt.Fails() {
+			m.event(EventFUFailure, pc, in, "transient FU failure: %s did not run", in.Operands[0].Name)
+		}
 	case ais.Concentrate:
 		wet(cfg.MoveSeconds + argNum(2))
 		attr("transport", cfg.MoveSeconds)
 		attr(in.Operands[0].Name, argNum(2))
+		if m.flt != nil && m.flt.Fails() {
+			// Nothing concentrated, nothing measured: the sample stays in
+			// the unit for a retry.
+			m.event(EventFUFailure, pc, in, "transient FU failure: %s did not run", in.Operands[0].Name)
+			break
+		}
 		name, _ := operandVessel(in.Operands[0])
 		v := m.vessel(name)
 		kept := v.vol * cfg.ConcentrateYield
 		v.draw(v.vol - kept)
 		if in.Node >= 0 && m.src != nil {
 			m.src.Measured(in.Node, dag.PortDefault, v.vol)
+			m.noteSolveErrors(pc, in)
 		}
 	case ais.SeparateAF, ais.SeparateLC, ais.SeparateCE, ais.SeparateSize:
 		wet(cfg.MoveSeconds + argNum(1))
 		attr("transport", cfg.MoveSeconds)
 		attr(in.Operands[0].Name, argNum(1))
 		unit := in.Operands[0].Name
+		if m.flt != nil && m.flt.Fails() {
+			// Nothing separated, nothing measured: the sample stays in the
+			// unit and the staged partitions stay pending for a retry.
+			m.event(EventFUFailure, pc, in, "transient FU failure: %s did not run", unit)
+			break
+		}
 		v := m.vessel(unit)
 		// Auxiliary matrix/pusher contents do not join the effluent; only
 		// the sample separates. For simplicity the whole unit content
@@ -542,6 +828,7 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		if in.Node >= 0 && m.src != nil {
 			m.src.Measured(in.Node, dag.PortEffluent, effVol)
 			m.src.Measured(in.Node, dag.PortWaste, total-effVol)
+			m.noteSolveErrors(pc, in)
 		}
 	case ais.SenseOD, ais.SenseFL:
 		wet(cfg.SenseSeconds)
@@ -553,6 +840,9 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 			reading = cfg.Sense(v.vol, v.comp, in.Op)
 		} else {
 			reading = v.vol
+		}
+		if m.flt != nil {
+			reading = m.flt.Sense(reading)
 		}
 		reg := in.Operands[1].Name
 		m.regs[reg] = reading
@@ -646,6 +936,22 @@ func b2f(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// scaleComp scales a drawn composition in place (dead-volume loss).
+func scaleComp(comp map[string]float64, f float64) {
+	for k := range comp {
+		comp[k] *= f
+	}
+}
+
+// sourceSolveErrors returns the volume source's recorded solve errors,
+// when it records any (StagedSource does).
+func (m *Machine) sourceSolveErrors() []error {
+	if se, ok := m.src.(interface{ SolveErrors() []error }); ok {
+		return se.SolveErrors()
+	}
+	return nil
 }
 
 // Vessels returns a sorted snapshot of non-empty vessels, for tests and

@@ -1,6 +1,8 @@
 package aquacore
 
 import (
+	"fmt"
+
 	"aquavol/internal/core"
 )
 
@@ -64,7 +66,15 @@ type StagedSource struct {
 	sp       *core.StagedPlan
 	measured map[[2]any]float64
 	localOf  map[int][2]int // orig node id -> (part, local id)
+	// solveErrs records SolvePart failures in arrival order. The machine
+	// surfaces them as EventSolveFailed events and appends the latest to
+	// any "missing volume" error, so the root cause is never masked.
+	solveErrs []error
 }
+
+// SolveErrors returns the runtime solve errors recorded so far, oldest
+// first.
+func (s *StagedSource) SolveErrors() []error { return s.solveErrs }
 
 // NewStagedSource wraps sp, solving every measurement-independent
 // partition up front (the compile-time share of the work).
@@ -128,21 +138,32 @@ func (s *StagedSource) Measured(nodeID int, port string, volume float64) {
 		}
 		ready := true
 		for _, b := range s.sp.Partition.Bindings {
-			if b.Part != i || !b.SourceUnknown {
+			if b.Part != i {
 				continue
 			}
-			if _, ok := measure(b.SourceID, b.SourcePort); !ok {
-				ready = false
+			switch {
+			case b.SourceUnknown:
+				if _, ok := measure(b.SourceID, b.SourcePort); !ok {
+					ready = false
+				}
+			case b.SourcePart >= 0:
+				// A cut known-volume source: defer until its part solved.
+				if _, ok := s.sp.Produced(b.SourceID); !ok {
+					ready = false
+				}
+			}
+			if !ready {
 				break
 			}
 		}
 		if !ready {
 			continue
 		}
-		// Errors here (e.g. a still-unsolved producing part) simply leave
-		// the part pending; the machine will surface a missing volume if
-		// it is ever actually needed.
-		_, _ = s.sp.SolvePart(i, measure)
+		if _, err := s.sp.SolvePart(i, measure); err != nil {
+			// Record the failure instead of silently leaving the part
+			// pending: a later "missing volume" would mask the root cause.
+			s.solveErrs = append(s.solveErrs, fmt.Errorf("part %d: %w", i, err))
+		}
 	}
 }
 

@@ -656,5 +656,7 @@ func All(full bool, sweepN int) []*Table {
 		ReplicaSweep(),
 		RegenStrategy(),
 		OutputSkewSweep(),
+		Robustness(0),
+		MarginSweep(),
 	}
 }

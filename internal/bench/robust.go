@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+
+	"aquavol/internal/aquacore"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/core"
+	"aquavol/internal/faults"
+	"aquavol/internal/lang"
+	"aquavol/internal/lang/elab"
+	recovery "aquavol/internal/recover"
+)
+
+// compiledAssay is a ready-to-execute assay: compiled, volume-managed, and
+// code-generated. Staged assays keep only the compile artifacts; their
+// run-time plan state is rebuilt per run (it is mutated by execution).
+type compiledAssay struct {
+	name   string
+	ep     *elab.Program
+	cfg    core.Config
+	cg     *codegen.Result
+	plan   *core.Plan // nil for staged assays
+	staged bool
+}
+
+// compileForRun mirrors fluidvm's pipeline: Manage for static assays,
+// staged planning for unknown-volume ones; forwarding is disabled for LP
+// plans and for any margin > 0 (both leave excess in units).
+func compileForRun(name, src string, margin float64) (*compiledAssay, error) {
+	ep, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	c := core.DefaultConfig()
+	c.SafetyMargin = margin
+	ca := &compiledAssay{name: name, ep: ep, cfg: c}
+	g := ep.Graph
+	for _, n := range g.Nodes() {
+		if n != nil && n.Unknown && !n.IsLeaf() {
+			ca.staged = true
+		}
+	}
+	noFwd := margin > 0
+	if ca.staged {
+		if _, err := core.NewStagedPlan(g, c); err != nil {
+			return nil, err
+		}
+		noFwd = true // per-part solves may fall back to LP at run time
+	} else {
+		res, err := core.Manage(g, c, core.ManageOptions{})
+		if err != nil {
+			return nil, err
+		}
+		g = res.Graph
+		ca.plan = res.Plan
+		noFwd = noFwd || res.UsedLP
+	}
+	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: noFwd})
+	if err != nil {
+		return nil, err
+	}
+	ca.cg = cg
+	return ca, nil
+}
+
+// newMachine builds a fresh machine for one run under profile p and seed.
+func (ca *compiledAssay) newMachine(p faults.Profile, seed int64) (*aquacore.Machine, error) {
+	var src aquacore.VolumeSource
+	g := ca.ep.Graph
+	if ca.staged {
+		sp, err := core.NewStagedPlan(ca.ep.Graph, ca.cfg)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := aquacore.NewStagedSource(sp)
+		if err != nil {
+			return nil, err
+		}
+		src = ss
+	} else {
+		src = aquacore.PlanSource{Plan: ca.plan}
+		g = ca.plan.Graph
+	}
+	acfg := aquacore.Config{}
+	if p.Enabled() {
+		acfg.Faults = faults.New(p, seed)
+	}
+	m := aquacore.New(acfg, g, src)
+	m.SetDry(codegen.DryInit(ca.ep))
+	return m, nil
+}
+
+// runRecovered executes one seeded run under the recovery runtime.
+func (ca *compiledAssay) runRecovered(p faults.Profile, seed int64, opts recovery.Options) (*recovery.Outcome, error) {
+	m, err := ca.newMachine(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	g := ca.ep.Graph
+	if ca.plan != nil {
+		g = ca.plan.Graph
+	}
+	return recovery.Run(m, ca.cg.Prog, g, ca.cg.Clusters, opts), nil
+}
+
+// robustnessAssays compiles the three paper assays for fault sweeps.
+func robustnessAssays() ([]*compiledAssay, error) {
+	specs := []struct{ name, src string }{
+		{"glucose", assays.GlucoseSource},
+		{"glycomics", assays.GlycomicsSource},
+		{"enzyme", assays.EnzymeSource(2)},
+	}
+	var out []*compiledAssay
+	for _, s := range specs {
+		ca, err := compileForRun(s.name, s.src, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		out = append(out, ca)
+	}
+	return out, nil
+}
+
+// Robustness is the Monte-Carlo fault sweep: every paper assay × every
+// fault preset × seeds runs under the recovery runtime, reporting how
+// often execution completes (cleanly or degraded), how much repair it
+// took, and what the faults cost in fluid and time.
+func Robustness(seeds int) *Table {
+	if seeds <= 0 {
+		seeds = 5
+	}
+	cas, err := robustnessAssays()
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{
+		ID:    "E10/Robust",
+		Title: fmt.Sprintf("fault injection + recovery, %d seeds per cell", seeds),
+		Header: []string{"assay", "profile", "completed", "degraded", "aborted",
+			"retries", "regens", "fault loss", "wet time"},
+	}
+	for _, ca := range cas {
+		for _, pname := range faults.Presets() {
+			p, _ := faults.Preset(pname)
+			var completed, degraded, aborted int
+			var retries, regens, loss, wet float64
+			for s := 0; s < seeds; s++ {
+				out, err := ca.runRecovered(p, int64(1000*s+7), recovery.Options{})
+				if err != nil {
+					panic(err)
+				}
+				switch out.Status {
+				case recovery.Completed:
+					completed++
+				case recovery.CompletedDegraded:
+					degraded++
+				default:
+					aborted++
+				}
+				retries += float64(out.Retries)
+				regens += float64(out.Regens)
+				loss += out.Result.FaultLoss()
+				wet += out.Result.WetSeconds
+			}
+			n := float64(seeds)
+			t.Rows = append(t.Rows, []string{
+				ca.name, pname,
+				fmt.Sprintf("%d/%d", completed, seeds),
+				fmt.Sprintf("%d/%d", degraded, seeds),
+				fmt.Sprintf("%d/%d", aborted, seeds),
+				fmt.Sprintf("%.1f", retries/n),
+				fmt.Sprintf("%.1f", regens/n),
+				fmtVol(loss / n),
+				fmt.Sprintf("%.0f s", wet/n),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"recovery: bounded in-place retries + backward-slice regeneration (internal/recover)",
+		"reproducible: each cell is a fixed seed sequence; rerunning the table is bit-identical")
+	return t
+}
+
+// marginSweepProfile is the deterministic loss-only profile MarginSweep
+// uses: dead volume and evaporation deplete fluids, but nothing is random
+// (no jitter, no failures), so each margin either always or never
+// completes.
+func marginSweepProfile() faults.Profile {
+	return faults.Profile{DeadVolume: 0.15, EvapRate: 2e-5}
+}
+
+// MarginEpsilons is the sweep range of the safety-margin experiment.
+var MarginEpsilons = []float64{0, 0.05, 0.1, 0.2}
+
+// MarginOutcome reports one margin-sweep cell.
+type MarginOutcome struct {
+	Margin    float64
+	Status    recovery.Status
+	RanOut    int
+	FaultLoss float64
+}
+
+// MarginSweepOutcomes runs the glucose assay under the deterministic
+// loss-only profile with recovery DISABLED at each safety margin: the
+// margin alone must absorb the losses. Completion is monotonically
+// non-decreasing in the margin.
+func MarginSweepOutcomes() ([]MarginOutcome, error) {
+	var out []MarginOutcome
+	for _, eps := range MarginEpsilons {
+		ca, err := compileForRun("glucose", assays.GlucoseSource, eps)
+		if err != nil {
+			return nil, err
+		}
+		o, err := ca.runRecovered(marginSweepProfile(), 0,
+			recovery.Options{DisableRetry: true, DisableRegen: true})
+		if err != nil {
+			return nil, err
+		}
+		ranOut := 0
+		for _, e := range o.Result.Events {
+			if e.Kind == aquacore.EventRanOut {
+				ranOut++
+			}
+		}
+		out = append(out, MarginOutcome{
+			Margin: eps, Status: o.Status, RanOut: ranOut,
+			FaultLoss: o.Result.FaultLoss(),
+		})
+	}
+	return out, nil
+}
+
+// MarginSweep renders MarginSweepOutcomes as a table.
+func MarginSweep() *Table {
+	outs, err := MarginSweepOutcomes()
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{
+		ID:     "E11/Margin",
+		Title:  "safety-margin sweep, glucose, deterministic loss-only faults, recovery off",
+		Header: []string{"margin", "status", "ran-out events", "fault loss"},
+	}
+	for _, o := range outs {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*o.Margin),
+			o.Status.String(),
+			fmt.Sprintf("%d", o.RanOut),
+			fmtVol(o.FaultLoss),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("profile %s: losses are deterministic, so completion depends only on the margin", marginSweepProfile()),
+		"over-provisioning by (1+margin) absorbs dead-volume and evaporation losses without replanning")
+	return t
+}

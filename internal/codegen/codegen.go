@@ -93,6 +93,14 @@ type Result struct {
 	// MaxLiveReservoirs is the high-water mark of simultaneously
 	// allocated reservoirs.
 	MaxLiveReservoirs int
+	// Clusters maps each emitted DAG node id to the half-open pc range
+	// [start, end) of its instruction cluster: guard prologue, auxiliary
+	// and operand moves, the operation itself, and the placement move.
+	// Guard skip labels land exactly at the cluster end, so control never
+	// leaves the range. The recovery runtime re-executes these ranges to
+	// regenerate depleted fluids (regen.BackwardSlice driving actual
+	// re-execution).
+	Clusters map[int][2]int
 }
 
 type loc struct {
@@ -141,6 +149,7 @@ func Generate(ep *elab.Program, g *dag.Graph, cfg Config) (*Result, error) {
 		Prog:        gen.prog,
 		InputPort:   map[string]int{},
 		ReservoirOf: map[string]int{},
+		Clusters:    map[int][2]int{},
 	}
 	if err := gen.schedule(); err != nil {
 		return nil, err
@@ -293,9 +302,11 @@ func (gen *generator) emitAll() error {
 	nextNode := 0
 	emitWetUpTo := func(limit int) error {
 		for nextNode < len(gen.nodes) && nodeKey(gen.nodes[nextNode]) < limit {
+			start := len(gen.prog.Instrs)
 			if err := gen.emitNode(nextNode, auxRes); err != nil {
 				return err
 			}
+			gen.res.Clusters[gen.nodes[nextNode].ID()] = [2]int{start, len(gen.prog.Instrs)}
 			gen.releaseDead(nextNode)
 			nextNode++
 		}

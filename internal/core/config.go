@@ -46,6 +46,16 @@ type Config struct {
 	// compilation (the paper: "the replicated code may exceed the PLoC's
 	// resources. In such cases, compilation fails.").
 	MaxFluidNodes int
+	// SafetyMargin is the over-provisioning fraction ε for imperfect
+	// fluidics: every non-leaf node plans to produce (1+ε)× what its
+	// consumers draw, so runs tolerate metering jitter, dead volume, and
+	// evaporation without regeneration. The margin scales all of a node's
+	// in-edges uniformly (mix ratios are preserved) and the dispensing
+	// bottleneck still saturates at MaxCapacity (no overflow); the cost is
+	// proportionally smaller absolute volumes and ε-waste per level. Must
+	// be in [0, 1); 0 (the default) reproduces the paper's exact-flow
+	// plans.
+	SafetyMargin float64
 }
 
 // DefaultConfig returns the paper's evaluation parameters: 100 nl maximum
@@ -87,6 +97,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: LeastCount %v exceeds MaxCapacity %v", c.LeastCount, c.MaxCapacity)
 	case c.OutputSkew < 0 || c.OutputSkew >= 1:
 		return fmt.Errorf("core: OutputSkew must be in [0, 1), got %v", c.OutputSkew)
+	case c.SafetyMargin < 0 || c.SafetyMargin >= 1 || math.IsNaN(c.SafetyMargin):
+		return fmt.Errorf("core: SafetyMargin must be in [0, 1), got %v", c.SafetyMargin)
 	}
 	return nil
 }

@@ -48,7 +48,18 @@ func (v *Vnorms) MaxNode() (*dag.Node, float64) {
 // The graph must validate and must not contain unknown-volume nodes with
 // consumers (partition first, see Partition/NewStagedPlan).
 func ComputeVnorms(g *dag.Graph) (*Vnorms, error) {
-	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 })
+	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 }, 0)
+}
+
+// ComputeVnormsMargin is ComputeVnorms with Config.SafetyMargin applied:
+// every non-leaf node plans (1+margin)× its consumers' draws, giving each
+// level ε slack against metering jitter, dead volume, and evaporation.
+// Margin 0 is exactly ComputeVnorms.
+func ComputeVnormsMargin(g *dag.Graph, margin float64) (*Vnorms, error) {
+	if margin < 0 || margin >= 1 || math.IsNaN(margin) {
+		return nil, fmt.Errorf("core: safety margin must be in [0, 1), got %v", margin)
+	}
+	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 }, margin)
 }
 
 // Availability reports the absolute volume available at a constrained
@@ -133,10 +144,11 @@ func Dispense(v *Vnorms, cfg Config, avail Availability) (*Plan, error) {
 }
 
 // DAGSolve is the complete Fig. 4 algorithm: ComputeVnorms followed by
-// Dispense. For graphs without constrained inputs avail may be nil; for
-// statically-split inputs use StaticAvailability(cfg).
+// Dispense, honoring cfg.SafetyMargin. For graphs without constrained
+// inputs avail may be nil; for statically-split inputs use
+// StaticAvailability(cfg).
 func DAGSolve(g *dag.Graph, cfg Config, avail Availability) (*Plan, error) {
-	v, err := ComputeVnorms(g)
+	v, err := ComputeVnormsMargin(g, cfg.SafetyMargin)
 	if err != nil {
 		return nil, err
 	}

@@ -134,6 +134,17 @@ func Formulate(g *dag.Graph, cfg Config, opts FormulateOptions, avail Availabili
 		}
 		return terms
 	}
+	// Safety margin ε inflates the non-deficit constraints: production must
+	// cover (1+ε)× the outbound draws, mirroring ComputeVnormsMargin.
+	outSumMargin := func(n *dag.Node) []lp.Term {
+		terms := outSum(n)
+		if cfg.SafetyMargin > 0 {
+			for i := range terms {
+				terms[i].Coef *= 1 + cfg.SafetyMargin
+			}
+		}
+		return terms
+	}
 
 	for _, n := range g.Nodes() {
 		if n == nil {
@@ -161,8 +172,8 @@ func Formulate(g *dag.Graph, cfg Config, opts FormulateOptions, avail Availabili
 				[]lp.Term{{Var: v, Coef: 1}}, lp.LE, cap)
 			f.Counts.Capacity++
 			if !n.IsLeaf() {
-				// Class 3: Σ outbound ≤ produced.
-				terms := append(outSum(n), lp.Term{Var: v, Coef: -1})
+				// Class 3: (1+ε)·Σ outbound ≤ produced.
+				terms := append(outSumMargin(n), lp.Term{Var: v, Coef: -1})
 				sense := lp.LE
 				if opts.FlowConservation {
 					sense = lp.EQ
@@ -215,8 +226,8 @@ func Formulate(g *dag.Graph, cfg Config, opts FormulateOptions, avail Availabili
 			f.Counts.OutputToInput++
 			prodTerms = []lp.Term{{Var: pv, Coef: 1}}
 		}
-		// Class 3: Σ outbound ≤ production.
-		terms := outSum(n)
+		// Class 3: (1+ε)·Σ outbound ≤ production.
+		terms := outSumMargin(n)
 		for _, t := range prodTerms {
 			terms = append(terms, lp.Term{Var: t.Var, Coef: -t.Coef})
 		}

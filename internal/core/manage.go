@@ -121,7 +121,7 @@ func Manage(g *dag.Graph, cfg Config, opts ManageOptions) (*ManageResult, error)
 			return res, ErrResourceLimit
 		}
 
-		vn, err := ComputeVnorms(cur)
+		vn, err := ComputeVnormsMargin(cur, cfg.SafetyMargin)
 		if err != nil {
 			return nil, err
 		}

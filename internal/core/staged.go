@@ -60,7 +60,7 @@ func NewStagedPlan(g *dag.Graph, cfg Config) (*StagedPlan, error) {
 		produced:  map[int]float64{},
 	}
 	for i, pg := range part.Parts {
-		vn, err := ComputeVnorms(pg)
+		vn, err := ComputeVnormsMargin(pg, cfg.SafetyMargin)
 		if err != nil {
 			return nil, fmt.Errorf("core: part %d: %w", i, err)
 		}
@@ -71,6 +71,15 @@ func NewStagedPlan(g *dag.Graph, cfg Config) (*StagedPlan, error) {
 
 // NumParts reports the number of partitions.
 func (sp *StagedPlan) NumParts() int { return len(sp.Partition.Parts) }
+
+// Produced reports the planned production of a cut known-volume node
+// (keyed by original node id) once its part has been solved. Runtime
+// sources use it to defer dependent parts instead of solving out of
+// order.
+func (sp *StagedPlan) Produced(origNodeID int) (float64, bool) {
+	v, ok := sp.produced[origNodeID]
+	return v, ok
+}
 
 // Static reports whether part i can be solved at compile time (no
 // run-time-measured constrained inputs).

@@ -45,7 +45,7 @@ func ComputeVnormsWeighted(g *dag.Graph, weight map[int]float64) (*Vnorms, error
 			return w
 		}
 		return 1
-	})
+	}, 0)
 	return v, err
 }
 
@@ -124,8 +124,13 @@ func DispenseForMinOutputs(v *Vnorms, cfg Config, minVol map[int]float64) (*Plan
 	return p, nil
 }
 
-// computeVnormsSeeded is the backward pass with a custom leaf seed.
-func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64) (*Vnorms, error) {
+// computeVnormsSeeded is the backward pass with a custom leaf seed and an
+// optional safety margin: every non-leaf node's consumption is inflated
+// by (1+margin) before computing its production, so each level of the
+// plan carries ε slack against fluid loss. Margins scale a node's
+// in-edges uniformly, preserving mix ratios, and the maximum node still
+// defines the dispensing scale, so capacity is never exceeded.
+func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64, margin float64) (*Vnorms, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +161,7 @@ func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64) (*Vnorms, e
 				}
 				used += v.Edge[e.ID()]
 			}
+			used *= 1 + margin
 		}
 		production := used / (1 - n.Discard)
 		input := production / n.OutFrac

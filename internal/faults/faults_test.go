@@ -1,0 +1,144 @@
+package faults_test
+
+import (
+	"testing"
+
+	"aquavol/internal/faults"
+)
+
+func TestParseProfilePresets(t *testing.T) {
+	for _, name := range faults.Presets() {
+		p, err := faults.ParseProfile(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if name == "none" {
+			if p.Enabled() {
+				t.Errorf("preset none must be disabled, got %v", p)
+			}
+			continue
+		}
+		if !p.Enabled() {
+			t.Errorf("preset %q must be enabled", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestParseProfileKV(t *testing.T) {
+	p, err := faults.ParseProfile("jitter=0.03, dead=0.2, fail=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeterJitter != 0.03 || p.DeadVolume != 0.2 || p.FailRate != 0.5 {
+		t.Errorf("parsed %+v", p)
+	}
+	if p.EvapRate != 0 || p.SenseNoise != 0 {
+		t.Errorf("omitted keys must stay zero: %+v", p)
+	}
+	// Round trip through the canonical rendering.
+	q, err := faults.ParseProfile(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip %v != %v", q, p)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus-preset-and-no-equals",
+		"spin=1",
+		"jitter=notanumber",
+		"jitter=1.5", // out of range
+		"fail=2",
+	} {
+		if _, err := faults.ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q) should fail", bad)
+		}
+	}
+}
+
+// Identical (profile, seed) pairs must produce identical draw sequences;
+// a different seed must diverge.
+func TestInjectorDeterminism(t *testing.T) {
+	p, _ := faults.Preset("harsh")
+	draw := func(seed int64) []float64 {
+		in := faults.New(p, seed)
+		var out []float64
+		for i := 0; i < 64; i++ {
+			if in.Fails() {
+				out = append(out, -1)
+			}
+			out = append(out, in.Meter(10), in.Sense(5))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draw sequences")
+	}
+}
+
+// Disabled fault classes must not consume randomness, so enabling one
+// class cannot perturb another's realizations.
+func TestDisabledClassesDrawNothing(t *testing.T) {
+	jitterOnly := faults.Profile{MeterJitter: 0.05}
+	a := faults.New(jitterOnly, 7)
+	b := faults.New(jitterOnly, 7)
+	// a interleaves no-op draws; b does not. Metering must still agree.
+	for i := 0; i < 32; i++ {
+		if a.Fails() {
+			t.Fatal("FailRate 0 must never fail")
+		}
+		_ = a.Sense(1) // no-op: SenseNoise 0
+		va, vb := a.Meter(10), b.Meter(10)
+		if va != vb {
+			t.Fatalf("draw %d: %v vs %v — disabled classes consumed randomness", i, va, vb)
+		}
+	}
+}
+
+func TestEvapFraction(t *testing.T) {
+	in := faults.New(faults.Profile{EvapRate: 1e-4}, 1)
+	if f := in.EvapFraction(0); f != 0 {
+		t.Errorf("EvapFraction(0) = %v", f)
+	}
+	f := in.EvapFraction(1000)
+	if f <= 0 || f >= 1 {
+		t.Errorf("EvapFraction(1000) = %v, want in (0, 1)", f)
+	}
+	if g := in.EvapFraction(1e12); g > 1 {
+		t.Errorf("evaporation can never exceed the vessel contents: %v", g)
+	}
+}
+
+func TestMeterClampsNonNegative(t *testing.T) {
+	in := faults.New(faults.Profile{MeterJitter: 0.99}, 3)
+	for i := 0; i < 1000; i++ {
+		if v := in.Meter(1); v < 0 {
+			t.Fatalf("Meter produced negative volume %v", v)
+		}
+	}
+}

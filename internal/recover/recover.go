@@ -1,0 +1,299 @@
+// Package recovery is the runtime companion to the fault model: it wraps
+// AquaCore execution with the two repair strategies the paper's runtime
+// layer motivates (§3.5, §4.3) plus graceful degradation.
+//
+//   - Transient functional-unit failures are retried in place with a
+//     linearly-growing simulated-time backoff, bounded per instruction and
+//     in total.
+//   - A detected volume shortfall — the planned draw of the next transfer
+//     exceeds what its source vessel actually holds, e.g. after dead-volume
+//     or evaporation losses — regenerates the depleted fluid by
+//     re-executing the backward slice of its producer (regen.BackwardSlice
+//     over the codegen cluster map), exactly the reactive-regeneration
+//     mechanism the regen package only counts.
+//   - When repair budgets run out the run completes anyway and the Outcome
+//     reports degradation, with the causal event chain preserved in the
+//     machine's event log.
+//
+// The package name is recovery (the directory is internal/recover; the
+// package cannot be named after the builtin without shadowing it in every
+// importer).
+package recovery
+
+import (
+	"fmt"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aquacore"
+	"aquavol/internal/dag"
+	"aquavol/internal/regen"
+)
+
+// volTol mirrors aquacore's volume comparison tolerance (nl).
+const volTol = 1e-6
+
+// Status classifies how a recovered run ended.
+type Status int
+
+const (
+	// Completed: every instruction executed, every fault was repaired.
+	Completed Status = iota
+	// CompletedDegraded: the run reached the end of the program, but at
+	// least one fault went unrepaired (see Outcome.Incidents).
+	CompletedDegraded
+	// Aborted: execution stopped on a machine error (see Outcome.Err).
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Completed:
+		return "completed"
+	case CompletedDegraded:
+		return "completed-degraded"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options bounds the repair budgets. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// RetriesPerInstr bounds re-attempts of a single failed instruction
+	// (default 3).
+	RetriesPerInstr int
+	// TotalRetries bounds re-attempts across the whole run (default 64).
+	TotalRetries int
+	// MaxRegens bounds backward-slice re-executions across the run
+	// (default 32).
+	MaxRegens int
+	// MaxRegenRounds bounds consecutive regeneration attempts for one
+	// stalled transfer (default 4); a shortfall that survives that many
+	// slice re-executions is structural, not transient.
+	MaxRegenRounds int
+	// BackoffSeconds is the simulated idle before the first retry of an
+	// instruction; attempt k waits k×BackoffSeconds (default 1).
+	BackoffSeconds float64
+	// DisableRetry turns off in-place retries.
+	DisableRetry bool
+	// DisableRegen turns off shortfall regeneration.
+	DisableRegen bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetriesPerInstr == 0 {
+		o.RetriesPerInstr = 3
+	}
+	if o.TotalRetries == 0 {
+		o.TotalRetries = 64
+	}
+	if o.MaxRegens == 0 {
+		o.MaxRegens = 32
+	}
+	if o.MaxRegenRounds == 0 {
+		o.MaxRegenRounds = 4
+	}
+	if o.BackoffSeconds == 0 {
+		o.BackoffSeconds = 1
+	}
+	return o
+}
+
+// Incident is a fault that repair could not (or was not allowed to) fix.
+type Incident struct {
+	// Event is the unrepaired machine event.
+	Event aquacore.Event
+	// Retries is how many re-attempts were spent on it before giving up.
+	Retries int
+}
+
+// Outcome reports a recovered run: the terminal status, the machine
+// result, and the repair accounting.
+type Outcome struct {
+	Status Status
+	// Result is the machine result (always set, even on abort, so partial
+	// traces and events survive).
+	Result *aquacore.Result
+	// Retries counts instruction re-attempts across the run.
+	Retries int
+	// Regens counts backward-slice re-executions.
+	Regens int
+	// RegenInstrs counts instructions replayed by those re-executions.
+	RegenInstrs int
+	// BackoffSeconds is the total simulated time spent waiting before
+	// retries.
+	BackoffSeconds float64
+	// Incidents lists the faults that went unrepaired.
+	Incidents []Incident
+	// Err is the machine error that aborted the run (nil otherwise).
+	Err error
+}
+
+// Summary renders the outcome in one line.
+func (o *Outcome) Summary() string {
+	s := fmt.Sprintf("%s: %d retries, %d regens (%d instrs replayed), %d unrepaired faults",
+		o.Status, o.Retries, o.Regens, o.RegenInstrs, len(o.Incidents))
+	if o.Err != nil {
+		s += fmt.Sprintf(": %v", o.Err)
+	}
+	return s
+}
+
+// Run executes prog on m with retry and regeneration repair. g and
+// clusters come from the compile (the managed graph and codegen's
+// node→pc-range map); both nil degrades gracefully to retry-only repair
+// (e.g. for hand-written listings with no DAG).
+//
+// Determinism: repair decisions depend only on machine state and events,
+// which are themselves deterministic in (listing, plan, seed, profile), so
+// two identical runs produce byte-identical traces and Outcomes.
+func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int, opts Options) *Outcome {
+	opt := opts.withDefaults()
+	out := &Outcome{}
+	abort := func(err error) *Outcome {
+		out.Err = err
+		out.Status = Aborted
+		out.Result = m.Finalize()
+		return out
+	}
+	canRegen := !opt.DisableRegen && g != nil && clusters != nil
+	// Pad shortfall checks by the worst-case metering jitter: a draw can
+	// overshoot its planned volume by that fraction, and regenerating one
+	// round early is cheaper than an unrepairable mid-draw ran-out.
+	jitterPad := 0.0
+	if inj := m.Faults(); inj != nil {
+		jitterPad = inj.Profile().MeterJitter
+	}
+
+	pc := 0
+	for pc < len(prog.Instrs) {
+		in := prog.Instrs[pc]
+
+		// Pre-transfer shortfall check: regenerate the depleted producer
+		// before the draw would trip EventRanOut.
+		if canRegen && in.Edge >= 0 && in.Edge < len(g.Edges()) {
+			if src, need, ok := m.PlannedTransfer(pc, in); ok {
+				need *= 1 + jitterPad
+				rounds := 0
+				// Rounds are NOT cut short when a replay fails to raise the
+				// source: metered reloads re-draw their jitter each round,
+				// so repeating is a legitimate re-measurement, and the
+				// round bound already caps the cost.
+				for need > m.VesselVolume(src)+volTol &&
+					rounds < opt.MaxRegenRounds && out.Regens < opt.MaxRegens {
+					if err := regenerate(m, prog, g, clusters, in.Edge, src, pc, out); err != nil {
+						return abort(err)
+					}
+					rounds++
+				}
+			}
+		}
+
+		// Execute, retrying in place on transient FU failure.
+		mark := len(m.Events())
+		next, halted, err := m.ExecOne(prog, pc)
+		if err != nil {
+			return abort(err)
+		}
+		attempts := 0
+		for fail := lastFUFailure(m.Events()[mark:]); fail != nil; fail = lastFUFailure(m.Events()[mark:]) {
+			if opt.DisableRetry || attempts >= opt.RetriesPerInstr || out.Retries >= opt.TotalRetries {
+				out.Incidents = append(out.Incidents, Incident{Event: *fail, Retries: attempts})
+				break
+			}
+			attempts++
+			out.Retries++
+			wait := float64(attempts) * opt.BackoffSeconds
+			m.Idle(wait)
+			out.BackoffSeconds += wait
+			m.RecordEvent(aquacore.Event{
+				Kind: aquacore.EventRetry, PC: pc, Instr: in.String(),
+				Detail: fmt.Sprintf("attempt %d after transient failure (%.3gs backoff)", attempts, wait),
+			})
+			mark = len(m.Events())
+			next, halted, err = m.ExecOne(prog, pc)
+			if err != nil {
+				return abort(err)
+			}
+		}
+		// Faults repair could not address degrade the run.
+		for _, e := range m.Events()[mark:] {
+			switch e.Kind {
+			case aquacore.EventRanOut, aquacore.EventOverflow, aquacore.EventSolveFailed:
+				out.Incidents = append(out.Incidents, Incident{Event: e})
+			}
+		}
+
+		if halted {
+			break
+		}
+		pc = next
+	}
+
+	out.Result = m.Finalize()
+	if len(out.Incidents) > 0 {
+		out.Status = CompletedDegraded
+	} else {
+		out.Status = Completed
+	}
+	return out
+}
+
+// regenerate re-executes the backward slice of the producer feeding edge,
+// refilling src before the stalled transfer at pc.
+func regenerate(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int,
+	edge int, src string, pc int, out *Outcome) error {
+	producer := g.Edges()[edge].From
+	slice := regen.BackwardSlice(g, producer)
+	replayed := 0
+	for _, n := range slice {
+		cl, ok := clusters[n.ID()]
+		if !ok {
+			continue // dry or merged nodes emit no cluster of their own
+		}
+		count, err := runRange(m, prog, cl)
+		if err != nil {
+			return err
+		}
+		replayed += count
+	}
+	out.Regens++
+	out.RegenInstrs += replayed
+	m.RecordEvent(aquacore.Event{
+		Kind: aquacore.EventRegen, PC: pc, Instr: prog.Instrs[pc].String(),
+		Detail: fmt.Sprintf("re-executed backward slice of %s (%d nodes, %d instrs) to refill %s",
+			producer.Name, len(slice), replayed, src),
+	})
+	return nil
+}
+
+// runRange replays the half-open pc range cl. Codegen places guard skip
+// labels exactly at cluster ends, so a forward jump past the range (or any
+// backward jump) terminates the replay.
+func runRange(m *aquacore.Machine, prog *ais.Program, cl [2]int) (int, error) {
+	count := 0
+	for cpc := cl[0]; cpc >= cl[0] && cpc < cl[1]; {
+		next, halted, err := m.ExecOne(prog, cpc)
+		if err != nil {
+			return count, err
+		}
+		count++
+		if halted || next <= cpc {
+			break
+		}
+		cpc = next
+	}
+	return count, nil
+}
+
+// lastFUFailure finds the most recent transient-failure event in evs.
+func lastFUFailure(evs []aquacore.Event) *aquacore.Event {
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == aquacore.EventFUFailure {
+			return &evs[i]
+		}
+	}
+	return nil
+}

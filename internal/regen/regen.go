@@ -26,7 +26,6 @@ package regen
 
 import (
 	"math"
-	"sort"
 
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
@@ -40,6 +39,11 @@ type Report struct {
 	PerFluid map[string]int
 	// TotalDrawn accumulates volume drawn per producer node name.
 	TotalDrawn map[string]float64
+	// Truncated reports that the regeneration cascade exceeded the
+	// recursion-depth bound (pathological OutFrac chains) and the exact
+	// accounting was cut off: Regenerations is then a lower bound, not an
+	// exact count.
+	Truncated bool
 }
 
 // Options tunes the naive model.
@@ -95,7 +99,9 @@ func CountNaive(g *dag.Graph, cfg core.Config, opts Options) *Report {
 	draw = func(p *dag.Node, amt float64, depth int) {
 		rep.TotalDrawn[p.Name] += amt
 		if depth > 64 {
-			// Pathological OutFrac chains; give up on exact accounting.
+			// Pathological OutFrac chains: give up on exact accounting and
+			// say so, rather than silently under-counting.
+			rep.Truncated = true
 			return
 		}
 		for avail[p]+1e-9 < amt {
@@ -154,12 +160,10 @@ func CountPlanned(plan *core.Plan) *Report {
 
 // scheduleOrder is the deterministic execution order: topological,
 // breaking ties by node id (which matches front-end program order).
+// TopoOrder already breaks ties by smallest id; TestScheduleOrderIsTopo
+// asserts the properties this file relies on.
 func scheduleOrder(g *dag.Graph) []*dag.Node {
-	order := g.TopoOrder()
-	// TopoOrder already breaks ties by smallest id; keep a defensive sort
-	// stability for future-proofing.
-	_ = sort.SliceIsSorted
-	return order
+	return g.TopoOrder()
 }
 
 // BackwardSlice returns the nodes whose re-execution regenerates target:
