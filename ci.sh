@@ -24,6 +24,7 @@ go test -race ./...
 echo "== fuzz smoke (10s each) =="
 go test -fuzz=FuzzAssemble -fuzztime=10s ./internal/ais
 go test -fuzz=FuzzLint -fuzztime=10s ./internal/analysis
+go test -fuzz=FuzzDecode -fuzztime=10s ./internal/journal
 
 echo "== aisverify over compiled examples =="
 tmp=$(mktemp -d)
@@ -41,5 +42,21 @@ echo "== fault-injection determinism =="
 go run ./cmd/fluidvm -faults moderate -seed 42 -recover -trace testdata/glucose.asy >"$tmp/run1.out" 2>&1
 go run ./cmd/fluidvm -faults moderate -seed 42 -recover -trace testdata/glucose.asy >"$tmp/run2.out" 2>&1
 cmp "$tmp/run1.out" "$tmp/run2.out"
+
+echo "== durable execution: crash + resume =="
+# A journaled run killed mid-flight must resume from its write-ahead
+# journal to stdout byte-identical to the uninterrupted run's, and a
+# journal with a torn tail must recover instead of failing.
+go build -o "$tmp/fluidvm" ./cmd/fluidvm
+"$tmp/fluidvm" -faults moderate -seed 42 -journal "$tmp/ref.aqj" testdata/glucose.asy >"$tmp/ref.out"
+status=0
+"$tmp/fluidvm" -faults moderate -seed 42 -journal "$tmp/crash.aqj" -crash-at 7 testdata/glucose.asy >/dev/null 2>&1 || status=$?
+[ "$status" -eq 3 ] # exit 3 = aborted
+"$tmp/fluidvm" -resume "$tmp/crash.aqj" testdata/glucose.asy >"$tmp/resume.out" 2>/dev/null
+cmp "$tmp/ref.out" "$tmp/resume.out"
+size=$(wc -c <"$tmp/crash.aqj")
+head -c $((size - 5)) "$tmp/crash.aqj" >"$tmp/torn.aqj"
+"$tmp/fluidvm" -resume "$tmp/torn.aqj" testdata/glucose.asy >"$tmp/torn.out" 2>/dev/null
+cmp "$tmp/ref.out" "$tmp/torn.out"
 
 echo "CI OK"

@@ -7,8 +7,10 @@
 // Usage:
 //
 //	fluidvm [-yield F] [-trace] [-faults PROFILE] [-seed N] [-margin F]
-//	        [-recover] [-retries N] assay.asy
+//	        [-recover] [-retries N] [-journal PATH] [-snapshot-every N]
+//	        [-crash-at N] assay.asy
 //	fluidvm -ais prog.ais -voltab prog.vol       # run a shipped listing
+//	fluidvm -resume run.aqj assay.asy            # continue a crashed run
 //
 // -trace streams one line per executed instruction to stderr with the
 // pre→post volume of every vessel the instruction touches — the concrete
@@ -21,11 +23,26 @@
 // in the recovery runtime (bounded retries, capped by -retries per
 // instruction, plus backward-slice regeneration of depleted fluids);
 // shipped listings (-ais) recover with retries only, having no DAG.
+//
+// -journal makes the run durable: a write-ahead log of execution records
+// and periodic machine snapshots (cadence -snapshot-every boundaries).
+// -resume restores the last good snapshot from such a journal and
+// continues; the run configuration (profile, seed, margin, yield, retry
+// budget, cadence) is taken from the journal's opening record, not from
+// flags, and the recompiled program must hash-match the journaled one.
+// Because execution is deterministic, a resumed run finishes bit-identical
+// to one that was never interrupted. -crash-at N simulates a process kill
+// after instruction boundary N (chaos testing). All three imply -recover.
+//
+// Exit codes: 0 completed, 1 error, 2 completed-degraded (unrepaired
+// faults), 3 aborted, 4 resume failure, 64 usage.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"sort"
 
@@ -35,54 +52,223 @@ import (
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
 	"aquavol/internal/faults"
+	"aquavol/internal/journal"
 	"aquavol/internal/lang"
 	recovery "aquavol/internal/recover"
 )
 
-func main() {
-	yield := flag.Float64("yield", 0.4, "separation effluent yield fraction")
-	trace := flag.Bool("trace", false, "stream executed instructions with pre/post vessel volumes")
-	aisFile := flag.String("ais", "", "execute a textual AIS listing (requires -voltab)")
-	volFile := flag.String("voltab", "", "per-instruction volume table for -ais")
-	faultSpec := flag.String("faults", "none", "fault profile: preset name or k=v list")
-	seed := flag.Int64("seed", 0, "fault-injection PRNG seed")
-	margin := flag.Float64("margin", 0, "safety margin: over-provision planned volumes by (1+F)")
-	rec := flag.Bool("recover", false, "enable the recovery runtime (retry + regeneration)")
-	retries := flag.Int("retries", 3, "retry budget per failed instruction under -recover")
-	flag.Parse()
+// Structured exit codes: scripts branch on the terminal status without
+// parsing output. Usage errors exit 64 (BSD EX_USAGE) so 2 can mean
+// degraded-but-complete.
+const (
+	exitCompleted    = 0
+	exitError        = 1
+	exitDegraded     = 2
+	exitAborted      = 3
+	exitResumeFailed = 4
+	exitUsage        = 64
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fluidvm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	yield := fs.Float64("yield", 0.4, "separation effluent yield fraction")
+	trace := fs.Bool("trace", false, "stream executed instructions with pre/post vessel volumes")
+	aisFile := fs.String("ais", "", "execute a textual AIS listing (requires -voltab)")
+	volFile := fs.String("voltab", "", "per-instruction volume table for -ais")
+	faultSpec := fs.String("faults", "none", "fault profile: preset name or k=v list")
+	seed := fs.Int64("seed", 0, "fault-injection PRNG seed")
+	margin := fs.Float64("margin", 0, "safety margin: over-provision planned volumes by (1+F)")
+	rec := fs.Bool("recover", false, "enable the recovery runtime (retry + regeneration)")
+	retries := fs.Int("retries", 3, "retry budget per failed instruction under -recover")
+	journalPath := fs.String("journal", "", "write a durable-execution journal to PATH (implies -recover)")
+	resumePath := fs.String("resume", "", "resume a crashed run from its journal (implies -recover)")
+	crashAt := fs.Int("crash-at", -1, "simulate a process kill after instruction boundary N (implies -recover)")
+	snapEvery := fs.Int("snapshot-every", 8, "journal snapshot cadence in instruction boundaries")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	var traceFn func(aquacore.TraceEntry)
 	if *trace {
-		traceFn = printTrace
+		traceFn = traceTo(stderr)
 	}
+
+	if *resumePath != "" {
+		return doResume(*resumePath, fs.Args(), *aisFile, *volFile, traceFn, stdout, stderr)
+	}
+
 	prof, err := faults.ParseProfile(*faultSpec)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	var inj *faults.Injector
 	if prof.Enabled() {
 		inj = faults.New(prof, *seed)
 	}
-	ropts := recovery.Options{RetriesPerInstr: *retries}
+	doRecover := *rec || *journalPath != "" || *crashAt >= 0
+	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery}
+	if *crashAt >= 0 {
+		ropts.Crash = faults.CrashAt(*crashAt)
+	}
+
+	// Build the program and machine.
+	var (
+		prog     *ais.Program
+		g        *dag.Graph
+		clusters map[int][2]int
+		m        *aquacore.Machine
+		name     string
+	)
 	if *aisFile != "" {
-		runShipped(*aisFile, *volFile, *yield, traceFn, inj, *rec, ropts)
-		return
+		name = *aisFile
+		prog, m, err = buildShipped(*aisFile, *volFile, *yield, traceFn, inj)
+	} else {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: fluidvm [flags] assay.asy")
+			return exitUsage
+		}
+		name = fs.Arg(0)
+		var src []byte
+		if src, err = os.ReadFile(name); err == nil {
+			prog, g, clusters, m, err = buildAssay(string(src), *yield, *margin, traceFn, inj)
+		}
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fluidvm [flags] assay.asy")
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	ep, err := lang.Compile(string(src))
+
+	if *journalPath != "" {
+		jw, jf, jerr := journal.Create(*journalPath)
+		if jerr != nil {
+			return fail(stderr, jerr)
+		}
+		defer jf.Close()
+		if jerr := jw.Append(&journal.Record{Kind: journal.KindBegin, Begin: &journal.Begin{
+			Program: name,
+			Hash:    crc32.ChecksumIEEE([]byte(prog.String())),
+			Instrs:  len(prog.Instrs),
+			Profile: prof, Seed: *seed,
+			Margin: *margin, Yield: *yield,
+			Retries: *retries, SnapshotEvery: *snapEvery,
+		}}); jerr != nil {
+			return fail(stderr, jerr)
+		}
+		ropts.Journal = jw
+	}
+
+	if doRecover {
+		return finish(recovery.Run(m, prog, g, clusters, ropts), stdout, stderr)
+	}
+	res, err := m.Run(prog)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
+	}
+	report(stdout, res)
+	return exitCompleted
+}
+
+// doResume restores a crashed journaled run and continues it to
+// completion, appending to the recovered journal. Configuration comes
+// from the journal's begin record; only the program source (and -trace)
+// come from the command line. Notices go to stderr so stdout stays
+// byte-identical to the uninterrupted run's.
+func doResume(path string, args []string, aisFile, volFile string,
+	traceFn func(aquacore.TraceEntry), stdout, stderr io.Writer) int {
+	resumeFail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "fluidvm: resume: "+format+"\n", a...)
+		return exitResumeFailed
+	}
+	recs, tail, w, f, err := journal.OpenAppend(path)
+	if err != nil {
+		return resumeFail("%v", err)
+	}
+	defer f.Close()
+	if tail.Truncated {
+		fmt.Fprintf(stderr, "fluidvm: resume: recovered journal tail: %s (kept %d good bytes)\n",
+			tail.Reason, tail.GoodBytes)
+	}
+	if recs[0].Kind != journal.KindBegin {
+		return resumeFail("journal does not start with a begin record")
+	}
+	begin := recs[0].Begin
+	if last := recs[len(recs)-1]; last.Kind == journal.KindOutcome {
+		return resumeFail("journal is already closed: run %s after %d boundaries",
+			last.Outcome.Status, last.Outcome.Boundaries)
+	}
+
+	// Rebuild the run exactly as the original invocation configured it.
+	var inj *faults.Injector
+	if begin.Profile.Enabled() {
+		inj = faults.New(begin.Profile, begin.Seed)
+	}
+	var (
+		prog     *ais.Program
+		g        *dag.Graph
+		clusters map[int][2]int
+		m        *aquacore.Machine
+	)
+	if aisFile != "" {
+		prog, m, err = buildShipped(aisFile, volFile, begin.Yield, traceFn, inj)
+	} else {
+		if len(args) != 1 {
+			fmt.Fprintln(stderr, "usage: fluidvm -resume run.aqj assay.asy")
+			return exitUsage
+		}
+		var src []byte
+		if src, err = os.ReadFile(args[0]); err == nil {
+			prog, g, clusters, m, err = buildAssay(string(src), begin.Yield, begin.Margin, traceFn, inj)
+		}
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if h := crc32.ChecksumIEEE([]byte(prog.String())); h != begin.Hash || len(prog.Instrs) != begin.Instrs {
+		return resumeFail("journal was recorded for a different program (journaled %08x/%d instrs, recompiled %08x/%d)",
+			begin.Hash, begin.Instrs, h, len(prog.Instrs))
+	}
+
+	ropts := recovery.Options{
+		RetriesPerInstr: begin.Retries,
+		SnapshotEvery:   begin.SnapshotEvery,
+		Journal:         w,
+	}
+	var snap *journal.Snapshot
+	for _, r := range recs {
+		if r.Kind == journal.KindSnapshot {
+			snap = r.Snapshot
+		}
+	}
+	var out *recovery.Outcome
+	if snap == nil {
+		// Death before the first snapshot frame landed: nothing to
+		// restore, so the resume is a fresh deterministic run.
+		fmt.Fprintln(stderr, "fluidvm: resume: no snapshot in journal; restarting from the beginning")
+		out = recovery.Run(m, prog, g, clusters, ropts)
+	} else {
+		fmt.Fprintf(stderr, "fluidvm: resuming at boundary %d (pc %d)\n", snap.Boundary, snap.PC)
+		out, err = recovery.Resume(m, prog, g, clusters, ropts, snap)
+		if err != nil {
+			return resumeFail("%v", err)
+		}
+	}
+	return finish(out, stdout, stderr)
+}
+
+// buildAssay compiles assay source and constructs its machine, mirroring
+// the planner/codegen decisions of a direct run so a resume rebuilds the
+// identical program.
+func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEntry),
+	inj *faults.Injector) (*ais.Program, *dag.Graph, map[int][2]int, *aquacore.Machine, error) {
+	ep, err := lang.Compile(src)
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
 	cfg := core.DefaultConfig()
-	cfg.SafetyMargin = *margin
+	cfg.SafetyMargin = margin
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return nil, nil, nil, nil, err
 	}
 
 	g := ep.Graph
@@ -97,11 +283,11 @@ func main() {
 	if hasUnknown {
 		sp, err := core.NewStagedPlan(g, cfg)
 		if err != nil {
-			fatal(err)
+			return nil, nil, nil, nil, err
 		}
 		ss, err := aquacore.NewStagedSource(sp)
 		if err != nil {
-			fatal(err)
+			return nil, nil, nil, nil, err
 		}
 		source = ss
 		// Per-part solves may fall back to LP at run time; be
@@ -110,7 +296,7 @@ func main() {
 	} else {
 		res, err := core.Manage(g, cfg, core.ManageOptions{})
 		if err != nil {
-			fatal(err)
+			return nil, nil, nil, nil, err
 		}
 		g = res.Graph
 		source = aquacore.PlanSource{Plan: res.Plan}
@@ -119,84 +305,72 @@ func main() {
 
 	// Forwarding is unsafe whenever production can exceed consumption:
 	// LP plans (no flow conservation) and any positive safety margin.
-	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP || *margin > 0})
+	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP || margin > 0})
 	if err != nil {
-		fatal(err)
+		return nil, nil, nil, nil, err
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: *yield, Trace: traceFn, Faults: inj}, g, source)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, Faults: inj}, g, source)
 	m.SetDry(codegen.DryInit(ep))
-	if *rec {
-		out := recovery.Run(m, cg.Prog, g, cg.Clusters, ropts)
-		fmt.Printf("recovery: %s\n", out.Summary())
-		report(out.Result)
-		if out.Err != nil {
-			fatal(out.Err)
-		}
-		return
-	}
-	res, err := m.Run(cg.Prog)
-	if err != nil {
-		fatal(err)
-	}
-
-	report(res)
+	return cg.Prog, g, cg.Clusters, m, nil
 }
 
-// runShipped executes a compiled (listing, volume table) pair — the
+// buildShipped assembles a compiled (listing, volume table) pair — the
 // artifact fluidc -o/-voltab produces — with no source or DAG available.
 // Recovery is retry-only here: regeneration needs the DAG and cluster map
 // that only a fresh compile carries.
-func runShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry),
-	inj *faults.Injector, rec bool, ropts recovery.Options) {
+func buildShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry),
+	inj *faults.Injector) (*ais.Program, *aquacore.Machine, error) {
 	src, err := os.ReadFile(aisFile)
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	prog, err := ais.Assemble(string(src))
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, Faults: inj}, nil, nil)
 	if volFile != "" {
 		vsrc, err := os.ReadFile(volFile)
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		tab, err := ais.ParseVolumeTable(string(vsrc))
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		m.SetVolumeTable(tab)
 	}
-	if rec {
-		out := recovery.Run(m, prog, (*dag.Graph)(nil), nil, ropts)
-		fmt.Printf("recovery: %s\n", out.Summary())
-		report(out.Result)
-		if out.Err != nil {
-			fatal(out.Err)
-		}
-		return
-	}
-	res, err := m.Run(prog)
-	if err != nil {
-		fatal(err)
-	}
-	report(res)
+	return prog, m, nil
 }
 
-func report(res *aquacore.Result) {
-	fmt.Printf("executed %d wet + %d dry instructions\n", res.WetInstrs, res.DryInstrs)
-	fmt.Printf("fluidic time %.1f s, electronic time %.3g s\n", res.WetSeconds, res.DrySeconds)
+// finish renders a recovered outcome and maps its status to an exit code.
+func finish(out *recovery.Outcome, stdout, stderr io.Writer) int {
+	fmt.Fprintf(stdout, "recovery: %s\n", out.Summary())
+	report(stdout, out.Result)
+	switch out.Status {
+	case recovery.Completed:
+		return exitCompleted
+	case recovery.CompletedDegraded:
+		return exitDegraded
+	default:
+		fmt.Fprintln(stderr, "fluidvm:", out.Err)
+		return exitAborted
+	}
+}
+
+func report(w io.Writer, res *aquacore.Result) {
+	fmt.Fprintf(w, "executed %d wet + %d dry instructions\n", res.WetInstrs, res.DryInstrs)
+	fmt.Fprintf(w, "fluidic time %.1f s, electronic time %.3g s\n", res.WetSeconds, res.DrySeconds)
 	if res.Clean() {
-		fmt.Println("no underflow/overflow/ran-out events")
+		fmt.Fprintln(w, "no underflow/overflow/ran-out events")
 	} else {
-		fmt.Printf("%d volume events:\n", len(res.Events))
+		fmt.Fprintf(w, "%d volume events:\n", len(res.Events))
 		for _, e := range res.Events {
-			fmt.Println(" ", e)
+			fmt.Fprintln(w, " ", e)
 		}
 	}
 	if res.VolumeDrift != nil {
-		fmt.Printf("injected-fault loss %.4g nl; expected-vs-actual drift:\n", res.FaultLoss())
+		fmt.Fprintf(w, "injected-fault loss %.4g nl; expected-vs-actual drift:\n", res.FaultLoss())
 		names := make([]string, 0, len(res.VolumeDrift))
 		for name := range res.VolumeDrift {
 			names = append(names, name)
@@ -204,41 +378,43 @@ func report(res *aquacore.Result) {
 		sort.Strings(names)
 		for _, name := range names {
 			if d := res.VolumeDrift[name]; d != 0 {
-				fmt.Printf("  %s %+.4g nl\n", name, d)
+				fmt.Fprintf(w, "  %s %+.4g nl\n", name, d)
 			}
 		}
 	}
 	if len(res.Dry) > 0 {
-		fmt.Println("sensed/dry values:")
+		fmt.Fprintln(w, "sensed/dry values:")
 		keys := make([]string, 0, len(res.Dry))
 		for k := range res.Dry {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("  %s = %.4g\n", k, res.Dry[k])
+			fmt.Fprintf(w, "  %s = %.4g\n", k, res.Dry[k])
 		}
 	}
 	for _, o := range res.Outputs {
-		fmt.Printf("output %s: %.3f nl\n", o.Port, o.Volume)
+		fmt.Fprintf(w, "output %s: %.3f nl\n", o.Port, o.Volume)
 	}
 }
 
-// printTrace renders one executed instruction as a stderr line:
+// traceTo renders one executed instruction as a stderr line:
 //
 //	step 4 pc 4: move-abs mixer1, s1, 300 | s1 100→70 mixer1 0→30
-func printTrace(e aquacore.TraceEntry) {
-	fmt.Fprintf(os.Stderr, "step %d pc %d: %s", e.Step, e.PC, e.Instr)
-	for i, d := range e.Vessels {
-		if i == 0 {
-			fmt.Fprint(os.Stderr, " |")
+func traceTo(w io.Writer) func(aquacore.TraceEntry) {
+	return func(e aquacore.TraceEntry) {
+		fmt.Fprintf(w, "step %d pc %d: %s", e.Step, e.PC, e.Instr)
+		for i, d := range e.Vessels {
+			if i == 0 {
+				fmt.Fprint(w, " |")
+			}
+			fmt.Fprintf(w, " %s %.4g→%.4g", d.Name, d.Pre, d.Post)
 		}
-		fmt.Fprintf(os.Stderr, " %s %.4g→%.4g", d.Name, d.Pre, d.Post)
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(os.Stderr)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fluidvm:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "fluidvm:", err)
+	return exitError
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const glucose = "../../testdata/glucose.asy"
+
+// runCLI invokes the command in-process and returns (exit, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// Exit codes are the scripting contract: each terminal status maps to a
+// distinct, documented code.
+func TestExitCodes(t *testing.T) {
+	// 0: clean run.
+	if code, _, errw := runCLI(t, glucose); code != exitCompleted {
+		t.Fatalf("clean run exit %d, want %d (stderr: %s)", code, exitCompleted, errw)
+	}
+	// 2: completed degraded — every FU attempt fails, budget exhausted.
+	code, out, _ := runCLI(t, "-faults", "fail=1", "-seed", "1", "-recover", "-retries", "1", glucose)
+	if code != exitDegraded {
+		t.Fatalf("degraded run exit %d, want %d", code, exitDegraded)
+	}
+	if !strings.Contains(out, "completed-degraded") {
+		t.Fatalf("degraded summary missing: %s", out)
+	}
+	// 3: aborted (simulated crash).
+	dir := t.TempDir()
+	if code, _, _ := runCLI(t, "-journal", filepath.Join(dir, "c.aqj"), "-crash-at", "2", glucose); code != exitAborted {
+		t.Fatalf("crashed run exit %d, want %d", code, exitAborted)
+	}
+	// 1: general error (unreadable input).
+	if code, _, _ := runCLI(t, filepath.Join(dir, "missing.asy")); code != exitError {
+		t.Fatalf("missing input exit %d, want %d", code, exitError)
+	}
+	// 64: usage.
+	if code, _, _ := runCLI(t); code != exitUsage {
+		t.Fatalf("no-args exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-bogus-flag"); code != exitUsage {
+		t.Fatalf("bad-flag exit %d, want %d", code, exitUsage)
+	}
+}
+
+// The durability contract end to end: a journaled run killed mid-flight
+// resumes to a stdout byte-identical to the uninterrupted run's.
+func TestJournalCrashResume(t *testing.T) {
+	dir := t.TempDir()
+
+	refCode, refOut, _ := runCLI(t, "-faults", "moderate", "-seed", "42",
+		"-journal", filepath.Join(dir, "ref.aqj"), glucose)
+	if refCode != exitCompleted {
+		t.Fatalf("reference run exit %d", refCode)
+	}
+
+	crashPath := filepath.Join(dir, "crash.aqj")
+	code, _, errw := runCLI(t, "-faults", "moderate", "-seed", "42",
+		"-journal", crashPath, "-crash-at", "5", glucose)
+	if code != exitAborted {
+		t.Fatalf("crash run exit %d, want %d (stderr: %s)", code, exitAborted, errw)
+	}
+
+	code, out, errw := runCLI(t, "-resume", crashPath, glucose)
+	if code != refCode {
+		t.Fatalf("resume exit %d, want %d (stderr: %s)", code, refCode, errw)
+	}
+	if out != refOut {
+		t.Errorf("resumed stdout differs from uninterrupted run\n got: %q\nwant: %q", out, refOut)
+	}
+	if !strings.Contains(errw, "resuming at boundary") {
+		t.Errorf("resume notice missing from stderr: %s", errw)
+	}
+
+	// A second resume finds the journal closed: nothing to do.
+	if code, _, errw := runCLI(t, "-resume", crashPath, glucose); code != exitResumeFailed {
+		t.Fatalf("resume of closed journal exit %d, want %d (stderr: %s)", code, exitResumeFailed, errw)
+	}
+}
+
+// Resume refuses a program that does not hash-match the journaled one.
+func TestResumeRejectsDifferentProgram(t *testing.T) {
+	dir := t.TempDir()
+	crashPath := filepath.Join(dir, "crash.aqj")
+	if code, _, _ := runCLI(t, "-faults", "moderate", "-seed", "42",
+		"-journal", crashPath, "-crash-at", "3", glucose); code != exitAborted {
+		t.Fatal("setup crash run did not abort")
+	}
+	code, _, errw := runCLI(t, "-resume", crashPath, "../../testdata/glycomics.asy")
+	if code != exitResumeFailed {
+		t.Fatalf("hash-mismatched resume exit %d, want %d", code, exitResumeFailed)
+	}
+	if !strings.Contains(errw, "different program") {
+		t.Errorf("mismatch diagnostic missing: %s", errw)
+	}
+	if code, _, _ := runCLI(t, "-resume", filepath.Join(dir, "missing.aqj"), glucose); code != exitResumeFailed {
+		t.Fatalf("missing journal resume exit %d, want %d", code, exitResumeFailed)
+	}
+}

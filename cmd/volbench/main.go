@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability]
 //	         [-full] [-sweep N] [-seeds N]
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
@@ -66,6 +66,8 @@ func main() {
 		tables = []*bench.Table{bench.Robustness(*seeds)}
 	case "margin-sweep":
 		tables = []*bench.Table{bench.MarginSweep()}
+	case "durability":
+		tables = []*bench.Table{bench.Durability()}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -1,0 +1,17 @@
+package aquacore
+
+import "errors"
+
+// Sentinel errors classifying machine-level fault conditions. They are
+// the stable identities callers (the recovery runtime, fluidvm's exit
+// mapping, tests) match with errors.Is instead of string-matching event
+// details; sites that surface them wrap with %w so the concrete context
+// stays attached.
+var (
+	// ErrShortfall is an unrepaired volume shortfall: a draw needed more
+	// fluid than its source vessel held (EventRanOut incidents).
+	ErrShortfall = errors.New("aquacore: volume shortfall")
+	// ErrFUUnavailable is a functional unit that stayed unavailable after
+	// the retry budget was spent (EventFUFailure incidents).
+	ErrFUUnavailable = errors.New("aquacore: functional unit unavailable")
+)

@@ -299,6 +299,11 @@ type Machine struct {
 	// solveErrsSeen tracks how many source solve errors have already been
 	// surfaced as events.
 	solveErrsSeen int
+	// measLog records every measurement reported to the volume source, in
+	// arrival order. Snapshots carry it so Restore can replay the
+	// measurements into a fresh source, reconstructing its solved-plan
+	// state without serializing the source itself.
+	measLog []Measurement
 }
 
 // New creates a machine for one program run. g is the volume DAG the
@@ -540,6 +545,13 @@ func (m *Machine) PlannedTransfer(pc int, in ais.Instr) (src string, vol float64
 		}
 	}
 	return "", 0, false
+}
+
+// measured reports one run-time measurement to the volume source and
+// records it for snapshots.
+func (m *Machine) measured(node int, port string, vol float64) {
+	m.src.Measured(node, port, vol)
+	m.measLog = append(m.measLog, Measurement{Node: node, Port: port, Volume: vol})
 }
 
 // noteSolveErrors surfaces any volume-solve errors the source recorded
@@ -793,7 +805,7 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		kept := v.vol * cfg.ConcentrateYield
 		v.draw(v.vol - kept)
 		if in.Node >= 0 && m.src != nil {
-			m.src.Measured(in.Node, dag.PortDefault, v.vol)
+			m.measured(in.Node, dag.PortDefault, v.vol)
 			m.noteSolveErrors(pc, in)
 		}
 	case ais.SeparateAF, ais.SeparateLC, ais.SeparateCE, ais.SeparateSize:
@@ -826,8 +838,8 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		m.vessel(unit + ".matrix").clear()
 		m.vessel(unit + ".pusher").clear()
 		if in.Node >= 0 && m.src != nil {
-			m.src.Measured(in.Node, dag.PortEffluent, effVol)
-			m.src.Measured(in.Node, dag.PortWaste, total-effVol)
+			m.measured(in.Node, dag.PortEffluent, effVol)
+			m.measured(in.Node, dag.PortWaste, total-effVol)
 			m.noteSolveErrors(pc, in)
 		}
 	case ais.SenseOD, ais.SenseFL:

@@ -1,0 +1,203 @@
+package aquacore
+
+import (
+	"fmt"
+	"sort"
+
+	"aquavol/internal/faults"
+)
+
+// Measurement is one run-time measurement reported to the volume source
+// (a separation or concentration output). Snapshots carry the full
+// measurement log so a restored machine can replay it into a fresh
+// source, reconstructing the source's solved-plan state deterministically
+// instead of serializing the source itself.
+type Measurement struct {
+	Node   int     `json:"node"`
+	Port   string  `json:"port"`
+	Volume float64 `json:"volume"`
+}
+
+// VesselState is one vessel's serialized contents.
+type VesselState struct {
+	Volume float64 `json:"vol"`
+	// Composition maps fluid names to their absolute volumes. Zero entries
+	// are kept: bit-identical resume requires the exact map contents, not
+	// a physically-equivalent one.
+	Composition map[string]float64 `json:"comp,omitempty"`
+}
+
+// FaultState is the fault injector's serialized state: its construction
+// parameters plus the PRNG stream position. A resumed run reconstructs
+// the injector from (Profile, Seed) and fast-forwards it Draws draws, so
+// the remaining randomness is exactly what the interrupted run would have
+// seen.
+type FaultState struct {
+	Profile faults.Profile `json:"profile"`
+	Seed    int64          `json:"seed"`
+	Draws   uint64         `json:"draws"`
+}
+
+// Snapshot is a full serialization of the machine's mutable state at an
+// instruction boundary. Everything affecting subsequent execution is
+// included — vessels with exact compositions, the dry register file,
+// accumulated result state (times, events, outputs, drift), the
+// instruction budget and step ordinal, the measurement log, and the fault
+// injector's PRNG position — so restoring it onto a freshly-constructed
+// machine and re-executing yields results bit-identical to a run that was
+// never interrupted. JSON encoding round-trips every float64 exactly
+// (shortest-representation encoding) and sorts map keys, so equal states
+// marshal to equal bytes.
+type Snapshot struct {
+	Vessels map[string]VesselState `json:"vessels"`
+	Regs    map[string]float64     `json:"regs,omitempty"`
+	// Known lists the defined dry registers, sorted.
+	Known []string `json:"known,omitempty"`
+
+	WetSeconds  float64            `json:"wetSeconds"`
+	DrySeconds  float64            `json:"drySeconds"`
+	WetInstrs   int                `json:"wetInstrs"`
+	DryInstrs   int                `json:"dryInstrs"`
+	Events      []Event            `json:"events,omitempty"`
+	Dry         map[string]float64 `json:"dry,omitempty"`
+	Outputs     []Output           `json:"outputs,omitempty"`
+	UnitSeconds map[string]float64 `json:"unitSeconds,omitempty"`
+	Drift       map[string]float64 `json:"drift,omitempty"`
+
+	Steps         int `json:"steps"`
+	Budget        int `json:"budget"`
+	SolveErrsSeen int `json:"solveErrsSeen"`
+
+	Measurements []Measurement `json:"measurements,omitempty"`
+	Faults       *FaultState   `json:"faults,omitempty"`
+}
+
+// Snapshot serializes the machine's mutable state. The machine is not
+// consumed; execution can continue (periodic journal snapshots do
+// exactly that).
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Vessels:       make(map[string]VesselState, len(m.vessels)),
+		WetSeconds:    m.res.WetSeconds,
+		DrySeconds:    m.res.DrySeconds,
+		WetInstrs:     m.res.WetInstrs,
+		DryInstrs:     m.res.DryInstrs,
+		Steps:         m.steps,
+		Budget:        m.budget,
+		SolveErrsSeen: m.solveErrsSeen,
+	}
+	for name, v := range m.vessels {
+		s.Vessels[name] = VesselState{Volume: v.vol, Composition: copyMap(v.comp)}
+	}
+	s.Regs = copyMap(m.regs)
+	for name, known := range m.known {
+		if known {
+			s.Known = append(s.Known, name)
+		}
+	}
+	sort.Strings(s.Known)
+	s.Events = append([]Event(nil), m.res.Events...)
+	s.Dry = copyMap(m.res.Dry)
+	for _, o := range m.res.Outputs {
+		s.Outputs = append(s.Outputs, Output{Port: o.Port, Volume: o.Volume, Composition: copyMap(o.Composition)})
+	}
+	s.UnitSeconds = copyMap(m.res.UnitSeconds)
+	s.Drift = copyMap(m.drift)
+	s.Measurements = append([]Measurement(nil), m.measLog...)
+	if m.flt != nil {
+		s.Faults = &FaultState{Profile: m.flt.Profile(), Seed: m.flt.Seed(), Draws: m.flt.Draws()}
+	}
+	return s
+}
+
+// Restore loads a snapshot onto a freshly-constructed machine (same
+// Config, graph, and volume source as the snapshotted one). It replays
+// the measurement log into the source — reconstructing any staged-plan
+// state — and fast-forwards the fault injector's PRNG stream, so
+// execution resumed from the restored state is bit-identical to the
+// uninterrupted run. Restoring onto a machine that has already executed
+// instructions is an error.
+func (m *Machine) Restore(s *Snapshot) error {
+	if m.steps != 0 || len(m.res.Events) != 0 || len(m.measLog) != 0 {
+		return fmt.Errorf("aquacore: Restore requires a fresh machine (already executed %d steps)", m.steps)
+	}
+	// Fault-injector stream: same construction parameters, fast-forwarded.
+	switch {
+	case s.Faults != nil && m.flt == nil:
+		return fmt.Errorf("aquacore: snapshot has fault state (%s seed %d) but machine has no injector",
+			s.Faults.Profile, s.Faults.Seed)
+	case s.Faults == nil && m.flt != nil:
+		return fmt.Errorf("aquacore: machine has a fault injector but snapshot has no fault state")
+	case s.Faults != nil:
+		if m.flt.Profile() != s.Faults.Profile || m.flt.Seed() != s.Faults.Seed {
+			return fmt.Errorf("aquacore: fault injector mismatch: machine (%s seed %d) vs snapshot (%s seed %d)",
+				m.flt.Profile(), m.flt.Seed(), s.Faults.Profile, s.Faults.Seed)
+		}
+		if err := m.flt.AdvanceTo(s.Faults.Draws); err != nil {
+			return err
+		}
+	}
+	// Replay measurements into the source in arrival order; staged sources
+	// re-solve their partitions exactly as the original run did. The
+	// restored solveErrsSeen suppresses re-raising already-surfaced solve
+	// events.
+	if m.src != nil {
+		for _, meas := range s.Measurements {
+			m.src.Measured(meas.Node, meas.Port, meas.Volume)
+		}
+	}
+	m.measLog = append([]Measurement(nil), s.Measurements...)
+	m.solveErrsSeen = s.SolveErrsSeen
+
+	m.vessels = make(map[string]*vessel, len(s.Vessels))
+	for name, vs := range s.Vessels {
+		comp := copyMap(vs.Composition)
+		if comp == nil {
+			comp = map[string]float64{}
+		}
+		m.vessels[name] = &vessel{vol: vs.Volume, comp: comp}
+	}
+	m.regs = copyMap(s.Regs)
+	if m.regs == nil {
+		m.regs = map[string]float64{}
+	}
+	m.known = make(map[string]bool, len(s.Known))
+	for _, name := range s.Known {
+		m.known[name] = true
+	}
+	m.res.WetSeconds = s.WetSeconds
+	m.res.DrySeconds = s.DrySeconds
+	m.res.WetInstrs = s.WetInstrs
+	m.res.DryInstrs = s.DryInstrs
+	m.res.Events = append([]Event(nil), s.Events...)
+	m.res.Dry = copyMap(s.Dry)
+	if m.res.Dry == nil {
+		m.res.Dry = map[string]float64{}
+	}
+	m.res.Outputs = nil
+	for _, o := range s.Outputs {
+		m.res.Outputs = append(m.res.Outputs, Output{Port: o.Port, Volume: o.Volume, Composition: copyMap(o.Composition)})
+	}
+	m.res.UnitSeconds = copyMap(s.UnitSeconds)
+	if m.res.UnitSeconds == nil {
+		m.res.UnitSeconds = map[string]float64{}
+	}
+	if s.Drift != nil {
+		m.drift = copyMap(s.Drift)
+	}
+	m.steps = s.Steps
+	m.budget = s.Budget
+	return nil
+}
+
+// copyMap clones a string-keyed float map, preserving nil-ness.
+func copyMap(src map[string]float64) map[string]float64 {
+	if src == nil {
+		return nil
+	}
+	dst := make(map[string]float64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

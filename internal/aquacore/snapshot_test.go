@@ -1,0 +1,202 @@
+package aquacore_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aquavol/internal/aquacore"
+	"aquavol/internal/assays"
+	"aquavol/internal/codegen"
+	"aquavol/internal/faults"
+)
+
+// fingerprint marshals a machine snapshot; equal states must produce
+// equal bytes (JSON sorts map keys and round-trips float64 exactly).
+func fingerprint(t *testing.T, m *aquacore.Machine) string {
+	t.Helper()
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// newFaultyGlucose builds a fresh glucose machine with moderate faults.
+func newFaultyGlucose(t *testing.T, seed int64) (*aquacore.Machine, *codegen.Result) {
+	t.Helper()
+	ep, plan, cg := compileAndPlan(t, assays.GlucoseSource)
+	p, _ := faults.Preset("moderate")
+	m := aquacore.New(aquacore.Config{Faults: faults.New(p, seed)}, ep.Graph, aquacore.PlanSource{Plan: plan})
+	m.SetDry(codegen.DryInit(ep))
+	return m, cg
+}
+
+// Snapshot at an instruction boundary, restore onto a fresh machine,
+// finish both — the final states must be bit-identical, fault PRNG
+// stream included.
+func TestSnapshotRestoreMidRun(t *testing.T) {
+	for _, cut := range []int{0, 1, 5, 11} {
+		ref, cg := newFaultyGlucose(t, 42)
+		prog := cg.Prog
+
+		// Reference: run straight through.
+		if _, err := ref.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(t, ref)
+
+		// Interrupted: execute cut instructions, snapshot, restore onto a
+		// fresh machine, continue to completion.
+		first, _ := newFaultyGlucose(t, 42)
+		pc := 0
+		for i := 0; i < cut; i++ {
+			next, halted, err := first.ExecOne(prog, pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if halted {
+				t.Fatalf("program halted before cut %d", cut)
+			}
+			pc = next
+		}
+		snap := first.Snapshot()
+
+		second, _ := newFaultyGlucose(t, 42)
+		if err := second.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		for pc < len(prog.Instrs) {
+			next, halted, err := second.ExecOne(prog, pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if halted {
+				break
+			}
+			pc = next
+		}
+		second.Finalize()
+		if got := fingerprint(t, second); got != want {
+			t.Errorf("cut %d: resumed final state differs from uninterrupted run\n got: %s\nwant: %s", cut, got, want)
+		}
+	}
+}
+
+// The snapshot itself must survive JSON serialization bit-exactly: the
+// journal stores snapshots as JSON.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	m, cg := newFaultyGlucose(t, 9)
+	pc := 0
+	for i := 0; i < 7; i++ {
+		next, halted, err := m.ExecOne(cg.Prog, pc)
+		if err != nil || halted {
+			t.Fatalf("halted=%v err=%v", halted, err)
+		}
+		pc = next
+	}
+	snap := m.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back aquacore.Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("snapshot JSON not stable across round trip:\n %s\n %s", b, b2)
+	}
+}
+
+// Restore must reject mismatched fault configurations and used machines.
+func TestRestoreValidation(t *testing.T) {
+	m, cg := newFaultyGlucose(t, 1)
+	snap := m.Snapshot()
+
+	// Fresh machine with no injector cannot take a faulted snapshot.
+	ep, plan, _ := compileAndPlan(t, assays.GlucoseSource)
+	plain := aquacore.New(aquacore.Config{}, ep.Graph, aquacore.PlanSource{Plan: plan})
+	if err := plain.Restore(snap); err == nil {
+		t.Error("restore with missing injector accepted")
+	}
+
+	// Wrong seed.
+	p, _ := faults.Preset("moderate")
+	wrongSeed := aquacore.New(aquacore.Config{Faults: faults.New(p, 2)}, ep.Graph, aquacore.PlanSource{Plan: plan})
+	if err := wrongSeed.Restore(snap); err == nil {
+		t.Error("restore with mismatched seed accepted")
+	}
+
+	// Used machine.
+	if _, _, err := m.ExecOne(cg.Prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err == nil {
+		t.Error("restore onto a used machine accepted")
+	}
+}
+
+// Staged assays: the measurement log must replay into a fresh staged
+// source so per-part plans solved before the snapshot are available
+// after restore.
+func TestSnapshotRestoreStaged(t *testing.T) {
+	build := func() (*aquacore.Machine, *codegen.Result) {
+		ep, _, src := stagedGlycomics(t)
+		cg, err := codegen.Generate(ep, ep.Graph, codegen.Config{NoForwarding: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := aquacore.New(aquacore.Config{}, ep.Graph, src)
+		m.SetDry(codegen.DryInit(ep))
+		return m, cg
+	}
+
+	ref, cg := build()
+	if _, err := ref.Run(cg.Prog); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, ref)
+
+	// Run until at least one measurement has been reported, snapshot, and
+	// resume on a completely fresh machine+source.
+	first, _ := build()
+	pc, cut := 0, 0
+	for len(first.Snapshot().Measurements) == 0 {
+		next, halted, err := first.ExecOne(cg.Prog, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halted {
+			t.Fatal("halted before any measurement")
+		}
+		pc = next
+		cut++
+	}
+	snap := first.Snapshot()
+	if len(snap.Measurements) == 0 {
+		t.Fatal("no measurements captured")
+	}
+
+	second, _ := build()
+	if err := second.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for pc < len(cg.Prog.Instrs) {
+		next, halted, err := second.ExecOne(cg.Prog, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halted {
+			break
+		}
+		pc = next
+	}
+	second.Finalize()
+	if got := fingerprint(t, second); got != want {
+		t.Errorf("staged resume (cut %d) differs from uninterrupted run\n got: %s\nwant: %s", cut, got, want)
+	}
+}

@@ -658,5 +658,6 @@ func All(full bool, sweepN int) []*Table {
 		OutputSkewSweep(),
 		Robustness(0),
 		MarginSweep(),
+		Durability(),
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"aquavol/internal/assays"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
+	"aquavol/internal/dag"
 	"aquavol/internal/faults"
+	"aquavol/internal/journal"
 	"aquavol/internal/lang"
 	"aquavol/internal/lang/elab"
 	recovery "aquavol/internal/recover"
@@ -92,17 +94,37 @@ func (ca *compiledAssay) newMachine(p faults.Profile, seed int64) (*aquacore.Mac
 	return m, nil
 }
 
-// runRecovered executes one seeded run under the recovery runtime.
-func (ca *compiledAssay) runRecovered(p faults.Profile, seed int64, opts recovery.Options) (*recovery.Outcome, error) {
+// runRecovered executes one seeded run under the recovery runtime,
+// returning the machine too so callers can fingerprint its final state.
+func (ca *compiledAssay) runRecovered(p faults.Profile, seed int64, opts recovery.Options) (*recovery.Outcome, *aquacore.Machine, error) {
 	m, err := ca.newMachine(p, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	g := ca.ep.Graph
+	return recovery.Run(m, ca.cg.Prog, ca.runGraph(), ca.cg.Clusters, opts), m, nil
+}
+
+// resumeRecovered restores snap onto a fresh machine and continues the
+// run — the bench side of the chaos harness.
+func (ca *compiledAssay) resumeRecovered(p faults.Profile, seed int64, opts recovery.Options,
+	snap *journal.Snapshot) (*recovery.Outcome, *aquacore.Machine, error) {
+	m, err := ca.newMachine(p, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := recovery.Resume(m, ca.cg.Prog, ca.runGraph(), ca.cg.Clusters, opts, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, m, nil
+}
+
+// runGraph is the graph execution sees: the managed one for static plans.
+func (ca *compiledAssay) runGraph() *dag.Graph {
 	if ca.plan != nil {
-		g = ca.plan.Graph
+		return ca.plan.Graph
 	}
-	return recovery.Run(m, ca.cg.Prog, g, ca.cg.Clusters, opts), nil
+	return ca.ep.Graph
 }
 
 // robustnessAssays compiles the three paper assays for fault sweeps.
@@ -147,7 +169,7 @@ func Robustness(seeds int) *Table {
 			var completed, degraded, aborted int
 			var retries, regens, loss, wet float64
 			for s := 0; s < seeds; s++ {
-				out, err := ca.runRecovered(p, int64(1000*s+7), recovery.Options{})
+				out, _, err := ca.runRecovered(p, int64(1000*s+7), recovery.Options{})
 				if err != nil {
 					panic(err)
 				}
@@ -213,7 +235,7 @@ func MarginSweepOutcomes() ([]MarginOutcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		o, err := ca.runRecovered(marginSweepProfile(), 0,
+		o, _, err := ca.runRecovered(marginSweepProfile(), 0,
 			recovery.Options{DisableRetry: true, DisableRegen: true})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,74 @@
+package faults_test
+
+import (
+	"testing"
+
+	"aquavol/internal/faults"
+)
+
+// The draw counter must count exactly the PRNG draws consumed, and
+// AdvanceTo must reproduce the stream: a fresh injector fast-forwarded to
+// draw position n yields the same subsequent values as one that arrived
+// there by injecting.
+func TestDrawsAndAdvanceTo(t *testing.T) {
+	p := faults.Profile{MeterJitter: 0.05, SenseNoise: 0.05, FailRate: 0.5}
+	a := faults.New(p, 77)
+	if a.Draws() != 0 {
+		t.Fatalf("fresh injector Draws() = %d", a.Draws())
+	}
+	a.Fails()         // 1 draw
+	a.Meter(10)       // 1 draw
+	a.Sense(3)        // 1 draw
+	a.Meter(0)        // vol<=0: no draw
+	a.EvapFraction(5) // rate process: no draw
+	if a.Draws() != 3 {
+		t.Fatalf("Draws() = %d, want 3", a.Draws())
+	}
+
+	b := faults.New(p, 77)
+	if err := b.AdvanceTo(a.Draws()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		av, bv := a.Meter(100), b.Meter(100)
+		if av != bv {
+			t.Fatalf("draw %d after replay: %v != %v", i, av, bv)
+		}
+	}
+	if a.Draws() != b.Draws() {
+		t.Fatalf("stream positions diverged: %d vs %d", a.Draws(), b.Draws())
+	}
+
+	// Rewinding is an error.
+	if err := b.AdvanceTo(0); err == nil {
+		t.Fatal("AdvanceTo accepted a rewind")
+	}
+}
+
+// Zero-rate fault classes leave the counter untouched, so a snapshot's
+// recorded position is exact whatever the profile.
+func TestZeroProfileCountsNoDraws(t *testing.T) {
+	in := faults.New(faults.Profile{DeadVolume: 1}, 5)
+	in.Fails()
+	in.Meter(10)
+	in.Sense(2)
+	if in.Draws() != 0 {
+		t.Fatalf("disabled classes consumed %d draws", in.Draws())
+	}
+}
+
+// CrashPoint fires at exactly its boundary; nil never fires.
+func TestCrashPoint(t *testing.T) {
+	var c *faults.CrashPoint
+	for n := 0; n < 4; n++ {
+		if c.Fires(n) {
+			t.Fatal("nil crash point fired")
+		}
+	}
+	c = faults.CrashAt(2)
+	for n := 0; n < 5; n++ {
+		if got, want := c.Fires(n), n == 2; got != want {
+			t.Fatalf("Fires(%d) = %v, want %v", n, got, want)
+		}
+	}
+}

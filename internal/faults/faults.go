@@ -25,6 +25,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,6 +33,29 @@ import (
 	"strconv"
 	"strings"
 )
+
+// ErrCrash is the simulated process kill a CrashPoint injects: the run
+// dies at an instruction boundary exactly as if the host process had been
+// killed there, leaving the journal tail as-is. Chaos harnesses match it
+// with errors.Is to distinguish scheduled kills from real aborts.
+var ErrCrash = errors.New("faults: simulated process crash")
+
+// CrashPoint schedules one deterministic simulated process kill at an
+// instruction boundary. A nil *CrashPoint never fires. Unlike the other
+// fault classes it draws no randomness: chaos harnesses sweep it over
+// every boundary of a run, which requires the kill location to be exact.
+type CrashPoint struct {
+	// Boundary is the 0-based instruction-boundary ordinal at which the
+	// process dies (boundary n is crossed after the n-th main-loop
+	// instruction completes).
+	Boundary int
+}
+
+// CrashAt builds a crash point for boundary n.
+func CrashAt(n int) *CrashPoint { return &CrashPoint{Boundary: n} }
+
+// Fires reports whether the process dies at boundary n. Nil-safe.
+func (c *CrashPoint) Fires(n int) bool { return c != nil && c.Boundary == n }
 
 // Profile is a plain description of the injected physics. The zero value
 // injects nothing.
@@ -153,6 +177,10 @@ type Injector struct {
 	p    Profile
 	seed int64
 	rng  *rand.Rand
+	// draws counts PRNG draws consumed so far: the stream position. It is
+	// machine state — snapshots record it, and AdvanceTo replays a fresh
+	// injector to it so a resumed run sees the same remaining randomness.
+	draws uint64
 }
 
 // New creates an injector for one run. The same (Profile, seed) always
@@ -170,6 +198,31 @@ func (in *Injector) Seed() int64 { return in.seed }
 // Enabled reports whether the injector does anything.
 func (in *Injector) Enabled() bool { return in != nil && in.p.Enabled() }
 
+// Draws returns the PRNG stream position: how many draws have been
+// consumed since construction.
+func (in *Injector) Draws() uint64 { return in.draws }
+
+// draw consumes one PRNG value, advancing the recorded stream position.
+// Every randomized fault class funnels through it so Draws() is exact.
+func (in *Injector) draw() float64 {
+	in.draws++
+	return in.rng.Float64()
+}
+
+// AdvanceTo fast-forwards the stream to absolute position draws by
+// consuming and discarding values. The stream cannot be rewound: restoring
+// a snapshot requires a freshly-constructed injector with the same
+// (Profile, seed).
+func (in *Injector) AdvanceTo(draws uint64) error {
+	if draws < in.draws {
+		return fmt.Errorf("faults: cannot rewind PRNG stream to %d (already at %d); restore onto a fresh injector", draws, in.draws)
+	}
+	for in.draws < draws {
+		in.draw()
+	}
+	return nil
+}
+
 // Fails draws the transient-failure coin for one wet operation. Profiles
 // with FailRate 0 consume no randomness, so disabling one fault class
 // never perturbs the others' draw sequence.
@@ -177,7 +230,7 @@ func (in *Injector) Fails() bool {
 	if in.p.FailRate <= 0 {
 		return false
 	}
-	return in.rng.Float64() < in.p.FailRate
+	return in.draw() < in.p.FailRate
 }
 
 // Meter applies metering jitter to a planned transfer volume.
@@ -185,7 +238,7 @@ func (in *Injector) Meter(vol float64) float64 {
 	if in.p.MeterJitter <= 0 || vol <= 0 {
 		return vol
 	}
-	u := 2*in.rng.Float64() - 1
+	u := 2*in.draw() - 1
 	v := vol * (1 + u*in.p.MeterJitter)
 	if v < 0 {
 		v = 0
@@ -212,6 +265,6 @@ func (in *Injector) Sense(reading float64) float64 {
 	if in.p.SenseNoise <= 0 {
 		return reading
 	}
-	u := 2*in.rng.Float64() - 1
+	u := 2*in.draw() - 1
 	return reading * (1 + u*in.p.SenseNoise)
 }

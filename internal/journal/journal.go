@@ -1,0 +1,226 @@
+// Package journal is the write-ahead log that makes assay runs durable:
+// a length-prefixed, CRC32-framed record stream of execution events
+// (instruction-boundary steps, planned transfers, recovery actions)
+// interleaved with periodic full machine snapshots, written as execution
+// proceeds so a crashed run can resume from its last good state instead
+// of re-running from scratch and wasting the reagents already consumed.
+//
+// # File format
+//
+// A journal file is an 8-byte magic header ("AQJRNL1\n") followed by
+// records. Each record is framed as
+//
+//	uint32 LE payload length | uint32 LE IEEE-CRC32(payload) | payload
+//
+// and the payload is the JSON encoding of a Record envelope. The frame
+// makes the two crash failure modes distinguishable on read-back:
+//
+//   - a torn write — the process died mid-append, the file ends inside a
+//     frame — surfaces as ErrTornWrite;
+//   - corruption — the frame is complete but the CRC or JSON does not
+//     check out — surfaces as ErrCorrupt.
+//
+// Both are recoverable: the reader returns every record up to the last
+// good one and reports where and why it stopped, and OpenAppend truncates
+// the bad tail so the resumed run appends from a clean boundary. A reader
+// over arbitrary bytes never panics (fuzzed).
+//
+// # Resume semantics
+//
+// The journal's snapshot records carry the complete machine state
+// (aquacore.Snapshot, fault-PRNG position included) plus the recovery
+// runtime's counters. Because execution is deterministic in (listing,
+// plan, seed, profile), resuming = restore the last snapshot and
+// re-execute; the step records after it are advisory (they let tools
+// report how far the dead run got, and carry the PRNG position for
+// consistency checks). A run killed at any instruction boundary therefore
+// finishes with final vessel volumes and an event log bit-identical to an
+// uninterrupted run.
+package journal
+
+import (
+	"errors"
+	"fmt"
+
+	"aquavol/internal/aquacore"
+	"aquavol/internal/faults"
+)
+
+// Sentinel errors for journal read-back. Wrapped with %w at every raise
+// site so errors.Is works while the offset/context stays attached.
+var (
+	// ErrCorrupt is a structurally-complete record that fails validation:
+	// CRC mismatch, bad JSON, unknown kind, or a bad file header.
+	ErrCorrupt = errors.New("journal: corrupt record")
+	// ErrTornWrite is a file ending mid-frame: the writing process died
+	// between starting and finishing an append.
+	ErrTornWrite = errors.New("journal: torn write at tail")
+)
+
+// Kind discriminates record payloads.
+type Kind string
+
+const (
+	// KindBegin opens a journal: the run's identity and configuration.
+	KindBegin Kind = "begin"
+	// KindStep marks one completed instruction boundary.
+	KindStep Kind = "step"
+	// KindSnapshot is a full machine + recovery-state snapshot.
+	KindSnapshot Kind = "snapshot"
+	// KindTransfer records a planned transfer before it executes.
+	KindTransfer Kind = "transfer"
+	// KindRecovery records a repair action (retry, regeneration).
+	KindRecovery Kind = "recovery"
+	// KindOutcome closes a journal: the run's terminal status.
+	KindOutcome Kind = "outcome"
+)
+
+// Record is the envelope every journal entry is encoded as: a kind tag
+// plus exactly one non-nil body matching it.
+type Record struct {
+	Kind     Kind            `json:"kind"`
+	Begin    *Begin          `json:"begin,omitempty"`
+	Step     *Step           `json:"step,omitempty"`
+	Snapshot *Snapshot       `json:"snapshot,omitempty"`
+	Transfer *Transfer       `json:"transfer,omitempty"`
+	Recovery *RecoveryAction `json:"recovery,omitempty"`
+	Outcome  *Outcome        `json:"outcome,omitempty"`
+}
+
+// validate checks the envelope is self-consistent: a known kind whose
+// matching body (and only it) is present.
+func (r *Record) validate() error {
+	bodies := map[Kind]bool{
+		KindBegin:    r.Begin != nil,
+		KindStep:     r.Step != nil,
+		KindSnapshot: r.Snapshot != nil,
+		KindTransfer: r.Transfer != nil,
+		KindRecovery: r.Recovery != nil,
+		KindOutcome:  r.Outcome != nil,
+	}
+	present, ok := bodies[r.Kind]
+	if !ok {
+		return fmt.Errorf("%w: unknown record kind %q", ErrCorrupt, r.Kind)
+	}
+	if !present {
+		return fmt.Errorf("%w: %s record without a %s body", ErrCorrupt, r.Kind, r.Kind)
+	}
+	n := 0
+	for _, p := range bodies {
+		if p {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("%w: %s record with %d bodies", ErrCorrupt, r.Kind, n)
+	}
+	return nil
+}
+
+// Begin is the journal's opening record: everything needed to rebuild
+// the run — recompile the assay, reconstruct the machine and injector —
+// exactly as the original invocation did. Resume takes its configuration
+// from here, not from command-line flags.
+type Begin struct {
+	// Program is the program name (the assay's, or the listing file's).
+	Program string `json:"program"`
+	// Hash is the IEEE CRC32 of the canonical AIS listing text; resume
+	// refuses a source whose compiled listing hashes differently.
+	Hash uint32 `json:"hash"`
+	// Instrs is the listing's instruction count (a cheap second check).
+	Instrs int `json:"instrs"`
+	// Profile and Seed reconstruct the fault injector.
+	Profile faults.Profile `json:"profile"`
+	Seed    int64          `json:"seed"`
+	// Margin and Yield reproduce the compile/machine configuration.
+	Margin float64 `json:"margin,omitempty"`
+	Yield  float64 `json:"yield,omitempty"`
+	// Retries is the per-instruction retry budget of the recovery runtime.
+	Retries int `json:"retries,omitempty"`
+	// SnapshotEvery is the snapshot cadence in instruction boundaries.
+	SnapshotEvery int `json:"snapshotEvery,omitempty"`
+}
+
+// Step marks one completed instruction boundary of the recovery loop.
+type Step struct {
+	// Boundary is the 0-based boundary ordinal (main-loop instructions
+	// completed before this one are 0..Boundary-1).
+	Boundary int `json:"boundary"`
+	// PC is the executed instruction; Next is where control goes.
+	PC   int `json:"pc"`
+	Next int `json:"next"`
+	// Halted marks program completion at this boundary.
+	Halted bool `json:"halted,omitempty"`
+	// Events is the cumulative machine event count after this boundary.
+	Events int `json:"events"`
+	// Draws is the fault-PRNG stream position after this boundary (0 when
+	// faults are off) — the journaled trace of fault draws.
+	Draws uint64 `json:"draws,omitempty"`
+}
+
+// Snapshot is a full checkpoint: restoring Machine onto a fresh machine
+// and re-entering the recovery loop at (PC, Boundary) with the Recovery
+// counters continues the run exactly.
+type Snapshot struct {
+	// Boundary is the next boundary ordinal to execute.
+	Boundary int `json:"boundary"`
+	// PC is the next instruction to execute.
+	PC int `json:"pc"`
+	// Machine is the complete machine state at this boundary.
+	Machine *aquacore.Snapshot `json:"machine"`
+	// Recovery carries the recovery runtime's accumulated counters.
+	Recovery *RecoveryState `json:"recovery,omitempty"`
+}
+
+// RecoveryState is the recovery runtime's journaled accounting (mirrors
+// recover.Outcome's counters; defined here because the recovery package
+// imports this one).
+type RecoveryState struct {
+	Retries        int        `json:"retries"`
+	Regens         int        `json:"regens"`
+	RegenInstrs    int        `json:"regenInstrs"`
+	BackoffSeconds float64    `json:"backoffSeconds"`
+	Incidents      []Incident `json:"incidents,omitempty"`
+}
+
+// Incident is one unrepaired fault (recover.Incident flattened for
+// serialization).
+type Incident struct {
+	Kind    int    `json:"kind"` // aquacore.EventKind
+	PC      int    `json:"pc"`
+	Instr   string `json:"instr"`
+	Detail  string `json:"detail"`
+	Retries int    `json:"retries,omitempty"`
+}
+
+// Transfer records a planned (pre-fault) transfer about to execute.
+type Transfer struct {
+	Boundary int     `json:"boundary"`
+	PC       int     `json:"pc"`
+	Source   string  `json:"source"`
+	Volume   float64 `json:"volume"`
+}
+
+// RecoveryAction records one repair the recovery runtime performed.
+type RecoveryAction struct {
+	// Action is "retry" or "regen".
+	Action   string `json:"action"`
+	Boundary int    `json:"boundary"`
+	PC       int    `json:"pc"`
+	// Attempt is the retry ordinal (retries only).
+	Attempt int `json:"attempt,omitempty"`
+	// Detail carries the human-readable event detail.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Outcome closes a journal: the run reached a terminal state in-process
+// (completed, completed-degraded, or aborted — not a crash, which by
+// nature writes nothing).
+type Outcome struct {
+	// Status is recover.Status's string form.
+	Status string `json:"status"`
+	// Err is the abort error text, if any.
+	Err string `json:"err,omitempty"`
+	// Boundaries is the total number of instruction boundaries executed.
+	Boundaries int `json:"boundaries"`
+}

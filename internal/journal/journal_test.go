@@ -1,0 +1,232 @@
+package journal_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aquavol/internal/aquacore"
+	"aquavol/internal/faults"
+	"aquavol/internal/journal"
+)
+
+// sampleRecords builds a representative record sequence: begin, a few
+// steps, a snapshot with machine state, a transfer, a recovery action,
+// and an outcome.
+func sampleRecords() []*journal.Record {
+	prof, _ := faults.Preset("moderate")
+	return []*journal.Record{
+		{Kind: journal.KindBegin, Begin: &journal.Begin{
+			Program: "glucose", Hash: 0xdeadbeef, Instrs: 42,
+			Profile: prof, Seed: 7, SnapshotEvery: 8,
+		}},
+		{Kind: journal.KindSnapshot, Snapshot: &journal.Snapshot{
+			Boundary: 0, PC: 0,
+			Machine: &aquacore.Snapshot{
+				Vessels: map[string]aquacore.VesselState{
+					"s1": {Volume: 100.25, Composition: map[string]float64{"stock": 100.25}},
+				},
+				Regs:  map[string]float64{"r1": 3},
+				Known: []string{"r1"},
+				Faults: &aquacore.FaultState{
+					Profile: prof, Seed: 7, Draws: 0,
+				},
+			},
+			Recovery: &journal.RecoveryState{},
+		}},
+		{Kind: journal.KindTransfer, Transfer: &journal.Transfer{Boundary: 1, PC: 1, Source: "s1", Volume: 30}},
+		{Kind: journal.KindStep, Step: &journal.Step{Boundary: 1, PC: 1, Next: 2, Events: 0, Draws: 2}},
+		{Kind: journal.KindRecovery, Recovery: &journal.RecoveryAction{Action: "retry", Boundary: 2, PC: 2, Attempt: 1}},
+		{Kind: journal.KindStep, Step: &journal.Step{Boundary: 2, PC: 2, Next: 3, Halted: true, Events: 1, Draws: 5}},
+		{Kind: journal.KindOutcome, Outcome: &journal.Outcome{Status: "completed", Boundaries: 3}},
+	}
+}
+
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jw, err := journal.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		if err := jw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := writeSample(t)
+	recs, err := journal.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("clean journal returned error: %v", err)
+	}
+	want := sampleRecords()
+	if len(recs) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Kind != want[i].Kind {
+			t.Errorf("record %d kind = %s, want %s", i, rec.Kind, want[i].Kind)
+		}
+	}
+	snap := recs[1].Snapshot
+	if snap == nil || snap.Machine == nil {
+		t.Fatal("snapshot record lost its machine state")
+	}
+	if got := snap.Machine.Vessels["s1"].Volume; got != 100.25 {
+		t.Errorf("vessel volume round-trip: got %v, want 100.25", got)
+	}
+	if snap.Machine.Faults == nil || snap.Machine.Faults.Seed != 7 {
+		t.Error("fault state lost in round trip")
+	}
+	if recs[6].Outcome.Status != "completed" {
+		t.Errorf("outcome status = %q", recs[6].Outcome.Status)
+	}
+}
+
+// Every truncation point of a valid journal must decode a good prefix
+// and report either a clean end (boundary cuts) or a torn write — never
+// a panic, never ErrCorrupt (no bytes were altered).
+func TestTruncationAlwaysRecovers(t *testing.T) {
+	data := writeSample(t)
+	full, err := journal.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		recs, err := journal.ReadAll(bytes.NewReader(data[:cut]))
+		if err != nil && !errors.Is(err, journal.ErrTornWrite) {
+			t.Fatalf("cut at %d: error %v, want nil or ErrTornWrite", cut, err)
+		}
+		if len(recs) > len(full) {
+			t.Fatalf("cut at %d: decoded %d records from a prefix of %d", cut, len(recs), len(full))
+		}
+		// A good prefix must agree with the full decode.
+		for i, rec := range recs {
+			if rec.Kind != full[i].Kind {
+				t.Fatalf("cut at %d: record %d kind %s, want %s", cut, i, rec.Kind, full[i].Kind)
+			}
+		}
+	}
+}
+
+// A bit flip anywhere in a record's frame or payload must surface as
+// ErrCorrupt (or, if it inflates the length prefix past the file end,
+// ErrTornWrite) with the preceding records intact.
+func TestBitFlipDetected(t *testing.T) {
+	data := writeSample(t)
+	for _, off := range []int{9, 20, 60, len(data) - 3} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		recs, err := journal.ReadAll(bytes.NewReader(mut))
+		if err == nil {
+			// The flip may land in a later record; at least one must fail,
+			// unless it produced an identical CRC (impossible for 1 bit).
+			t.Fatalf("bit flip at %d went undetected (%d records)", off, len(recs))
+		}
+		if !errors.Is(err, journal.ErrCorrupt) && !errors.Is(err, journal.ErrTornWrite) {
+			t.Fatalf("bit flip at %d: error %v, want ErrCorrupt or ErrTornWrite", off, err)
+		}
+	}
+	// Flip in the header specifically → ErrCorrupt.
+	mut := append([]byte(nil), data...)
+	mut[0] ^= 1
+	if _, err := journal.ReadAll(bytes.NewReader(mut)); !errors.Is(err, journal.ErrCorrupt) {
+		t.Fatalf("header flip: error %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecoverAndOpenAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jrnl")
+	data := writeSample(t)
+	// Tear the tail mid-record.
+	torn := data[:len(data)-5]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, tail, err := journal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tail.Truncated || !errors.Is(tail.Reason, journal.ErrTornWrite) {
+		t.Fatalf("tail = %+v, want truncated torn write", tail)
+	}
+	if len(recs) != len(sampleRecords())-1 {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(sampleRecords())-1)
+	}
+
+	// OpenAppend truncates the tail and appends cleanly.
+	recs2, _, jw, f, err := journal.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(recs) {
+		t.Fatalf("OpenAppend salvaged %d records, want %d", len(recs2), len(recs))
+	}
+	if err := jw.Append(&journal.Record{Kind: journal.KindOutcome,
+		Outcome: &journal.Outcome{Status: "completed", Boundaries: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	final, tail, err := journal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Truncated {
+		t.Fatalf("journal still dirty after OpenAppend repair: %+v", tail)
+	}
+	if got := final[len(final)-1]; got.Kind != journal.KindOutcome {
+		t.Fatalf("appended record kind = %s, want outcome", got.Kind)
+	}
+}
+
+func TestOpenAppendRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jrnl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := journal.OpenAppend(path); err == nil {
+		t.Fatal("OpenAppend accepted an empty file")
+	}
+}
+
+func TestAppendValidates(t *testing.T) {
+	jw, err := journal.NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Append(&journal.Record{Kind: journal.KindStep}); err == nil {
+		t.Error("step record without body accepted")
+	}
+	if err := jw.Append(&journal.Record{Kind: "bogus"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if jw.Err() != nil {
+		t.Errorf("validation failures must not poison the writer: %v", jw.Err())
+	}
+}
+
+func TestCreateWritesHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.jrnl")
+	jw, f, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Append(&journal.Record{Kind: journal.KindBegin, Begin: &journal.Begin{Program: "p"}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, tail, err := journal.Recover(path)
+	if err != nil || tail.Truncated || len(recs) != 1 {
+		t.Fatalf("recover: recs=%d tail=%+v err=%v", len(recs), tail, err)
+	}
+}

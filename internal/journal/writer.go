@@ -1,0 +1,94 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// magic is the journal file header. The trailing newline makes a
+// truncated-at-byte-0..7 file distinguishable from a text file at a
+// glance; the version digit gates future format changes.
+const magic = "AQJRNL1\n"
+
+// maxRecord bounds one record's payload (16 MiB). Snapshots of real
+// assays are kilobytes; the bound exists so a corrupt length prefix
+// cannot make the reader allocate gigabytes.
+const maxRecord = 16 << 20
+
+// Writer appends framed records to a journal. It is not safe for
+// concurrent use; one run owns its journal.
+type Writer struct {
+	w io.Writer
+	// sync is called after every append when the sink supports it
+	// (os.File): a write-ahead log that lingers in page cache does not
+	// survive the crashes it exists for.
+	sync func() error
+	err  error
+}
+
+// NewWriter starts a journal on w, writing the file header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	jw := &Writer{w: w}
+	if f, ok := w.(*os.File); ok {
+		jw.sync = f.Sync
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
+		return nil, fmt.Errorf("journal: writing header: %w", err)
+	}
+	return jw, nil
+}
+
+// Create creates (or truncates) a journal file and writes its header.
+func Create(path string) (*Writer, *os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	jw, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return jw, f, nil
+}
+
+// Append frames and writes one record. The first error is sticky: once
+// an append fails the journal is no longer a faithful log and every
+// subsequent call reports the same failure.
+func (jw *Writer) Append(rec *Record) error {
+	if jw.err != nil {
+		return jw.err
+	}
+	if err := rec.validate(); err != nil {
+		return err // caller bug, not a sink failure: not sticky
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding %s record: %w", rec.Kind, err)
+	}
+	if len(payload) > maxRecord {
+		return fmt.Errorf("journal: %s record payload %d bytes exceeds limit %d", rec.Kind, len(payload), maxRecord)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := jw.w.Write(frame[:]); err == nil {
+		_, err = jw.w.Write(payload)
+		if err == nil && jw.sync != nil {
+			err = jw.sync()
+		}
+		if err != nil {
+			jw.err = fmt.Errorf("journal: append: %w", err)
+		}
+	} else {
+		jw.err = fmt.Errorf("journal: append: %w", err)
+	}
+	return jw.err
+}
+
+// Err returns the sticky write error, if any.
+func (jw *Writer) Err() error { return jw.err }

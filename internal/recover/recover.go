@@ -21,16 +21,25 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
 	"aquavol/internal/dag"
+	"aquavol/internal/faults"
+	"aquavol/internal/journal"
 	"aquavol/internal/regen"
 )
 
 // volTol mirrors aquacore's volume comparison tolerance (nl).
 const volTol = 1e-6
+
+// ErrAborted is the sentinel every aborting Outcome.Err wraps: callers
+// match it with errors.Is instead of switching on Status strings, and
+// unwrap further for the concrete cause (a machine error, a journal
+// write failure, or faults.ErrCrash for a simulated kill).
+var ErrAborted = errors.New("recovery: run aborted")
 
 // Status classifies how a recovered run ended.
 type Status int
@@ -80,6 +89,21 @@ type Options struct {
 	DisableRetry bool
 	// DisableRegen turns off shortfall regeneration.
 	DisableRegen bool
+	// Journal, when non-nil, receives the durable-execution record
+	// stream: planned transfers, repair actions, one step record per
+	// instruction boundary, and periodic full snapshots. A journal append
+	// failure aborts the run — a write-ahead log that silently stops
+	// logging is worse than none.
+	Journal *journal.Writer
+	// SnapshotEvery is the snapshot cadence in instruction boundaries
+	// (default 8; the first snapshot is always written at the starting
+	// boundary). Ignored without Journal.
+	SnapshotEvery int
+	// Crash schedules a simulated process kill at one instruction
+	// boundary (chaos testing): the run stops with faults.ErrCrash and —
+	// exactly like a real kill — writes neither a final snapshot nor an
+	// outcome record. nil never fires.
+	Crash *faults.CrashPoint
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +122,9 @@ func (o Options) withDefaults() Options {
 	if o.BackoffSeconds == 0 {
 		o.BackoffSeconds = 1
 	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 8
+	}
 	return o
 }
 
@@ -107,6 +134,21 @@ type Incident struct {
 	Event aquacore.Event
 	// Retries is how many re-attempts were spent on it before giving up.
 	Retries int
+}
+
+// Err classifies the incident as a sentinel error chain: an exhausted
+// retry budget wraps aquacore.ErrFUUnavailable, an unrepaired shortfall
+// wraps aquacore.ErrShortfall. Callers match with errors.Is; the event
+// detail stays in the message.
+func (i Incident) Err() error {
+	switch i.Event.Kind {
+	case aquacore.EventFUFailure:
+		return fmt.Errorf("%w after %d retries: %s", aquacore.ErrFUUnavailable, i.Retries, i.Event)
+	case aquacore.EventRanOut:
+		return fmt.Errorf("%w: %s", aquacore.ErrShortfall, i.Event)
+	default:
+		return fmt.Errorf("unrepaired fault: %s", i.Event)
+	}
 }
 
 // Outcome reports a recovered run: the terminal status, the machine
@@ -150,12 +192,80 @@ func (o *Outcome) Summary() string {
 // which are themselves deterministic in (listing, plan, seed, profile), so
 // two identical runs produce byte-identical traces and Outcomes.
 func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int, opts Options) *Outcome {
-	opt := opts.withDefaults()
+	return run(m, prog, g, clusters, opts.withDefaults(), 0, 0, &Outcome{})
+}
+
+// Resume continues a journaled run from a snapshot record: it restores
+// the machine state (fault-PRNG position and measurement log included)
+// onto the freshly-constructed m, reloads the recovery counters, and
+// re-enters the loop at the snapshot's (pc, boundary). Because execution
+// is deterministic, the finished run is bit-identical to one that was
+// never interrupted. opts.Journal, when set, should append to the
+// recovered journal (journal.OpenAppend).
+func Resume(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int,
+	opts Options, snap *journal.Snapshot) (*Outcome, error) {
+	if snap == nil || snap.Machine == nil {
+		return nil, fmt.Errorf("recovery: resume needs a snapshot with machine state")
+	}
+	if snap.PC < 0 || snap.PC > len(prog.Instrs) {
+		return nil, fmt.Errorf("recovery: snapshot pc %d out of range [0,%d]", snap.PC, len(prog.Instrs))
+	}
+	if err := m.Restore(snap.Machine); err != nil {
+		return nil, fmt.Errorf("recovery: restoring machine state: %w", err)
+	}
 	out := &Outcome{}
+	if rs := snap.Recovery; rs != nil {
+		out.Retries = rs.Retries
+		out.Regens = rs.Regens
+		out.RegenInstrs = rs.RegenInstrs
+		out.BackoffSeconds = rs.BackoffSeconds
+		for _, inc := range rs.Incidents {
+			out.Incidents = append(out.Incidents, Incident{
+				Event: aquacore.Event{
+					Kind: aquacore.EventKind(inc.Kind), PC: inc.PC,
+					Instr: inc.Instr, Detail: inc.Detail,
+				},
+				Retries: inc.Retries,
+			})
+		}
+	}
+	return run(m, prog, g, clusters, opts.withDefaults(), snap.PC, snap.Boundary, out), nil
+}
+
+// recoveryState flattens the outcome counters for a journal snapshot.
+func recoveryState(out *Outcome) *journal.RecoveryState {
+	rs := &journal.RecoveryState{
+		Retries:        out.Retries,
+		Regens:         out.Regens,
+		RegenInstrs:    out.RegenInstrs,
+		BackoffSeconds: out.BackoffSeconds,
+	}
+	for _, inc := range out.Incidents {
+		rs.Incidents = append(rs.Incidents, journal.Incident{
+			Kind: int(inc.Event.Kind), PC: inc.Event.PC,
+			Instr: inc.Event.Instr, Detail: inc.Event.Detail,
+			Retries: inc.Retries,
+		})
+	}
+	return rs
+}
+
+// run is the recovery loop, entered at (pc, boundary) with accumulated
+// counters in out (zero for fresh runs, a snapshot's for resumes).
+func run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int,
+	opt Options, pc, boundary int, out *Outcome) *Outcome {
+	jw := opt.Journal
 	abort := func(err error) *Outcome {
-		out.Err = err
+		out.Err = fmt.Errorf("%w: %w", ErrAborted, err)
 		out.Status = Aborted
 		out.Result = m.Finalize()
+		// A real abort is a terminal state the process lived to record —
+		// unlike a crash, which by nature journals nothing.
+		if jw != nil && !errors.Is(err, faults.ErrCrash) {
+			jw.Append(&journal.Record{Kind: journal.KindOutcome, Outcome: &journal.Outcome{
+				Status: Aborted.String(), Err: err.Error(), Boundaries: boundary,
+			}})
+		}
 		return out
 	}
 	canRegen := !opt.DisableRegen && g != nil && clusters != nil
@@ -166,16 +276,42 @@ func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 	if inj := m.Faults(); inj != nil {
 		jitterPad = inj.Profile().MeterJitter
 	}
+	// nextSnap is the boundary the next snapshot is due at: immediately
+	// for fresh runs, one full cadence later for resumes (the journal
+	// already holds the snapshot this run restored from).
+	nextSnap := boundary
+	if boundary > 0 {
+		nextSnap = boundary + opt.SnapshotEvery
+	}
 
-	pc := 0
 	for pc < len(prog.Instrs) {
 		in := prog.Instrs[pc]
+
+		// Snapshot BEFORE executing the boundary: the record's (pc,
+		// boundary) is exactly where a resumed run re-enters this loop.
+		if jw != nil && boundary >= nextSnap {
+			nextSnap = boundary + opt.SnapshotEvery
+			if err := jw.Append(&journal.Record{Kind: journal.KindSnapshot, Snapshot: &journal.Snapshot{
+				Boundary: boundary, PC: pc,
+				Machine:  m.Snapshot(),
+				Recovery: recoveryState(out),
+			}}); err != nil {
+				return abort(err)
+			}
+		}
 
 		// Pre-transfer shortfall check: regenerate the depleted producer
 		// before the draw would trip EventRanOut.
 		if canRegen && in.Edge >= 0 && in.Edge < len(g.Edges()) {
 			if src, need, ok := m.PlannedTransfer(pc, in); ok {
 				need *= 1 + jitterPad
+				if jw != nil {
+					if err := jw.Append(&journal.Record{Kind: journal.KindTransfer, Transfer: &journal.Transfer{
+						Boundary: boundary, PC: pc, Source: src, Volume: need,
+					}}); err != nil {
+						return abort(err)
+					}
+				}
 				rounds := 0
 				// Rounds are NOT cut short when a replay fails to raise the
 				// source: metered reloads re-draw their jitter each round,
@@ -187,6 +323,14 @@ func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 						return abort(err)
 					}
 					rounds++
+					if jw != nil {
+						if err := jw.Append(&journal.Record{Kind: journal.KindRecovery, Recovery: &journal.RecoveryAction{
+							Action: "regen", Boundary: boundary, PC: pc, Attempt: rounds,
+							Detail: fmt.Sprintf("refill %s toward %.4g nl", src, need),
+						}}); err != nil {
+							return abort(err)
+						}
+					}
 				}
 			}
 		}
@@ -212,6 +356,14 @@ func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 				Kind: aquacore.EventRetry, PC: pc, Instr: in.String(),
 				Detail: fmt.Sprintf("attempt %d after transient failure (%.3gs backoff)", attempts, wait),
 			})
+			if jw != nil {
+				if jerr := jw.Append(&journal.Record{Kind: journal.KindRecovery, Recovery: &journal.RecoveryAction{
+					Action: "retry", Boundary: boundary, PC: pc, Attempt: attempts,
+					Detail: fail.Detail,
+				}}); jerr != nil {
+					return abort(jerr)
+				}
+			}
 			mark = len(m.Events())
 			next, halted, err = m.ExecOne(prog, pc)
 			if err != nil {
@@ -226,6 +378,26 @@ func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 			}
 		}
 
+		if jw != nil {
+			var draws uint64
+			if inj := m.Faults(); inj != nil {
+				draws = inj.Draws()
+			}
+			if err := jw.Append(&journal.Record{Kind: journal.KindStep, Step: &journal.Step{
+				Boundary: boundary, PC: pc, Next: next, Halted: halted,
+				Events: len(m.Events()), Draws: draws,
+			}}); err != nil {
+				return abort(err)
+			}
+		}
+		// The simulated kill strikes after the step record, mimicking a
+		// process that died between appends: the journal ends on a clean
+		// frame with no outcome record, exactly what a real crash leaves.
+		if opt.Crash.Fires(boundary) {
+			return abort(fmt.Errorf("%w at boundary %d (pc %d)", faults.ErrCrash, boundary, pc))
+		}
+		boundary++
+
 		if halted {
 			break
 		}
@@ -237,6 +409,15 @@ func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 		out.Status = CompletedDegraded
 	} else {
 		out.Status = Completed
+	}
+	if jw != nil {
+		if err := jw.Append(&journal.Record{Kind: journal.KindOutcome, Outcome: &journal.Outcome{
+			Status: out.Status.String(), Boundaries: boundary,
+		}}); err != nil {
+			// The run itself finished; a failed closing record only costs a
+			// needless (and harmless) re-execution on a later resume.
+			out.Err = fmt.Errorf("run finished but journal close failed: %w", err)
+		}
 	}
 	return out
 }
