@@ -59,4 +59,27 @@ head -c $((size - 5)) "$tmp/crash.aqj" >"$tmp/torn.aqj"
 "$tmp/fluidvm" -resume "$tmp/torn.aqj" testdata/glucose.asy >"$tmp/torn.out" 2>/dev/null
 cmp "$tmp/ref.out" "$tmp/torn.out"
 
+echo "== adaptive replanning: determinism + crash at a replan boundary =="
+# Replanning re-solves the residual DAG around measured volumes. The
+# same seed must patch the plan identically twice, and a crash landing
+# inside the replanned region must resume to byte-identical output —
+# whether the resume re-derives the replan (crash before the next
+# snapshot) or restores its patch overlay from one (crash after).
+"$tmp/fluidvm" -replan -faults moderate -seed 42 -trace testdata/glucose.asy >"$tmp/replan1.out" 2>&1
+"$tmp/fluidvm" -replan -faults moderate -seed 42 -trace testdata/glucose.asy >"$tmp/replan2.out" 2>&1
+cmp "$tmp/replan1.out" "$tmp/replan2.out"
+grep -Eq ' [1-9][0-9]* replans' "$tmp/replan1.out" # the gate is vacuous if nothing replanned
+"$tmp/fluidvm" -replan -faults moderate -seed 42 -journal "$tmp/rref.aqj" testdata/glucose.asy >"$tmp/rref.out"
+# Seed 42 replans at boundaries 6, 16 and 26; snapshots land every 8.
+# Crash at 7: resume replays from snapshot 0 and must re-derive the
+# boundary-6 replan. Crash at 18: resume restores snapshot 16, whose
+# state already carries the replan patch overlay.
+for at in 7 18; do
+    status=0
+    "$tmp/fluidvm" -replan -faults moderate -seed 42 -journal "$tmp/rcrash.aqj" -crash-at "$at" testdata/glucose.asy >/dev/null 2>&1 || status=$?
+    [ "$status" -eq 3 ]
+    "$tmp/fluidvm" -resume "$tmp/rcrash.aqj" testdata/glucose.asy >"$tmp/rresume.out" 2>/dev/null
+    cmp "$tmp/rref.out" "$tmp/rresume.out"
+done
+
 echo "CI OK"

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	fluidvm [-yield F] [-trace] [-faults PROFILE] [-seed N] [-margin F]
-//	        [-recover] [-retries N] [-journal PATH] [-snapshot-every N]
-//	        [-crash-at N] assay.asy
+//	        [-recover] [-replan] [-retries N] [-journal PATH]
+//	        [-snapshot-every N] [-crash-at N] assay.asy
 //	fluidvm -ais prog.ais -voltab prog.vol       # run a shipped listing
 //	fluidvm -resume run.aqj assay.asy            # continue a crashed run
 //
@@ -23,6 +23,11 @@
 // in the recovery runtime (bounded retries, capped by -retries per
 // instruction, plus backward-slice regeneration of depleted fluids);
 // shipped listings (-ais) recover with retries only, having no DAG.
+// -replan (implies -recover) additionally lets a volume shortfall
+// re-solve the residual DAG around the live vessel volumes and rescale
+// the remaining instructions, consuming no fresh reagent; regeneration
+// stays the fallback. Replan counts appear in the recovery summary line
+// and, under -trace, each repair event streams to stderr as it happens.
 //
 // -journal makes the run durable: a write-ahead log of execution records
 // and periodic machine snapshots (cadence -snapshot-every boundaries).
@@ -50,7 +55,6 @@ import (
 	"aquavol/internal/aquacore"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
-	"aquavol/internal/dag"
 	"aquavol/internal/faults"
 	"aquavol/internal/journal"
 	"aquavol/internal/lang"
@@ -82,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 0, "fault-injection PRNG seed")
 	margin := fs.Float64("margin", 0, "safety margin: over-provision planned volumes by (1+F)")
 	rec := fs.Bool("recover", false, "enable the recovery runtime (retry + regeneration)")
+	replan := fs.Bool("replan", false, "enable adaptive replanning on shortfalls (implies -recover)")
 	retries := fs.Int("retries", 3, "retry budget per failed instruction under -recover")
 	journalPath := fs.String("journal", "", "write a durable-execution journal to PATH (implies -recover)")
 	resumePath := fs.String("resume", "", "resume a crashed run from its journal (implies -recover)")
@@ -91,12 +96,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	var traceFn func(aquacore.TraceEntry)
+	var eventFn func(aquacore.Event)
 	if *trace {
 		traceFn = traceTo(stderr)
+		eventFn = eventTo(stderr)
 	}
 
 	if *resumePath != "" {
-		return doResume(*resumePath, fs.Args(), *aisFile, *volFile, traceFn, stdout, stderr)
+		return doResume(*resumePath, fs.Args(), *aisFile, *volFile, traceFn, eventFn, stdout, stderr)
 	}
 
 	prof, err := faults.ParseProfile(*faultSpec)
@@ -107,23 +114,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if prof.Enabled() {
 		inj = faults.New(prof, *seed)
 	}
-	doRecover := *rec || *journalPath != "" || *crashAt >= 0
-	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery}
+	doRecover := *rec || *replan || *journalPath != "" || *crashAt >= 0
+	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery, EnableReplan: *replan}
 	if *crashAt >= 0 {
 		ropts.Crash = faults.CrashAt(*crashAt)
 	}
 
 	// Build the program and machine.
 	var (
-		prog     *ais.Program
-		g        *dag.Graph
-		clusters map[int][2]int
-		m        *aquacore.Machine
-		name     string
+		prog *ais.Program
+		comp *recovery.Compiled
+		m    *aquacore.Machine
+		name string
 	)
 	if *aisFile != "" {
 		name = *aisFile
-		prog, m, err = buildShipped(*aisFile, *volFile, *yield, traceFn, inj)
+		prog, m, err = buildShipped(*aisFile, *volFile, *yield, traceFn, eventFn, inj)
 	} else {
 		if fs.NArg() != 1 {
 			fmt.Fprintln(stderr, "usage: fluidvm [flags] assay.asy")
@@ -132,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		name = fs.Arg(0)
 		var src []byte
 		if src, err = os.ReadFile(name); err == nil {
-			prog, g, clusters, m, err = buildAssay(string(src), *yield, *margin, traceFn, inj)
+			prog, comp, m, err = buildAssay(string(src), *yield, *margin, traceFn, eventFn, inj)
 		}
 	}
 	if err != nil {
@@ -152,6 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Profile: prof, Seed: *seed,
 			Margin: *margin, Yield: *yield,
 			Retries: *retries, SnapshotEvery: *snapEvery,
+			Replan: *replan,
 		}}); jerr != nil {
 			return fail(stderr, jerr)
 		}
@@ -159,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if doRecover {
-		return finish(recovery.Run(m, prog, g, clusters, ropts), stdout, stderr)
+		return finish(recovery.Run(m, prog, comp, ropts), stdout, stderr)
 	}
 	res, err := m.Run(prog)
 	if err != nil {
@@ -175,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // come from the command line. Notices go to stderr so stdout stays
 // byte-identical to the uninterrupted run's.
 func doResume(path string, args []string, aisFile, volFile string,
-	traceFn func(aquacore.TraceEntry), stdout, stderr io.Writer) int {
+	traceFn func(aquacore.TraceEntry), eventFn func(aquacore.Event), stdout, stderr io.Writer) int {
 	resumeFail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "fluidvm: resume: "+format+"\n", a...)
 		return exitResumeFailed
@@ -204,13 +211,12 @@ func doResume(path string, args []string, aisFile, volFile string,
 		inj = faults.New(begin.Profile, begin.Seed)
 	}
 	var (
-		prog     *ais.Program
-		g        *dag.Graph
-		clusters map[int][2]int
-		m        *aquacore.Machine
+		prog *ais.Program
+		comp *recovery.Compiled
+		m    *aquacore.Machine
 	)
 	if aisFile != "" {
-		prog, m, err = buildShipped(aisFile, volFile, begin.Yield, traceFn, inj)
+		prog, m, err = buildShipped(aisFile, volFile, begin.Yield, traceFn, eventFn, inj)
 	} else {
 		if len(args) != 1 {
 			fmt.Fprintln(stderr, "usage: fluidvm -resume run.aqj assay.asy")
@@ -218,7 +224,7 @@ func doResume(path string, args []string, aisFile, volFile string,
 		}
 		var src []byte
 		if src, err = os.ReadFile(args[0]); err == nil {
-			prog, g, clusters, m, err = buildAssay(string(src), begin.Yield, begin.Margin, traceFn, inj)
+			prog, comp, m, err = buildAssay(string(src), begin.Yield, begin.Margin, traceFn, eventFn, inj)
 		}
 	}
 	if err != nil {
@@ -232,6 +238,7 @@ func doResume(path string, args []string, aisFile, volFile string,
 	ropts := recovery.Options{
 		RetriesPerInstr: begin.Retries,
 		SnapshotEvery:   begin.SnapshotEvery,
+		EnableReplan:    begin.Replan,
 		Journal:         w,
 	}
 	var snap *journal.Snapshot
@@ -245,10 +252,10 @@ func doResume(path string, args []string, aisFile, volFile string,
 		// Death before the first snapshot frame landed: nothing to
 		// restore, so the resume is a fresh deterministic run.
 		fmt.Fprintln(stderr, "fluidvm: resume: no snapshot in journal; restarting from the beginning")
-		out = recovery.Run(m, prog, g, clusters, ropts)
+		out = recovery.Run(m, prog, comp, ropts)
 	} else {
 		fmt.Fprintf(stderr, "fluidvm: resuming at boundary %d (pc %d)\n", snap.Boundary, snap.PC)
-		out, err = recovery.Resume(m, prog, g, clusters, ropts, snap)
+		out, err = recovery.Resume(m, prog, comp, ropts, snap)
 		if err != nil {
 			return resumeFail("%v", err)
 		}
@@ -260,15 +267,15 @@ func doResume(path string, args []string, aisFile, volFile string,
 // the planner/codegen decisions of a direct run so a resume rebuilds the
 // identical program.
 func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEntry),
-	inj *faults.Injector) (*ais.Program, *dag.Graph, map[int][2]int, *aquacore.Machine, error) {
+	eventFn func(aquacore.Event), inj *faults.Injector) (*ais.Program, *recovery.Compiled, *aquacore.Machine, error) {
 	ep, err := lang.Compile(src)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, err
 	}
 	cfg := core.DefaultConfig()
 	cfg.SafetyMargin = margin
 	if err := cfg.Validate(); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	g := ep.Graph
@@ -283,11 +290,11 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 	if hasUnknown {
 		sp, err := core.NewStagedPlan(g, cfg)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, err
 		}
 		ss, err := aquacore.NewStagedSource(sp)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, err
 		}
 		source = ss
 		// Per-part solves may fall back to LP at run time; be
@@ -296,7 +303,7 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 	} else {
 		res, err := core.Manage(g, cfg, core.ManageOptions{})
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, err
 		}
 		g = res.Graph
 		source = aquacore.PlanSource{Plan: res.Plan}
@@ -307,11 +314,12 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 	// LP plans (no flow conservation) and any positive safety margin.
 	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP || margin > 0})
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, err
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, Faults: inj}, g, source)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj}, g, source)
 	m.SetDry(codegen.DryInit(ep))
-	return cg.Prog, g, cg.Clusters, m, nil
+	comp := &recovery.Compiled{Graph: g, Clusters: cg.Clusters, VesselOf: cg.VesselOf}
+	return cg.Prog, comp, m, nil
 }
 
 // buildShipped assembles a compiled (listing, volume table) pair — the
@@ -319,7 +327,7 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 // Recovery is retry-only here: regeneration needs the DAG and cluster map
 // that only a fresh compile carries.
 func buildShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry),
-	inj *faults.Injector) (*ais.Program, *aquacore.Machine, error) {
+	eventFn func(aquacore.Event), inj *faults.Injector) (*ais.Program, *aquacore.Machine, error) {
 	src, err := os.ReadFile(aisFile)
 	if err != nil {
 		return nil, nil, err
@@ -328,7 +336,7 @@ func buildShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.
 	if err != nil {
 		return nil, nil, err
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, Faults: inj}, nil, nil)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj}, nil, nil)
 	if volFile != "" {
 		vsrc, err := os.ReadFile(volFile)
 		if err != nil {
@@ -411,6 +419,15 @@ func traceTo(w io.Writer) func(aquacore.TraceEntry) {
 			fmt.Fprintf(w, " %s %.4g→%.4g", d.Name, d.Pre, d.Post)
 		}
 		fmt.Fprintln(w)
+	}
+}
+
+// eventTo streams each recorded machine event — faults, repairs,
+// replans — to stderr as it happens, interleaved with the instruction
+// trace.
+func eventTo(w io.Writer) func(aquacore.Event) {
+	return func(e aquacore.Event) {
+		fmt.Fprintln(w, "event:", e)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan]
 //	         [-full] [-sweep N] [-seeds N]
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
@@ -68,6 +68,8 @@ func main() {
 		tables = []*bench.Table{bench.MarginSweep()}
 	case "durability":
 		tables = []*bench.Table{bench.Durability()}
+	case "replan":
+		tables = []*bench.Table{bench.Replan(*seeds)}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -51,6 +51,11 @@ type Config struct {
 	// step — the concrete replay channel for aisverify findings
 	// (fluidvm -trace).
 	Trace func(TraceEntry)
+	// EventTrace, when non-nil, receives every recorded event (machine
+	// faults and externally-recorded repair actions alike) as it happens,
+	// so drivers can stream the causal chain live instead of reading the
+	// result's event log afterwards (fluidvm -trace).
+	EventTrace func(Event)
 	// Faults, when non-nil and enabled, injects imperfect fluidics at the
 	// same choke points Trace observes: metering jitter and dead-volume
 	// loss on transports, evaporation over wet time, sensor noise, and
@@ -144,6 +149,14 @@ const (
 	// the volume source (e.g. StagedSource.SolvePart), so a later
 	// "missing volume" cannot mask its root cause.
 	EventSolveFailed
+	// EventReplan marks a recovery-runtime adaptive replan: the residual
+	// DAG was re-solved around live vessel volumes and the rescaled
+	// volumes were patched into the remaining instructions.
+	EventReplan
+	// EventRegenFault marks a regeneration replay that itself faulted
+	// (ran out or hit FU failures) — a repair that could not restore the
+	// plan, classified distinctly from the shortfall it tried to fix.
+	EventRegenFault
 )
 
 func (k EventKind) String() string {
@@ -164,6 +177,10 @@ func (k EventKind) String() string {
 		return "regen"
 	case EventSolveFailed:
 		return "solve-failed"
+	case EventReplan:
+		return "replan"
+	case EventRegenFault:
+		return "regen-fault"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -205,6 +222,10 @@ type Result struct {
 	// transport channel, keyed "transport") that spent it, for
 	// utilization analysis.
 	UnitSeconds map[string]float64
+	// InputNl is the total fluid (nl) drawn from input ports across the
+	// run, regeneration replays included — the reagent-consumption metric
+	// repair strategies are compared on (E13).
+	InputNl float64
 	// VolumeDrift maps vessel (and output-port) names to the cumulative
 	// planned-minus-delivered volume (nl) caused by injected faults:
 	// positive entries are fluid lost to jitter, dead volume, and
@@ -284,10 +305,16 @@ type Machine struct {
 	g        *dag.Graph
 	src      VolumeSource
 	instrVol ais.VolumeTable
-	vessels  map[string]*vessel
-	regs     map[string]float64
-	known    map[string]bool
-	res      *Result
+	// patches overlays per-instruction absolute volumes installed at run
+	// time by adaptive replanning. Consulted before instrVol and before
+	// edge-keyed source lookups: a patched plan overrides the compiled
+	// one for the instructions it covers. Snapshot state (crash-resume
+	// must reproduce the patched plan bit-identically).
+	patches ais.VolumeTable
+	vessels map[string]*vessel
+	regs    map[string]float64
+	known   map[string]bool
+	res     *Result
 	// flt is cfg.Faults when enabled, nil otherwise: the single gate every
 	// fault hook checks, keeping the faults-off path bit-identical to the
 	// ideal machine.
@@ -365,10 +392,45 @@ func operandVessel(o ais.Operand) (string, bool) {
 }
 
 func (m *Machine) event(kind EventKind, pc int, in ais.Instr, format string, args ...any) {
-	m.res.Events = append(m.res.Events, Event{
-		Kind: kind, PC: pc, Instr: in.String(), Detail: fmt.Sprintf(format, args...),
-	})
+	e := Event{Kind: kind, PC: pc, Instr: in.String(), Detail: fmt.Sprintf(format, args...)}
+	m.res.Events = append(m.res.Events, e)
+	if m.cfg.EventTrace != nil {
+		m.cfg.EventTrace(e)
+	}
 }
+
+// Patch overlays an absolute volume for the instruction at pc,
+// overriding the compiled plan (volume table or edge-keyed source).
+// Adaptive replanning installs the residual re-solve through it; the
+// overlay rides in snapshots so resumed runs see the patched plan.
+func (m *Machine) Patch(pc int, vol float64) {
+	if m.patches == nil {
+		m.patches = ais.VolumeTable{}
+	}
+	m.patches[pc] = vol
+}
+
+// Patches returns a copy of the installed patch overlay (nil when no
+// instruction has been patched).
+func (m *Machine) Patches() ais.VolumeTable {
+	if m.patches == nil {
+		return nil
+	}
+	out := make(ais.VolumeTable, len(m.patches))
+	for pc, v := range m.patches {
+		out[pc] = v
+	}
+	return out
+}
+
+// VolumeConfig reports the volume-management parameters the machine
+// enforces (capacity, least count, safety margin) — the configuration a
+// residual re-solve must plan against.
+func (m *Machine) VolumeConfig() core.Config { return m.cfg.Volume }
+
+// MoveSecondsPer reports the configured fluid-transport time per wet
+// instruction, for repair-cost estimates.
+func (m *Machine) MoveSecondsPer() float64 { return m.cfg.MoveSeconds }
 
 // Run executes the program to completion (or the instruction budget) and
 // returns the result.
@@ -493,10 +555,15 @@ func (m *Machine) Faults() *faults.Injector { return m.flt }
 // per-instruction faults.
 func (m *Machine) Events() []Event { return m.res.Events }
 
-// RecordEvent appends an externally-generated event (retries and
-// regenerations from a recovery runtime) so the causal chain lives in
-// one place.
-func (m *Machine) RecordEvent(e Event) { m.res.Events = append(m.res.Events, e) }
+// RecordEvent appends an externally-generated event (retries,
+// regenerations, and replans from a recovery runtime) so the causal
+// chain lives in one place.
+func (m *Machine) RecordEvent(e Event) {
+	m.res.Events = append(m.res.Events, e)
+	if m.cfg.EventTrace != nil {
+		m.cfg.EventTrace(e)
+	}
+}
 
 // Idle advances simulated wet time without executing an instruction —
 // the recovery runtime's retry backoff. Evaporation (when injected)
@@ -536,6 +603,9 @@ func (m *Machine) PlannedTransfer(pc int, in ais.Instr) (src string, vol float64
 		}
 		return "", 0, false
 	}
+	if v, has := m.patches[pc]; has {
+		return src, v, true
+	}
 	if v, has := m.instrVol[pc]; has {
 		return src, v, true
 	}
@@ -545,6 +615,26 @@ func (m *Machine) PlannedTransfer(pc int, in ais.Instr) (src string, vol float64
 		}
 	}
 	return "", 0, false
+}
+
+// PlannedLoad reports the planned (pre-fault) volume the Input
+// instruction at pc would draw from its port, resolving exactly as step
+// would: patch overlay, node-keyed VolumeSource, machine maximum.
+// ok is false for non-Input instructions. Repair-cost estimates use it
+// to price the fresh reagent a regeneration replay would consume.
+func (m *Machine) PlannedLoad(pc int, in ais.Instr) (float64, bool) {
+	if in.Op != ais.Input {
+		return 0, false
+	}
+	if v, ok := m.patches[pc]; ok {
+		return math.Min(v, m.cfg.Volume.MaxCapacity), true
+	}
+	if in.Node >= 0 && m.src != nil {
+		if v, ok := m.src.NodeVolume(in.Node); ok {
+			return math.Min(v, m.cfg.Volume.MaxCapacity), true
+		}
+	}
+	return m.cfg.Volume.MaxCapacity, true
 }
 
 // measured reports one run-time measurement to the volume source and
@@ -640,7 +730,9 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		attr("transport", cfg.MoveSeconds)
 		dstName, _ := operandVessel(in.Operands[0])
 		vol := cfg.Volume.MaxCapacity
-		if in.Node >= 0 && m.src != nil {
+		if v, ok := m.patches[pc]; ok {
+			vol = math.Min(v, cfg.Volume.MaxCapacity)
+		} else if in.Node >= 0 && m.src != nil {
 			if v, ok := m.src.NodeVolume(in.Node); ok {
 				vol = math.Min(v, cfg.Volume.MaxCapacity)
 			}
@@ -660,6 +752,7 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		dst := m.vessel(dstName)
 		dst.clear()
 		dst.add(vol, map[string]float64{name: vol})
+		m.res.InputNl += vol
 	case ais.Move, ais.MoveAbs:
 		wet(cfg.MoveSeconds)
 		attr("transport", cfg.MoveSeconds)
@@ -674,10 +767,13 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		srcV := m.vessel(srcName)
 		var vol float64
 		metered := true
+		patchVol, hasPatch := m.patches[pc]
 		tabVol, hasTab := m.instrVol[pc]
 		switch {
 		case in.Op == ais.MoveAbs:
 			vol = argNum(2) * cfg.Volume.LeastCount
+		case hasPatch:
+			vol = patchVol
 		case hasTab:
 			vol = tabVol
 		case in.Edge >= 0 && m.src != nil:
@@ -743,7 +839,10 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 		srcV := m.vessel(srcName)
 		vol := srcV.vol
 		metered := false
-		if v, ok := m.instrVol[pc]; ok {
+		if v, ok := m.patches[pc]; ok {
+			vol = v
+			metered = true
+		} else if v, ok := m.instrVol[pc]; ok {
 			vol = v
 			metered = true
 		} else if in.Edge >= 0 && m.src != nil {

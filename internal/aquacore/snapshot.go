@@ -58,6 +58,7 @@ type Snapshot struct {
 	DrySeconds  float64            `json:"drySeconds"`
 	WetInstrs   int                `json:"wetInstrs"`
 	DryInstrs   int                `json:"dryInstrs"`
+	InputNl     float64            `json:"inputNl,omitempty"`
 	Events      []Event            `json:"events,omitempty"`
 	Dry         map[string]float64 `json:"dry,omitempty"`
 	Outputs     []Output           `json:"outputs,omitempty"`
@@ -67,6 +68,12 @@ type Snapshot struct {
 	Steps         int `json:"steps"`
 	Budget        int `json:"budget"`
 	SolveErrsSeen int `json:"solveErrsSeen"`
+
+	// Patches is the replan overlay: per-instruction absolute volumes
+	// installed by adaptive replanning. A resume restored from a
+	// post-replan snapshot must execute the patched plan, not the
+	// compiled one.
+	Patches map[int]float64 `json:"patches,omitempty"`
 
 	Measurements []Measurement `json:"measurements,omitempty"`
 	Faults       *FaultState   `json:"faults,omitempty"`
@@ -82,9 +89,11 @@ func (m *Machine) Snapshot() *Snapshot {
 		DrySeconds:    m.res.DrySeconds,
 		WetInstrs:     m.res.WetInstrs,
 		DryInstrs:     m.res.DryInstrs,
+		InputNl:       m.res.InputNl,
 		Steps:         m.steps,
 		Budget:        m.budget,
 		SolveErrsSeen: m.solveErrsSeen,
+		Patches:       m.Patches(),
 	}
 	for name, v := range m.vessels {
 		s.Vessels[name] = VesselState{Volume: v.vol, Composition: copyMap(v.comp)}
@@ -169,6 +178,7 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.res.DrySeconds = s.DrySeconds
 	m.res.WetInstrs = s.WetInstrs
 	m.res.DryInstrs = s.DryInstrs
+	m.res.InputNl = s.InputNl
 	m.res.Events = append([]Event(nil), s.Events...)
 	m.res.Dry = copyMap(s.Dry)
 	if m.res.Dry == nil {
@@ -184,6 +194,13 @@ func (m *Machine) Restore(s *Snapshot) error {
 	}
 	if s.Drift != nil {
 		m.drift = copyMap(s.Drift)
+	}
+	m.patches = nil
+	if len(s.Patches) > 0 {
+		m.patches = make(map[int]float64, len(s.Patches))
+		for pc, v := range s.Patches {
+			m.patches[pc] = v
+		}
 	}
 	m.steps = s.Steps
 	m.budget = s.Budget

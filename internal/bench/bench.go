@@ -659,5 +659,6 @@ func All(full bool, sweepN int) []*Table {
 		Robustness(0),
 		MarginSweep(),
 		Durability(),
+		Replan(0),
 	}
 }

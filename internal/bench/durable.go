@@ -127,7 +127,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 	crashPath := filepath.Join(dir, ca.name+"-"+pname+"-crash.aqj")
 	var midJournal []byte // saved crash journal for the damage cases
 	for k := 0; k < cell.Boundaries; k++ {
-		if err := crashRun(ca, p, opts, crashPath, k); err != nil {
+		if err := crashRun(ca, p, durabilitySeed, opts, crashPath, k); err != nil {
 			return nil, fmt.Errorf("kill at boundary %d: %w", k, err)
 		}
 		if k == cell.Boundaries/2 {
@@ -136,7 +136,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 				return nil, err
 			}
 		}
-		got, err := resumeFromFile(ca, p, opts, crashPath)
+		got, err := resumeFromFile(ca, p, durabilitySeed, opts, crashPath)
 		if err != nil {
 			return nil, fmt.Errorf("resume after kill at boundary %d: %w", k, err)
 		}
@@ -167,7 +167,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 		if err := os.WriteFile(path, d.mutate(midJournal), 0o644); err != nil {
 			return nil, err
 		}
-		got, err := resumeFromFile(ca, p, opts, path)
+		got, err := resumeFromFile(ca, p, durabilitySeed, opts, path)
 		if err != nil {
 			return nil, fmt.Errorf("resume from %s journal: %w", d.name, err)
 		}
@@ -177,7 +177,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 }
 
 // crashRun executes a journaled run killed at boundary k.
-func crashRun(ca *compiledAssay, p faults.Profile, opts recovery.Options, path string, k int) error {
+func crashRun(ca *compiledAssay, p faults.Profile, seed int64, opts recovery.Options, path string, k int) error {
 	jw, f, err := journal.Create(path)
 	if err != nil {
 		return err
@@ -185,7 +185,7 @@ func crashRun(ca *compiledAssay, p faults.Profile, opts recovery.Options, path s
 	defer f.Close()
 	opts.Journal = jw
 	opts.Crash = faults.CrashAt(k)
-	out, _, err := ca.runRecovered(p, durabilitySeed, opts)
+	out, _, err := ca.runRecovered(p, seed, opts)
 	if err != nil {
 		return err
 	}
@@ -197,7 +197,7 @@ func crashRun(ca *compiledAssay, p faults.Profile, opts recovery.Options, path s
 
 // resumeFromFile recovers a (possibly damaged) journal, resumes from its
 // last good snapshot, and fingerprints the final machine state.
-func resumeFromFile(ca *compiledAssay, p faults.Profile, opts recovery.Options, path string) (string, error) {
+func resumeFromFile(ca *compiledAssay, p faults.Profile, seed int64, opts recovery.Options, path string) (string, error) {
 	recs, _, w, f, err := journal.OpenAppend(path)
 	if err != nil {
 		return "", err
@@ -213,7 +213,7 @@ func resumeFromFile(ca *compiledAssay, p faults.Profile, opts recovery.Options, 
 		return "", fmt.Errorf("no snapshot survived in %s", path)
 	}
 	opts.Journal = w
-	_, m, err := ca.resumeRecovered(p, durabilitySeed, opts, snap)
+	_, m, err := ca.resumeRecovered(p, seed, opts, snap)
 	if err != nil {
 		return "", err
 	}

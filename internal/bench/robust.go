@@ -101,7 +101,7 @@ func (ca *compiledAssay) runRecovered(p faults.Profile, seed int64, opts recover
 	if err != nil {
 		return nil, nil, err
 	}
-	return recovery.Run(m, ca.cg.Prog, ca.runGraph(), ca.cg.Clusters, opts), m, nil
+	return recovery.Run(m, ca.cg.Prog, ca.compiled(), opts), m, nil
 }
 
 // resumeRecovered restores snap onto a fresh machine and continues the
@@ -112,11 +112,17 @@ func (ca *compiledAssay) resumeRecovered(p faults.Profile, seed int64, opts reco
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := recovery.Resume(m, ca.cg.Prog, ca.runGraph(), ca.cg.Clusters, opts, snap)
+	out, err := recovery.Resume(m, ca.cg.Prog, ca.compiled(), opts, snap)
 	if err != nil {
 		return nil, nil, err
 	}
 	return out, m, nil
+}
+
+// compiled bundles the artifacts the recovery runtime's repair
+// strategies need (regeneration and replanning).
+func (ca *compiledAssay) compiled() *recovery.Compiled {
+	return &recovery.Compiled{Graph: ca.runGraph(), Clusters: ca.cg.Clusters, VesselOf: ca.cg.VesselOf}
 }
 
 // runGraph is the graph execution sees: the managed one for static plans.

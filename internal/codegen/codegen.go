@@ -101,6 +101,15 @@ type Result struct {
 	// regenerate depleted fluids (regen.BackwardSlice driving actual
 	// re-execution).
 	Clusters map[int][2]int
+	// VesselOf maps dag.FluidKey(node, port) to the machine vessel that
+	// holds the fluid after its producing cluster: a reservoir name
+	// ("s3") or, for forwarded results, the unit ("mixer1") or unit port
+	// ("separator1.out1"). Each produced fluid is placed exactly once, so
+	// the map is the program-long location table; the recovery runtime
+	// reads live volumes through it when replanning the residual DAG.
+	// (With Config.ReuseReservoirs a reservoir may later hold a different
+	// fluid — reuse and replanning should not be combined.)
+	VesselOf map[string]string
 }
 
 type loc struct {
@@ -129,7 +138,20 @@ type generator struct {
 	outPortN int
 }
 
-func key(nodeID int, port string) string { return fmt.Sprintf("%d/%s", nodeID, port) }
+func key(nodeID int, port string) string { return dag.FluidKey(nodeID, port) }
+
+// setLocation records where a produced fluid now lives, both in the
+// generator's working map and in the exported Result.VesselOf table.
+func (gen *generator) setLocation(k string, l loc) {
+	gen.location[k] = l
+	if l.res >= 0 {
+		gen.res.VesselOf[k] = ais.Res(l.res).Name
+	} else if l.sub != "" {
+		gen.res.VesselOf[k] = l.unit + "." + l.sub
+	} else {
+		gen.res.VesselOf[k] = l.unit
+	}
+}
 
 // Generate lowers ep over graph g (ep.Graph or a transformed clone of it;
 // node Refs must link back to ep.Ops indices).
@@ -150,6 +172,7 @@ func Generate(ep *elab.Program, g *dag.Graph, cfg Config) (*Result, error) {
 		InputPort:   map[string]int{},
 		ReservoirOf: map[string]int{},
 		Clusters:    map[int][2]int{},
+		VesselOf:    map[string]string{},
 	}
 	if err := gen.schedule(); err != nil {
 		return nil, err
@@ -397,7 +420,7 @@ func (gen *generator) emitInput(n *dag.Node) error {
 	if err != nil {
 		return err
 	}
-	gen.location[k] = loc{res: r, unit: ""}
+	gen.setLocation(k, loc{res: r, unit: ""})
 	gen.emit(ais.Instr{
 		Op:       ais.Input,
 		Operands: []ais.Operand{ais.Res(r), ais.IP(gen.res.InputPort[n.Name])},
@@ -481,14 +504,14 @@ func (gen *generator) place(pos int, n *dag.Node, port string, unit ais.Operand)
 		// unsafe when the consumer runs on the same unit (a mix feeding a
 		// mix would fold any residue into the new mixture), so those
 		// results go through a reservoir.
-		gen.location[k] = loc{res: -1, unit: unit.Name, sub: unit.Sub}
+		gen.setLocation(k, loc{res: -1, unit: unit.Name, sub: unit.Sub})
 		return nil
 	}
 	r, err := gen.allocRes(k)
 	if err != nil {
 		return err
 	}
-	gen.location[k] = loc{res: r}
+	gen.setLocation(k, loc{res: r})
 	gen.emit(ais.Instr{
 		Op:       ais.Move,
 		Operands: []ais.Operand{ais.Res(r), unit},
@@ -638,14 +661,14 @@ func (gen *generator) placePort(pos int, n *dag.Node, port, unitName, sub string
 	}
 	if !gen.cfg.NoForwarding && consumers == 1 &&
 		pos+1 < len(gen.nodes) && gen.nodes[pos+1] == only && !sameUnit(n, only) {
-		gen.location[k] = loc{res: -1, unit: unitName, sub: sub}
+		gen.setLocation(k, loc{res: -1, unit: unitName, sub: sub})
 		return nil
 	}
 	r, err := gen.allocRes(k)
 	if err != nil {
 		return err
 	}
-	gen.location[k] = loc{res: r}
+	gen.setLocation(k, loc{res: r})
 	gen.emit(ais.Instr{
 		Op:       ais.Move,
 		Operands: []ais.Operand{ais.Res(r), ais.FUPort(unitName, sub)},

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"aquavol/internal/dag"
+)
+
+// ErrResidualInfeasible reports that a residual re-solve produced no
+// feasible plan: the live volumes cannot supply the remaining DAG
+// without violating a hardware minimum (e.g. a rescaled dispense would
+// underflow the least count), or the residual still contains unmeasured
+// unknown-volume nodes. Callers fall back to regeneration.
+var ErrResidualInfeasible = errors.New("core: residual replan infeasible")
+
+// LiveVolume reports the volume currently available from an executed
+// node's output port — a live vessel reading, already discounted by any
+// caller-side safety padding.
+type LiveVolume func(sourceID int, port string) (float64, bool)
+
+// ResidualPlan is a successful residual re-solve: absolute volumes for
+// the not-yet-executed remainder of an assay, scaled to what the live
+// vessels actually hold.
+type ResidualPlan struct {
+	// Plan covers the residual graph (Residual.Graph ids).
+	Plan *Plan
+	// Residual is the extracted remainder the plan covers.
+	Residual *dag.Residual
+	// Method is the solver that produced the plan ("dagsolve" or "lp").
+	Method string
+}
+
+// EdgeVolumes maps ORIGINAL edge ids to their re-planned absolute
+// volumes, for patching into the remaining instructions.
+func (rp *ResidualPlan) EdgeVolumes() map[int]float64 {
+	out := make(map[int]float64, len(rp.Residual.EdgeOf))
+	for orig, res := range rp.Residual.EdgeOf {
+		out[orig] = rp.Plan.EdgeVolume[res]
+	}
+	return out
+}
+
+// InputVolumes maps ORIGINAL node ids of pending natural inputs to
+// their re-planned load volumes.
+func (rp *ResidualPlan) InputVolumes() map[int]float64 {
+	out := map[int]float64{}
+	for res, orig := range rp.Residual.NodeOf {
+		if n := rp.Residual.Graph.Node(res); n != nil && n.Kind == dag.Input {
+			out[orig] = rp.Plan.NodeVolume[res]
+		}
+	}
+	return out
+}
+
+// SolveResidual re-runs volume assignment over a residual DAG (§3.3's
+// DAGSolve, then the LP fallback) with the live vessel volumes as
+// constrained-input availability: the forward pass scales the whole
+// remainder down (never past MaxCapacity up) so that no pending draw
+// exceeds what its source vessel still holds, preserving mix ratios.
+// cfg.SafetyMargin applies to the re-solve exactly as it did to the
+// original plan. Returns ErrResidualInfeasible (with the underlying
+// detail wrapped) when neither solver finds a feasible plan — including
+// when the residual still contains unknown-volume interior nodes, whose
+// measurements have not happened yet.
+func SolveResidual(r *dag.Residual, cfg Config, live LiveVolume) (*ResidualPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bound := make(map[int]dag.ResidualBoundary, len(r.Boundaries))
+	for _, b := range r.Boundaries {
+		bound[b.CINode] = b
+	}
+	avail := func(ci *dag.Node) (float64, bool) {
+		b, ok := bound[ci.ID()]
+		if !ok {
+			return 0, false
+		}
+		return live(b.SourceID, b.SourcePort)
+	}
+	plan, err := DAGSolve(r.Graph, cfg, avail)
+	if err != nil {
+		// Unknown interior nodes (ErrNeedsPartition), unknown availability,
+		// degenerate residuals: all mean "cannot replan", not "cannot run".
+		return nil, fmt.Errorf("%w: %w", ErrResidualInfeasible, err)
+	}
+	if plan.Feasible() {
+		return &ResidualPlan{Plan: plan, Residual: r, Method: plan.Method}, nil
+	}
+	lpPlan, lerr := SolveLP(r.Graph, cfg, FormulateOptions{}, avail)
+	if lerr == nil && lpPlan.Feasible() {
+		return &ResidualPlan{Plan: lpPlan, Residual: r, Method: lpPlan.Method}, nil
+	}
+	if lerr != nil && !errors.Is(lerr, ErrLPInfeasible) {
+		return nil, lerr
+	}
+	detail := "no feasible plan"
+	if len(plan.Underflows) > 0 {
+		detail = plan.Underflows[0].String()
+	}
+	return nil, fmt.Errorf("%w: %s", ErrResidualInfeasible, detail)
+}

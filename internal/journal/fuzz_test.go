@@ -21,8 +21,12 @@ func FuzzDecode(f *testing.F) {
 			f.Fatal(err)
 		}
 		for _, rec := range []*journal.Record{
-			{Kind: journal.KindBegin, Begin: &journal.Begin{Program: "p", Hash: 1, Instrs: 2}},
+			{Kind: journal.KindBegin, Begin: &journal.Begin{Program: "p", Hash: 1, Instrs: 2, Replan: true}},
 			{Kind: journal.KindStep, Step: &journal.Step{Boundary: 0, PC: 0, Next: 1}},
+			{Kind: journal.KindReplan, Replan: &journal.Replan{
+				Boundary: 1, PC: 1, Source: "s1", Need: 3, Have: 2,
+				Method: "dagsolve", Scale: 0.5, Patches: map[int]float64{1: 1.5},
+			}},
 			{Kind: journal.KindOutcome, Outcome: &journal.Outcome{Status: "completed"}},
 		} {
 			if err := jw.Append(rec); err != nil {

@@ -71,6 +71,9 @@ const (
 	KindTransfer Kind = "transfer"
 	// KindRecovery records a repair action (retry, regeneration).
 	KindRecovery Kind = "recovery"
+	// KindReplan records an adaptive replan: the residual DAG was
+	// re-solved around live volumes and the patch set installed.
+	KindReplan Kind = "replan"
 	// KindOutcome closes a journal: the run's terminal status.
 	KindOutcome Kind = "outcome"
 )
@@ -84,6 +87,7 @@ type Record struct {
 	Snapshot *Snapshot       `json:"snapshot,omitempty"`
 	Transfer *Transfer       `json:"transfer,omitempty"`
 	Recovery *RecoveryAction `json:"recovery,omitempty"`
+	Replan   *Replan         `json:"replan,omitempty"`
 	Outcome  *Outcome        `json:"outcome,omitempty"`
 }
 
@@ -96,6 +100,7 @@ func (r *Record) validate() error {
 		KindSnapshot: r.Snapshot != nil,
 		KindTransfer: r.Transfer != nil,
 		KindRecovery: r.Recovery != nil,
+		KindReplan:   r.Replan != nil,
 		KindOutcome:  r.Outcome != nil,
 	}
 	present, ok := bodies[r.Kind]
@@ -139,6 +144,9 @@ type Begin struct {
 	Retries int `json:"retries,omitempty"`
 	// SnapshotEvery is the snapshot cadence in instruction boundaries.
 	SnapshotEvery int `json:"snapshotEvery,omitempty"`
+	// Replan records whether adaptive replanning was enabled: a resume
+	// must re-derive the same repair decisions the original run made.
+	Replan bool `json:"replan,omitempty"`
 }
 
 // Step marks one completed instruction boundary of the recovery loop.
@@ -176,11 +184,15 @@ type Snapshot struct {
 // recover.Outcome's counters; defined here because the recovery package
 // imports this one).
 type RecoveryState struct {
-	Retries        int        `json:"retries"`
-	Regens         int        `json:"regens"`
-	RegenInstrs    int        `json:"regenInstrs"`
-	BackoffSeconds float64    `json:"backoffSeconds"`
-	Incidents      []Incident `json:"incidents,omitempty"`
+	Retries        int     `json:"retries"`
+	Regens         int     `json:"regens"`
+	RegenInstrs    int     `json:"regenInstrs"`
+	Replans        int     `json:"replans,omitempty"`
+	ReplanInstrs   int     `json:"replanInstrs,omitempty"`
+	BackoffSeconds float64 `json:"backoffSeconds"`
+	// ReplanBoundaries lists the boundaries replans were applied at.
+	ReplanBoundaries []int      `json:"replanBoundaries,omitempty"`
+	Incidents        []Incident `json:"incidents,omitempty"`
 }
 
 // Incident is one unrepaired fault (recover.Incident flattened for
@@ -211,6 +223,29 @@ type RecoveryAction struct {
 	Attempt int `json:"attempt,omitempty"`
 	// Detail carries the human-readable event detail.
 	Detail string `json:"detail,omitempty"`
+}
+
+// Replan records one adaptive replanning action: the residual DAG
+// around the live vessel volumes was re-solved and the rescaled
+// volumes were patched into the remaining instructions. Resume never
+// replays it directly — snapshots carry the machine's patch overlay,
+// and a resume from an earlier snapshot re-derives the identical replan
+// deterministically — but the record makes the repair auditable and
+// lets tools reconstruct the patched plan without re-execution.
+type Replan struct {
+	Boundary int `json:"boundary"`
+	PC       int `json:"pc"`
+	// Source/Need/Have describe the stalled transfer that triggered the
+	// replan: the padded planned draw versus the source's live volume.
+	Source string  `json:"source"`
+	Need   float64 `json:"need"`
+	Have   float64 `json:"have"`
+	// Method is the residual solver that produced the patch set
+	// ("dagsolve" or "lp"); Scale is DAGSolve's dispensing scale.
+	Method string  `json:"method"`
+	Scale  float64 `json:"scale,omitempty"`
+	// Patches maps instruction pcs to their rescaled absolute volumes.
+	Patches map[int]float64 `json:"patches"`
 }
 
 // Outcome closes a journal: the run reached a terminal state in-process

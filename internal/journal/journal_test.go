@@ -40,6 +40,11 @@ func sampleRecords() []*journal.Record {
 		{Kind: journal.KindTransfer, Transfer: &journal.Transfer{Boundary: 1, PC: 1, Source: "s1", Volume: 30}},
 		{Kind: journal.KindStep, Step: &journal.Step{Boundary: 1, PC: 1, Next: 2, Events: 0, Draws: 2}},
 		{Kind: journal.KindRecovery, Recovery: &journal.RecoveryAction{Action: "retry", Boundary: 2, PC: 2, Attempt: 1}},
+		{Kind: journal.KindReplan, Replan: &journal.Replan{
+			Boundary: 2, PC: 2, Source: "s1", Need: 30.5, Have: 27.25,
+			Method: "dagsolve", Scale: 0.875,
+			Patches: map[int]float64{2: 26.6875, 5: 13.34375},
+		}},
 		{Kind: journal.KindStep, Step: &journal.Step{Boundary: 2, PC: 2, Next: 3, Halted: true, Events: 1, Draws: 5}},
 		{Kind: journal.KindOutcome, Outcome: &journal.Outcome{Status: "completed", Boundaries: 3}},
 	}
@@ -85,8 +90,20 @@ func TestRoundTrip(t *testing.T) {
 	if snap.Machine.Faults == nil || snap.Machine.Faults.Seed != 7 {
 		t.Error("fault state lost in round trip")
 	}
-	if recs[6].Outcome.Status != "completed" {
-		t.Errorf("outcome status = %q", recs[6].Outcome.Status)
+	rp := recs[5].Replan
+	if rp == nil {
+		t.Fatal("replan record lost its body")
+	}
+	if rp.Source != "s1" || rp.Method != "dagsolve" || rp.Scale != 0.875 {
+		t.Errorf("replan round-trip: got %+v", rp)
+	}
+	// The patch map's int keys and exact float64 values must survive the
+	// JSON encoding: resume reconstructs the patched plan from them.
+	if len(rp.Patches) != 2 || rp.Patches[2] != 26.6875 || rp.Patches[5] != 13.34375 {
+		t.Errorf("replan patches round-trip: got %v", rp.Patches)
+	}
+	if recs[7].Outcome.Status != "completed" {
+		t.Errorf("outcome status = %q", recs[7].Outcome.Status)
 	}
 }
 

@@ -56,7 +56,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 	refOpts := opts
 	refOpts.Journal = jw
 	ref := newMachine(ep, plan, profile, seed, nil)
-	refOut := recovery.Run(ref, cg.Prog, ep.Graph, cg.Clusters, refOpts)
+	refOut := recovery.Run(ref, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, refOpts)
 	f.Close()
 	if refOut.Status == recovery.Aborted {
 		t.Fatalf("reference run aborted: %v", refOut.Err)
@@ -93,7 +93,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 		crashOpts.Journal = jw
 		crashOpts.Crash = faults.CrashAt(k)
 		m1 := newMachine(ep, plan, profile, seed, nil)
-		out1 := recovery.Run(m1, cg.Prog, ep.Graph, cg.Clusters, crashOpts)
+		out1 := recovery.Run(m1, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, crashOpts)
 		f.Close()
 		if out1.Status != recovery.Aborted {
 			t.Fatalf("crash at %d: status %s, want aborted", k, out1.Status)
@@ -123,7 +123,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 		resumeOpts := opts
 		resumeOpts.Journal = w2
 		m2 := newMachine(ep, plan, profile, seed, nil)
-		out2, err := recovery.Resume(m2, cg.Prog, ep.Graph, cg.Clusters, resumeOpts, snap)
+		out2, err := recovery.Resume(m2, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, resumeOpts, snap)
 		f2.Close()
 		if err != nil {
 			t.Fatalf("crash at %d: resume: %v", k, err)
@@ -178,7 +178,7 @@ func TestJournalWriteFailureAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := newMachine(ep, plan, faults.Profile{}, 0, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{Journal: jw})
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{Journal: jw})
 	if out.Status != recovery.Aborted {
 		t.Fatalf("status %s, want aborted", out.Status)
 	}
@@ -197,10 +197,10 @@ func TestJournalWriteFailureAborts(t *testing.T) {
 func TestResumeValidation(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	m := newMachine(ep, plan, faults.Profile{}, 0, nil)
-	if _, err := recovery.Resume(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{}, nil); err == nil {
+	if _, err := recovery.Resume(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{}, nil); err == nil {
 		t.Error("nil snapshot accepted")
 	}
-	if _, err := recovery.Resume(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{},
+	if _, err := recovery.Resume(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{},
 		&journal.Snapshot{Boundary: 0, PC: len(cg.Prog.Instrs) + 1, Machine: &aquacore.Snapshot{}}); err == nil {
 		t.Error("out-of-range pc accepted")
 	}
@@ -229,7 +229,7 @@ func TestDegradedRunUnderHarshFaults(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	profile := faults.Profile{FailRate: 1} // every attempt fails
 	m := newMachine(ep, plan, profile, 7, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{RetriesPerInstr: 2, TotalRetries: 8})
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{RetriesPerInstr: 2, TotalRetries: 8})
 	if out.Status != recovery.CompletedDegraded {
 		t.Fatalf("status %s, want completed-degraded", out.Status)
 	}

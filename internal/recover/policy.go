@@ -1,0 +1,115 @@
+package recovery
+
+import "fmt"
+
+// RepairKind enumerates the repair strategies the policy engine can
+// choose between, ordered least-invasive first: rescaling remaining
+// volumes touches no fluid, a retry re-runs one instruction,
+// regeneration replays a whole backward slice with fresh reagent,
+// degradation gives up on the repair, and abort gives up on the run.
+// The ordering is the cost-tie break: between equally-priced viable
+// candidates, the less invasive repair wins.
+type RepairKind int
+
+const (
+	// RepairRescale re-solves the residual DAG around live volumes and
+	// patches the rescaled volumes into the remaining instructions.
+	RepairRescale RepairKind = iota
+	// RepairRetry re-executes the failed instruction in place.
+	RepairRetry
+	// RepairRegen re-executes the backward slice of a depleted producer.
+	RepairRegen
+	// RepairDegrade performs no repair; the fault stands as an incident.
+	RepairDegrade
+	// RepairAbort stops the run.
+	RepairAbort
+)
+
+func (k RepairKind) String() string {
+	switch k {
+	case RepairRescale:
+		return "rescale"
+	case RepairRetry:
+		return "retry"
+	case RepairRegen:
+		return "regen"
+	case RepairDegrade:
+		return "degrade"
+	case RepairAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("RepairKind(%d)", int(k))
+	}
+}
+
+// Candidate is one scored repair option for a single fault.
+type Candidate struct {
+	Kind RepairKind
+	// Reagent is the fresh input fluid (nl) the repair would consume.
+	Reagent float64
+	// Seconds is the simulated time the repair would spend.
+	Seconds float64
+	// Viable marks the candidate as applicable: budget remaining, the
+	// needed compile artifacts present, preconditions met.
+	Viable bool
+	// Why documents what the repair does (or why it is not viable).
+	Why string
+}
+
+// CostModel prices candidate repairs in reagent-equivalent nanoliters.
+// The zero value selects the defaults noted on each field.
+type CostModel struct {
+	// TimeWeight converts simulated seconds to nl-equivalents
+	// (default 0.05: a minute of machine time ≈ 3 nl of reagent).
+	TimeWeight float64
+	// DegradePenalty prices an unrepaired fault (default 1e6): any
+	// repair that consumes actual fluid and time still beats giving up.
+	DegradePenalty float64
+	// AbortPenalty prices killing the run (default 1e9): strictly worse
+	// than completing degraded.
+	AbortPenalty float64
+}
+
+func (c CostModel) withDefaults() CostModel {
+	if c.TimeWeight == 0 {
+		c.TimeWeight = 0.05
+	}
+	if c.DegradePenalty == 0 {
+		c.DegradePenalty = 1e6
+	}
+	if c.AbortPenalty == 0 {
+		c.AbortPenalty = 1e9
+	}
+	return c
+}
+
+// Cost scores one candidate: reagent plus time-weighted seconds, plus
+// the give-up penalty for degrade/abort.
+func (c CostModel) Cost(cand Candidate) float64 {
+	cost := cand.Reagent + c.TimeWeight*cand.Seconds
+	switch cand.Kind {
+	case RepairDegrade:
+		cost += c.DegradePenalty
+	case RepairAbort:
+		cost += c.AbortPenalty
+	}
+	return cost
+}
+
+// Choose picks the cheapest viable candidate; cost ties break toward
+// the less invasive kind (the RepairKind ordering). The second return
+// is false when no candidate is viable.
+func (c CostModel) Choose(cands ...Candidate) (Candidate, bool) {
+	best, found := Candidate{}, false
+	var bestCost float64
+	for _, cand := range cands {
+		if !cand.Viable {
+			continue
+		}
+		cost := c.Cost(cand)
+		if !found || cost < bestCost || (cost == bestCost && cand.Kind < best.Kind) {
+			best, bestCost, found = cand, cost, true
+		}
+	}
+	return best, found
+}

@@ -11,9 +11,20 @@
 //     re-executing the backward slice of its producer (regen.BackwardSlice
 //     over the codegen cluster map), exactly the reactive-regeneration
 //     mechanism the regen package only counts.
+//   - With Options.EnableReplan, a shortfall first tries the cheaper
+//     repair: extract the residual DAG (the not-yet-executed remainder,
+//     with live vessel volumes as fixed boundary conditions), re-solve it
+//     under the same least-count/capacity constraints, and patch the
+//     rescaled volumes into the remaining instructions — consuming no
+//     fresh reagent at all. Regeneration remains the fallback when the
+//     residual solve is infeasible.
 //   - When repair budgets run out the run completes anyway and the Outcome
 //     reports degradation, with the causal event chain preserved in the
 //     machine's event log.
+//
+// Which repair runs is decided by a small policy engine (policy.go): each
+// applicable strategy becomes a Candidate priced in reagent-equivalent
+// nanoliters by a CostModel, and the cheapest viable one is applied.
 //
 // The package name is recovery (the directory is internal/recover; the
 // package cannot be named after the builtin without shadowing it in every
@@ -40,6 +51,13 @@ const volTol = 1e-6
 // unwrap further for the concrete cause (a machine error, a journal
 // write failure, or faults.ErrCrash for a simulated kill).
 var ErrAborted = errors.New("recovery: run aborted")
+
+// ErrRegenFailed classifies an incident whose cause was a regeneration
+// that itself faulted: the backward-slice replay consumed budget and
+// reagent but a fault during the replay kept it from raising the
+// source. Distinct from the generic shortfall so callers can tell
+// "regeneration was tried and broke" from "regeneration never sufficed".
+var ErrRegenFailed = errors.New("recovery: regeneration itself faulted")
 
 // Status classifies how a recovered run ended.
 type Status int
@@ -89,6 +107,18 @@ type Options struct {
 	DisableRetry bool
 	// DisableRegen turns off shortfall regeneration.
 	DisableRegen bool
+	// EnableReplan turns on adaptive replanning: a stalled transfer
+	// first tries re-solving the residual DAG around the live vessel
+	// volumes and rescaling the remaining instructions, falling back to
+	// regeneration only when that solve is infeasible. Off by default —
+	// replanning changes downstream volumes, which existing plans may
+	// not want.
+	EnableReplan bool
+	// MaxReplans bounds residual re-solves across the run (default 8).
+	MaxReplans int
+	// Cost scores candidate repairs when several apply; the zero value
+	// selects the CostModel defaults.
+	Cost CostModel
 	// Journal, when non-nil, receives the durable-execution record
 	// stream: planned transfers, repair actions, one step record per
 	// instruction boundary, and periodic full snapshots. A journal append
@@ -119,6 +149,10 @@ func (o Options) withDefaults() Options {
 	if o.MaxRegenRounds == 0 {
 		o.MaxRegenRounds = 4
 	}
+	if o.MaxReplans == 0 {
+		o.MaxReplans = 8
+	}
+	o.Cost = o.Cost.withDefaults()
 	if o.BackoffSeconds == 0 {
 		o.BackoffSeconds = 1
 	}
@@ -146,6 +180,8 @@ func (i Incident) Err() error {
 		return fmt.Errorf("%w after %d retries: %s", aquacore.ErrFUUnavailable, i.Retries, i.Event)
 	case aquacore.EventRanOut:
 		return fmt.Errorf("%w: %s", aquacore.ErrShortfall, i.Event)
+	case aquacore.EventRegenFault:
+		return fmt.Errorf("%w: %s", ErrRegenFailed, i.Event)
 	default:
 		return fmt.Errorf("unrepaired fault: %s", i.Event)
 	}
@@ -164,6 +200,14 @@ type Outcome struct {
 	Regens int
 	// RegenInstrs counts instructions replayed by those re-executions.
 	RegenInstrs int
+	// Replans counts adaptive residual re-solves applied.
+	Replans int
+	// ReplanInstrs counts instructions whose volumes those replans
+	// rescaled.
+	ReplanInstrs int
+	// ReplanBoundaries lists the instruction boundaries replans were
+	// applied at (crash-resume checks target these).
+	ReplanBoundaries []int
 	// BackoffSeconds is the total simulated time spent waiting before
 	// retries.
 	BackoffSeconds float64
@@ -175,24 +219,35 @@ type Outcome struct {
 
 // Summary renders the outcome in one line.
 func (o *Outcome) Summary() string {
-	s := fmt.Sprintf("%s: %d retries, %d regens (%d instrs replayed), %d unrepaired faults",
-		o.Status, o.Retries, o.Regens, o.RegenInstrs, len(o.Incidents))
+	s := fmt.Sprintf("%s: %d retries, %d replans (%d instrs rescaled), %d regens (%d instrs replayed), %d unrepaired faults",
+		o.Status, o.Retries, o.Replans, o.ReplanInstrs, o.Regens, o.RegenInstrs, len(o.Incidents))
 	if o.Err != nil {
 		s += fmt.Sprintf(": %v", o.Err)
 	}
 	return s
 }
 
-// Run executes prog on m with retry and regeneration repair. g and
-// clusters come from the compile (the managed graph and codegen's
-// node→pc-range map); both nil degrades gracefully to retry-only repair
-// (e.g. for hand-written listings with no DAG).
+// Compiled bundles the compile-time artifacts the repair strategies
+// need: the managed volume DAG, codegen's node→pc-range cluster map,
+// and codegen's fluid→vessel placement map (for live-volume lookups
+// during replanning). A nil bundle — or nil fields — degrades
+// gracefully: without Graph and Clusters only in-place retry is
+// available (e.g. for hand-written listings with no DAG); without
+// VesselOf regeneration still works but replanning does not.
+type Compiled struct {
+	Graph    *dag.Graph
+	Clusters map[int][2]int
+	VesselOf map[string]string
+}
+
+// Run executes prog on m with retry, replanning, and regeneration
+// repair, bounded and selected per opts.
 //
 // Determinism: repair decisions depend only on machine state and events,
 // which are themselves deterministic in (listing, plan, seed, profile), so
 // two identical runs produce byte-identical traces and Outcomes.
-func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int, opts Options) *Outcome {
-	return run(m, prog, g, clusters, opts.withDefaults(), 0, 0, &Outcome{})
+func Run(m *aquacore.Machine, prog *ais.Program, c *Compiled, opts Options) *Outcome {
+	return run(m, prog, c, opts.withDefaults(), 0, 0, &Outcome{})
 }
 
 // Resume continues a journaled run from a snapshot record: it restores
@@ -202,7 +257,7 @@ func Run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 // is deterministic, the finished run is bit-identical to one that was
 // never interrupted. opts.Journal, when set, should append to the
 // recovered journal (journal.OpenAppend).
-func Resume(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int,
+func Resume(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 	opts Options, snap *journal.Snapshot) (*Outcome, error) {
 	if snap == nil || snap.Machine == nil {
 		return nil, fmt.Errorf("recovery: resume needs a snapshot with machine state")
@@ -218,6 +273,9 @@ func Resume(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[i
 		out.Retries = rs.Retries
 		out.Regens = rs.Regens
 		out.RegenInstrs = rs.RegenInstrs
+		out.Replans = rs.Replans
+		out.ReplanInstrs = rs.ReplanInstrs
+		out.ReplanBoundaries = append([]int(nil), rs.ReplanBoundaries...)
 		out.BackoffSeconds = rs.BackoffSeconds
 		for _, inc := range rs.Incidents {
 			out.Incidents = append(out.Incidents, Incident{
@@ -229,16 +287,19 @@ func Resume(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[i
 			})
 		}
 	}
-	return run(m, prog, g, clusters, opts.withDefaults(), snap.PC, snap.Boundary, out), nil
+	return run(m, prog, c, opts.withDefaults(), snap.PC, snap.Boundary, out), nil
 }
 
 // recoveryState flattens the outcome counters for a journal snapshot.
 func recoveryState(out *Outcome) *journal.RecoveryState {
 	rs := &journal.RecoveryState{
-		Retries:        out.Retries,
-		Regens:         out.Regens,
-		RegenInstrs:    out.RegenInstrs,
-		BackoffSeconds: out.BackoffSeconds,
+		Retries:          out.Retries,
+		Regens:           out.Regens,
+		RegenInstrs:      out.RegenInstrs,
+		Replans:          out.Replans,
+		ReplanInstrs:     out.ReplanInstrs,
+		ReplanBoundaries: append([]int(nil), out.ReplanBoundaries...),
+		BackoffSeconds:   out.BackoffSeconds,
 	}
 	for _, inc := range out.Incidents {
 		rs.Incidents = append(rs.Incidents, journal.Incident{
@@ -252,7 +313,7 @@ func recoveryState(out *Outcome) *journal.RecoveryState {
 
 // run is the recovery loop, entered at (pc, boundary) with accumulated
 // counters in out (zero for fresh runs, a snapshot's for resumes).
-func run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int][2]int,
+func run(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 	opt Options, pc, boundary int, out *Outcome) *Outcome {
 	jw := opt.Journal
 	abort := func(err error) *Outcome {
@@ -268,7 +329,8 @@ func run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 		}
 		return out
 	}
-	canRegen := !opt.DisableRegen && g != nil && clusters != nil
+	canRegen := !opt.DisableRegen && c != nil && c.Graph != nil && c.Clusters != nil
+	canReplan := opt.EnableReplan && c != nil && c.Graph != nil && c.Clusters != nil && c.VesselOf != nil
 	// Pad shortfall checks by the worst-case metering jitter: a draw can
 	// overshoot its planned volume by that fraction, and regenerating one
 	// round early is cheaper than an unrepairable mid-draw ran-out.
@@ -300,9 +362,12 @@ func run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 			}
 		}
 
-		// Pre-transfer shortfall check: regenerate the depleted producer
-		// before the draw would trip EventRanOut.
-		if canRegen && in.Edge >= 0 && in.Edge < len(g.Edges()) {
+		// Pre-transfer shortfall check: repair the depleted source before
+		// the draw would trip EventRanOut. Each pass over a still-stalled
+		// transfer asks the policy engine for the cheapest viable repair:
+		// a rescale (re-solve the residual DAG, consuming no fluid), a
+		// regeneration round (fresh reagent + replay time), or degrading.
+		if (canRegen || canReplan) && in.Edge >= 0 && in.Edge < len(c.Graph.Edges()) {
 			if src, need, ok := m.PlannedTransfer(pc, in); ok {
 				need *= 1 + jitterPad
 				if jw != nil {
@@ -312,24 +377,66 @@ func run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 						return abort(err)
 					}
 				}
-				rounds := 0
 				// Rounds are NOT cut short when a replay fails to raise the
 				// source: metered reloads re-draw their jitter each round,
 				// so repeating is a legitimate re-measurement, and the
-				// round bound already caps the cost.
-				for need > m.VesselVolume(src)+volTol &&
-					rounds < opt.MaxRegenRounds && out.Regens < opt.MaxRegens {
-					if err := regenerate(m, prog, g, clusters, in.Edge, src, pc, out); err != nil {
-						return abort(err)
+				// round bound already caps the cost. Rescaling gets one
+				// attempt per stall: a successful one fits the remainder to
+				// the live volume by construction, and a failed one will
+				// fail the same way again.
+				rounds, rescaled, rescaleFailed := 0, false, false
+			repair:
+				for need > m.VesselVolume(src)+volTol {
+					have := m.VesselVolume(src)
+					var cands []Candidate
+					if canReplan && !rescaled && !rescaleFailed &&
+						out.Replans < opt.MaxReplans && replanViable(prog, c.Clusters, pc) {
+						cands = append(cands, Candidate{
+							Kind: RepairRescale, Viable: true,
+							Why: "re-solve residual DAG around live volumes",
+						})
 					}
-					rounds++
-					if jw != nil {
-						if err := jw.Append(&journal.Record{Kind: journal.KindRecovery, Recovery: &journal.RecoveryAction{
-							Action: "regen", Boundary: boundary, PC: pc, Attempt: rounds,
-							Detail: fmt.Sprintf("refill %s toward %.4g nl", src, need),
-						}}); err != nil {
+					if canRegen && rounds < opt.MaxRegenRounds && out.Regens < opt.MaxRegens {
+						reagent, secs := regenEstimate(m, prog, c, in.Edge)
+						cands = append(cands, Candidate{
+							Kind: RepairRegen, Reagent: reagent, Seconds: secs, Viable: true,
+							Why: "re-execute producer backward slice",
+						})
+					}
+					cands = append(cands, Candidate{
+						Kind: RepairDegrade, Viable: true, Why: "let the draw run short",
+					})
+					choice, _ := opt.Cost.Choose(cands...)
+					switch choice.Kind {
+					case RepairRescale:
+						ok, err := applyReplan(m, prog, c, pc, boundary, src, need, have, jitterPad, jw, out)
+						if err != nil {
 							return abort(err)
 						}
+						if !ok {
+							rescaleFailed = true
+							continue
+						}
+						rescaled = true
+						// The stalled draw itself was rescaled: re-read it.
+						if _, patched, ok := m.PlannedTransfer(pc, in); ok {
+							need = patched * (1 + jitterPad)
+						}
+					case RepairRegen:
+						if err := regenerate(m, prog, c.Graph, c.Clusters, in.Edge, src, pc, out); err != nil {
+							return abort(err)
+						}
+						rounds++
+						if jw != nil {
+							if err := jw.Append(&journal.Record{Kind: journal.KindRecovery, Recovery: &journal.RecoveryAction{
+								Action: "regen", Boundary: boundary, PC: pc, Attempt: rounds,
+								Detail: fmt.Sprintf("refill %s toward %.4g nl", src, need),
+							}}); err != nil {
+								return abort(err)
+							}
+						}
+					default:
+						break repair
 					}
 				}
 			}
@@ -343,13 +450,21 @@ func run(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters map[int]
 		}
 		attempts := 0
 		for fail := lastFUFailure(m.Events()[mark:]); fail != nil; fail = lastFUFailure(m.Events()[mark:]) {
-			if opt.DisableRetry || attempts >= opt.RetriesPerInstr || out.Retries >= opt.TotalRetries {
+			wait := float64(attempts+1) * opt.BackoffSeconds
+			choice, _ := opt.Cost.Choose(
+				Candidate{
+					Kind: RepairRetry, Seconds: wait,
+					Viable: !opt.DisableRetry && attempts < opt.RetriesPerInstr && out.Retries < opt.TotalRetries,
+					Why:    "re-execute the failed instruction after backoff",
+				},
+				Candidate{Kind: RepairDegrade, Viable: true, Why: "record the failure as an incident"},
+			)
+			if choice.Kind != RepairRetry {
 				out.Incidents = append(out.Incidents, Incident{Event: *fail, Retries: attempts})
 				break
 			}
 			attempts++
 			out.Retries++
-			wait := float64(attempts) * opt.BackoffSeconds
 			m.Idle(wait)
 			out.BackoffSeconds += wait
 			m.RecordEvent(aquacore.Event{
@@ -428,6 +543,7 @@ func regenerate(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters m
 	edge int, src string, pc int, out *Outcome) error {
 	producer := g.Edges()[edge].From
 	slice := regen.BackwardSlice(g, producer)
+	mark := len(m.Events())
 	replayed := 0
 	for _, n := range slice {
 		cl, ok := clusters[n.ID()]
@@ -447,6 +563,22 @@ func regenerate(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters m
 		Detail: fmt.Sprintf("re-executed backward slice of %s (%d nodes, %d instrs) to refill %s",
 			producer.Name, len(slice), replayed, src),
 	})
+	// A regeneration that itself faults is its own failure mode: the
+	// replay consumed budget and reagent without (fully) raising the
+	// source. Classify it as a distinct incident cause instead of
+	// folding it into the generic shortfall path — or, worse, dropping
+	// it silently.
+	for _, e := range m.Events()[mark:] {
+		switch e.Kind {
+		case aquacore.EventFUFailure, aquacore.EventRanOut:
+			ev := aquacore.Event{
+				Kind: aquacore.EventRegenFault, PC: pc, Instr: prog.Instrs[pc].String(),
+				Detail: fmt.Sprintf("regeneration of %s faulted: %s", src, e),
+			}
+			m.RecordEvent(ev)
+			out.Incidents = append(out.Incidents, Incident{Event: ev})
+		}
+	}
 	return nil
 }
 

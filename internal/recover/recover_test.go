@@ -56,7 +56,7 @@ func newMachine(ep *elab.Program, plan *core.Plan, p faults.Profile, seed int64,
 func TestCleanRunCompletes(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	m := newMachine(ep, plan, faults.Profile{}, 0, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{})
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{})
 	if out.Status != recovery.Completed {
 		t.Fatalf("status = %v, want completed (%s)", out.Status, out.Summary())
 	}
@@ -77,7 +77,7 @@ func TestCleanRunCompletes(t *testing.T) {
 func TestRetryRecoversTransientFailures(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	m := newMachine(ep, plan, faults.Profile{FailRate: 0.2}, 1, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{})
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{})
 	if out.Status == recovery.Aborted {
 		t.Fatalf("aborted: %v", out.Err)
 	}
@@ -98,7 +98,7 @@ func TestRetryRecoversTransientFailures(t *testing.T) {
 func TestRegenRecoversDepletion(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	m := newMachine(ep, plan, faults.Profile{DeadVolume: 0.5}, 0, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{})
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{})
 	if out.Status != recovery.Completed {
 		t.Fatalf("status = %v, want completed (%s)", out.Status, out.Summary())
 	}
@@ -126,7 +126,7 @@ func TestDeterministicOutcome(t *testing.T) {
 	run := func() (*recovery.Outcome, []string) {
 		var trace []string
 		m := newMachine(ep, plan, prof, 7, &trace)
-		return recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{}), trace
+		return recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{}), trace
 	}
 	out1, tr1 := run()
 	out2, tr2 := run()
@@ -150,7 +150,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 	run := func(seed int64) []string {
 		var trace []string
 		m := newMachine(ep, plan, prof, seed, &trace)
-		recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{})
+		recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{})
 		return trace
 	}
 	if reflect.DeepEqual(run(1), run(2)) {
@@ -163,7 +163,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 func TestAbortOnMachineError(t *testing.T) {
 	ep, _, cg := compileGlucose(t)
 	m := aquacore.New(aquacore.Config{}, ep.Graph, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters, recovery.Options{})
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf}, recovery.Options{})
 	if out.Status != recovery.Aborted {
 		t.Fatalf("status = %v, want aborted", out.Status)
 	}
@@ -181,7 +181,7 @@ func TestAbortOnMachineError(t *testing.T) {
 func TestDegradedWhenRetryDisabled(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	m := newMachine(ep, plan, faults.Profile{FailRate: 1}, 0, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters,
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
 		recovery.Options{DisableRetry: true, DisableRegen: true})
 	if out.Status != recovery.CompletedDegraded {
 		t.Fatalf("status = %v, want completed-degraded (%s)", out.Status, out.Summary())
@@ -199,7 +199,7 @@ func TestDegradedWhenRetryDisabled(t *testing.T) {
 func TestRetryBudgetBounds(t *testing.T) {
 	ep, plan, cg := compileGlucose(t)
 	m := newMachine(ep, plan, faults.Profile{FailRate: 1}, 0, nil)
-	out := recovery.Run(m, cg.Prog, ep.Graph, cg.Clusters,
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
 		recovery.Options{RetriesPerInstr: 2, TotalRetries: 5, DisableRegen: true})
 	if out.Status != recovery.CompletedDegraded {
 		t.Fatalf("status = %v, want completed-degraded (%s)", out.Status, out.Summary())

@@ -1,0 +1,115 @@
+package recovery_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aquavol/internal/aquacore"
+	"aquavol/internal/faults"
+	recovery "aquavol/internal/recover"
+)
+
+// Adaptive replanning under a lossy profile rescales the remaining plan
+// around the measured shortfall instead of re-brewing the producer: the
+// run completes, replans fire, and the counters surface in the summary.
+func TestReplanRescalesShortfalls(t *testing.T) {
+	ep, plan, cg := compileGlucose(t)
+	prof, _ := faults.Preset("moderate")
+	m := newMachine(ep, plan, prof, 7, nil)
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
+		recovery.Options{EnableReplan: true})
+	if out.Status == recovery.Aborted {
+		t.Fatalf("aborted: %v", out.Err)
+	}
+	if out.Replans == 0 || out.ReplanInstrs == 0 {
+		t.Fatalf("moderate losses must trigger replans (%s)", out.Summary())
+	}
+	if len(out.ReplanBoundaries) != out.Replans {
+		t.Errorf("boundaries (%v) disagree with replan count %d", out.ReplanBoundaries, out.Replans)
+	}
+	if !strings.Contains(out.Summary(), "replans") {
+		t.Errorf("summary omits replan count: %s", out.Summary())
+	}
+	saw := false
+	for _, e := range m.Events() {
+		if e.Kind == aquacore.EventReplan {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("no EventReplan recorded on the machine")
+	}
+}
+
+// A replan run is exactly reproducible: repair decisions derive only
+// from seeded machine state, so same inputs give the same trace and an
+// equal Outcome.
+func TestReplanDeterministic(t *testing.T) {
+	ep, plan, cg := compileGlucose(t)
+	prof, _ := faults.Preset("moderate")
+	run := func() (*recovery.Outcome, []string) {
+		var trace []string
+		m := newMachine(ep, plan, prof, 7, &trace)
+		return recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
+			recovery.Options{EnableReplan: true}), trace
+	}
+	out1, tr1 := run()
+	out2, tr2 := run()
+	if out1.Replans == 0 {
+		t.Fatalf("fixture lost its replans (%s)", out1.Summary())
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("replan traces diverge between identical runs")
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatalf("replan outcomes differ:\n  %s\n  %s", out1.Summary(), out2.Summary())
+	}
+}
+
+// Replanning is strictly opt-in: default options must behave exactly as
+// before the feature existed — zero replans, no replan events.
+func TestReplanOptIn(t *testing.T) {
+	ep, plan, cg := compileGlucose(t)
+	prof, _ := faults.Preset("moderate")
+	m := newMachine(ep, plan, prof, 7, nil)
+	out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
+		recovery.Options{})
+	if out.Replans != 0 || out.ReplanInstrs != 0 || len(out.ReplanBoundaries) != 0 {
+		t.Fatalf("default options must not replan (%s)", out.Summary())
+	}
+	for _, e := range m.Events() {
+		if e.Kind == aquacore.EventReplan {
+			t.Fatalf("EventReplan recorded without EnableReplan: %v", e)
+		}
+	}
+}
+
+// A regeneration whose replay itself faults is classified as its own
+// incident cause (EventRegenFault / ErrRegenFailed), not folded into the
+// generic failure stream. Dead volume forces regens; a high transient
+// failure rate makes some replays fault. Seeds are swept so the test
+// stays deterministic without hand-picking one.
+func TestRegenFaultClassified(t *testing.T) {
+	ep, plan, cg := compileGlucose(t)
+	prof := faults.Profile{DeadVolume: 0.6, FailRate: 0.35}
+	for seed := int64(0); seed < 40; seed++ {
+		m := newMachine(ep, plan, prof, seed, nil)
+		out := recovery.Run(m, cg.Prog, &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
+			recovery.Options{})
+		for _, inc := range out.Incidents {
+			if inc.Event.Kind != aquacore.EventRegenFault {
+				continue
+			}
+			if !errors.Is(inc.Err(), recovery.ErrRegenFailed) {
+				t.Fatalf("regen-fault incident does not match ErrRegenFailed: %v", inc.Err())
+			}
+			if !strings.Contains(inc.Event.Detail, "regeneration") {
+				t.Fatalf("regen-fault detail uninformative: %q", inc.Event.Detail)
+			}
+			return
+		}
+	}
+	t.Fatal("no seed in 0..39 produced a faulting regeneration; widen the sweep or raise FailRate")
+}
