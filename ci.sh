@@ -15,6 +15,15 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== fluidvet =="
+# The repo's own analyzers (determinism, diagcode, errwrap, syncerr,
+# enumswitch) run through the same vet driver. The binary lands in the
+# build cache, so rebuilds after the first run are near-instant.
+vettmp=$(mktemp -d)
+trap 'rm -rf "$vettmp"' EXIT
+go build -o "$vettmp/fluidvet" ./cmd/fluidvet
+go vet -vettool="$vettmp/fluidvet" ./...
+
 echo "== go build =="
 go build ./...
 
@@ -28,7 +37,7 @@ go test -fuzz=FuzzDecode -fuzztime=10s ./internal/journal
 
 echo "== aisverify over compiled examples =="
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+trap 'rm -rf "$tmp" "$vettmp"' EXIT
 # Static assay: verify the shipped (listing, volume table) pair.
 go run ./cmd/fluidc -o "$tmp/glucose.ais" -voltab "$tmp/glucose.vol" testdata/glucose.asy
 go run ./cmd/aisverify -voltab "$tmp/glucose.vol" "$tmp/glucose.ais"

@@ -1,0 +1,16 @@
+// Command fluidvet is the vet tool enforcing aquavol's determinism,
+// diagnostics, and durability invariants. It speaks the go command's
+// -vettool protocol; run it as
+//
+//	go build -o fluidvet ./cmd/fluidvet
+//	go vet -vettool=$PWD/fluidvet ./...
+//
+// See internal/fluidvet for the analyzers and the //fluidvet:allow
+// escape hatch, and DESIGN.md §6e for the invariants each one guards.
+package main
+
+import "aquavol/internal/fluidvet"
+
+func main() {
+	fluidvet.Main(fluidvet.All()...)
+}

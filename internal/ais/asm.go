@@ -10,17 +10,23 @@ import (
 	"aquavol/internal/lang/token"
 )
 
-// Assembler diagnostic codes. Stable, machine-readable, documented in the
-// README's AIS verification section alongside the AIS0xx verifier codes.
-const (
+// Assembler diagnostic codes, minted through the internal/diag registry
+// and documented in the README's AIS verification section alongside the
+// AIS0xx verifier codes. All assembler findings are errors: a listing
+// that fails to assemble has no partial meaning.
+var (
 	// CodeUnknownOpcode flags an unrecognized mnemonic.
-	CodeUnknownOpcode = "ASM001"
+	CodeUnknownOpcode = diag.MustRegister("ASM001", diag.Error,
+		"unrecognized mnemonic", "README.md#ais-verification-aisverify")
 	// CodeBadOperand flags an operand that does not parse.
-	CodeBadOperand = "ASM002"
+	CodeBadOperand = diag.MustRegister("ASM002", diag.Error,
+		"operand does not parse", "README.md#ais-verification-aisverify")
 	// CodeDuplicateLabel flags a label defined twice.
-	CodeDuplicateLabel = "ASM003"
+	CodeDuplicateLabel = diag.MustRegister("ASM003", diag.Error,
+		"label defined twice", "README.md#ais-verification-aisverify")
 	// CodeUndefinedLabel flags a jump to a label that is never defined.
-	CodeUndefinedLabel = "ASM004"
+	CodeUndefinedLabel = diag.MustRegister("ASM004", diag.Error,
+		"jump to a label that is never defined", "README.md#ais-verification-aisverify")
 )
 
 // Assemble parses AIS listing text (the format produced by
@@ -35,13 +41,8 @@ const (
 func Assemble(src string) (*Program, error) {
 	p := &Program{Labels: map[string]int{}}
 	var errs diag.List
-	errf := func(line, col int, code, format string, args ...any) {
-		errs = append(errs, diag.Diagnostic{
-			Pos:      token.Pos{Line: line, Col: col},
-			Severity: diag.Error,
-			Code:     code,
-			Msg:      fmt.Sprintf(format, args...),
-		})
+	errf := func(line, col int, code diag.Code, format string, args ...any) {
+		errs = append(errs, code.New(token.Pos{Line: line, Col: col}, format, args...))
 	}
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
@@ -107,7 +108,7 @@ var (
 
 // parseInstr parses one instruction line. line/col anchor diagnostics;
 // errf collects them. ok is false when the instruction is unusable.
-func parseInstr(text string, line, col int, errf func(line, col int, code, format string, args ...any)) (Instr, bool) {
+func parseInstr(text string, line, col int, errf func(line, col int, code diag.Code, format string, args ...any)) (Instr, bool) {
 	mnemonic := text
 	rest := ""
 	if i := strings.IndexAny(text, " \t"); i >= 0 {

@@ -9,7 +9,7 @@ import (
 )
 
 // findCode returns the diagnostics in err carrying the given ASM0xx code.
-func findCode(t *testing.T, err error, code string) []diag.Diagnostic {
+func findCode(t *testing.T, err error, code diag.Code) []diag.Diagnostic {
 	t.Helper()
 	var list diag.List
 	if !errors.As(err, &list) {
@@ -17,7 +17,7 @@ func findCode(t *testing.T, err error, code string) []diag.Diagnostic {
 	}
 	var out []diag.Diagnostic
 	for _, d := range list {
-		if d.Code == code {
+		if d.Code == code.ID {
 			out = append(out, d)
 		}
 	}

@@ -106,7 +106,7 @@ func TestVerifierCleanProgramsSimulateClean(t *testing.T) {
 // tolerates and so have no fault obligation.
 func TestErrorCodesHaveFaultingWitnesses(t *testing.T) {
 	witnesses := []struct {
-		code string
+		code diag.Code
 		src  string
 		tab  ais.VolumeTable
 	}{
@@ -124,14 +124,14 @@ func TestErrorCodesHaveFaultingWitnesses(t *testing.T) {
 			"move s1, r0\nhalt", nil},
 	}
 	for _, w := range witnesses {
-		t.Run(w.code, func(t *testing.T) {
+		t.Run(w.code.ID, func(t *testing.T) {
 			prog, err := ais.Assemble(w.src)
 			if err != nil {
 				t.Fatal(err)
 			}
 			flagged := false
 			for _, d := range aisverify.Verify(prog, aisverify.Options{Volumes: w.tab}) {
-				if d.Code == w.code && d.Severity == diag.Error {
+				if d.Code == w.code.ID && d.Severity == diag.Error {
 					flagged = true
 				}
 			}

@@ -26,41 +26,55 @@ import (
 	"aquavol/internal/lang/token"
 )
 
-// Verifier diagnostic codes. Error codes (AIS001, 003, 005, 006, 007,
-// 012) each have a differential-test witness program whose simulation
-// faults; warning codes flag conditions the machine tolerates.
-const (
+// Verifier diagnostic codes, minted through the internal/diag registry.
+// Error codes (AIS001, 003, 005, 006, 007, 012) each have a
+// differential-test witness program whose simulation faults; warning
+// codes flag conditions the machine tolerates. Every emit site uses the
+// registered default severity.
+var (
 	// CodeRanOut: a move definitely draws more than its source can hold
 	// (including any positive draw from a definitely-empty vessel).
-	CodeRanOut = "AIS001"
+	CodeRanOut = diag.MustRegister("AIS001", diag.Error,
+		"move definitely draws more than its source holds", "README.md#ais-verification-aisverify")
 	// CodeMaybeRanOut: a move may draw more than its source holds.
-	CodeMaybeRanOut = "AIS002"
+	CodeMaybeRanOut = diag.MustRegister("AIS002", diag.Warning,
+		"move may draw more than its source holds", "README.md#ais-verification-aisverify")
 	// CodeOverflow: a destination vessel definitely exceeds MaxCapacity.
-	CodeOverflow = "AIS003"
+	CodeOverflow = diag.MustRegister("AIS003", diag.Error,
+		"destination vessel definitely exceeds MaxCapacity", "README.md#ais-verification-aisverify")
 	// CodeMaybeOverflow: a destination vessel may exceed MaxCapacity.
-	CodeMaybeOverflow = "AIS004"
+	CodeMaybeOverflow = diag.MustRegister("AIS004", diag.Warning,
+		"destination vessel may exceed MaxCapacity", "README.md#ais-verification-aisverify")
 	// CodeLeastCount: a dispensed volume violates the least-count
 	// resolution (unaligned or sub-least-count move-abs, or a volume
 	// table entry below the least count).
-	CodeLeastCount = "AIS005"
+	CodeLeastCount = diag.MustRegister("AIS005", diag.Error,
+		"dispensed volume violates the least-count resolution", "README.md#ais-verification-aisverify")
 	// CodeOccupiedPort: a wet write to a separator output port that
 	// still holds fluid from a previous operation.
-	CodeOccupiedPort = "AIS006"
+	CodeOccupiedPort = diag.MustRegister("AIS006", diag.Error,
+		"wet write to a separator output port that still holds fluid", "README.md#ais-verification-aisverify")
 	// CodeUseBeforeDef: a dry register read with no prior definition on
 	// any path.
-	CodeUseBeforeDef = "AIS007"
+	CodeUseBeforeDef = diag.MustRegister("AIS007", diag.Error,
+		"dry register read with no prior definition on any path", "README.md#ais-verification-aisverify")
 	// CodeMaybeUndef: a dry register read that is undefined on some path.
-	CodeMaybeUndef = "AIS008"
+	CodeMaybeUndef = diag.MustRegister("AIS008", diag.Warning,
+		"dry register read undefined on some path", "README.md#ais-verification-aisverify")
 	// CodeUnreachable: instructions no control-flow path reaches.
-	CodeUnreachable = "AIS009"
+	CodeUnreachable = diag.MustRegister("AIS009", diag.Warning,
+		"instruction is unreachable", "README.md#ais-verification-aisverify")
 	// CodeNoMatrix: an affinity/LC separation whose matrix port is
 	// definitely empty.
-	CodeNoMatrix = "AIS010"
+	CodeNoMatrix = diag.MustRegister("AIS010", diag.Warning,
+		"separation whose matrix port is definitely empty", "README.md#ais-verification-aisverify")
 	// CodeEmptySense: a sense on a definitely-empty sensor chamber.
-	CodeEmptySense = "AIS011"
+	CodeEmptySense = diag.MustRegister("AIS011", diag.Warning,
+		"sense on a definitely-empty sensor chamber", "README.md#ais-verification-aisverify")
 	// CodeMalformed: an instruction whose operands do not fit its opcode
 	// (wrong count or kind, undefined label).
-	CodeMalformed = "AIS012"
+	CodeMalformed = diag.MustRegister("AIS012", diag.Error,
+		"instruction operands do not fit its opcode", "README.md#ais-verification-aisverify")
 )
 
 // Options configures verification. The zero value verifies a standalone
@@ -143,24 +157,21 @@ func Verify(p *ais.Program, opts Options) diag.List {
 	return v.out
 }
 
-// emit records a finding anchored to the instruction at pc.
-func (v *verifier) emit(pc int, sev diag.Severity, code, format string, args ...any) {
+// emit records a finding anchored to the instruction at pc, at the
+// code's registered default severity.
+func (v *verifier) emit(pc int, code diag.Code, format string, args ...any) {
 	in := v.prog.Instrs[pc]
 	pos := token.Pos{}
 	if in.Line > 0 {
 		pos = token.Pos{Line: in.Line, Col: 1}
 	}
-	v.out = append(v.out, diag.Diagnostic{
-		Pos:      pos,
-		Severity: sev,
-		Code:     code,
-		Msg:      fmt.Sprintf("pc %d (%s): %s", pc, in, fmt.Sprintf(format, args...)),
-	})
+	v.out = append(v.out, code.New(pos,
+		"pc %d (%s): %s", pc, in, fmt.Sprintf(format, args...)))
 }
 
-type emitFn func(pc int, sev diag.Severity, code, format string, args ...any)
+type emitFn func(pc int, code diag.Code, format string, args ...any)
 
-func nop(int, diag.Severity, string, string, ...any) {}
+func nop(int, diag.Code, string, ...any) {}
 
 // vesselKind reports whether an operand names a fluid container.
 func vesselKind(o ais.Operand) bool {
@@ -179,7 +190,7 @@ func vesselName(o ais.Operand) string {
 func (v *verifier) structural() bool {
 	ok := true
 	bad := func(pc int, format string, args ...any) {
-		v.emit(pc, diag.Error, CodeMalformed, format, args...)
+		v.emit(pc, CodeMalformed, format, args...)
 		ok = false
 	}
 	label := func(pc int, o ais.Operand) {
@@ -385,7 +396,7 @@ func (v *verifier) transfer(pc int, st *state, emit emitFn) {
 		unit := in.Operands[0].Name
 		if in.Op == ais.SeparateAF || in.Op == ais.SeparateLC {
 			if m := st.get(unit + ".matrix"); m.hi <= eps {
-				emit(pc, diag.Warning, CodeNoMatrix,
+				emit(pc, CodeNoMatrix,
 					"%s requires a loaded matrix but %s.matrix is empty", in.Op, unit)
 			}
 		}
@@ -399,7 +410,7 @@ func (v *verifier) transfer(pc int, st *state, emit emitFn) {
 	case ais.SenseOD, ais.SenseFL:
 		unit := vesselName(in.Operands[0])
 		if c := st.get(unit); c.hi <= eps {
-			emit(pc, diag.Warning, CodeEmptySense,
+			emit(pc, CodeEmptySense,
 				"%s reads a definitely-empty chamber %s", in.Op, unit)
 		}
 		st.define(in.Operands[1].Name)
@@ -426,13 +437,13 @@ func (v *verifier) read(pc int, o ais.Operand, st *state, emit emitFn) {
 	}
 	switch {
 	case !st.may[o.Name]:
-		emit(pc, diag.Error, CodeUseBeforeDef,
+		emit(pc, CodeUseBeforeDef,
 			"dry register %q is read but never defined before this point", o.Name)
 		// Define it so one missing definition reports once, not at
 		// every subsequent use.
 		st.define(o.Name)
 	case !st.must[o.Name]:
-		emit(pc, diag.Warning, CodeMaybeUndef,
+		emit(pc, CodeMaybeUndef,
 			"dry register %q may be undefined on some path", o.Name)
 		st.define(o.Name)
 	}
@@ -461,17 +472,17 @@ func (v *verifier) move(pc int, in ais.Instr, st *state, emit emitFn) {
 	case in.Op == ais.MoveAbs:
 		units := in.Operands[2].Value
 		if units < 0 {
-			emit(pc, diag.Error, CodeLeastCount, "negative move-abs volume %g", units)
+			emit(pc, CodeLeastCount, "negative move-abs volume %g", units)
 			units = 0
 		} else if units > eps && (units < 1-eps || math.Abs(units-math.Round(units)) > 1e-9) {
-			emit(pc, diag.Error, CodeLeastCount,
+			emit(pc, CodeLeastCount,
 				"move-abs of %g least-count units is not a positive integral multiple of the %.4g nl least count",
 				units, v.lc)
 		}
 		vol = exact(units * v.lc)
 	case hasTab:
 		if tab > eps && tab < v.lc-1e-9 {
-			emit(pc, diag.Error, CodeLeastCount,
+			emit(pc, CodeLeastCount,
 				"planned volume %.4g nl is below the %.4g nl least count", tab, v.lc)
 		}
 		vol = exact(tab)
@@ -486,21 +497,21 @@ func (v *verifier) move(pc int, in ais.Instr, st *state, emit emitFn) {
 
 	if !whole {
 		if vol.lo > src.hi+eps {
-			emit(pc, diag.Error, CodeRanOut,
+			emit(pc, CodeRanOut,
 				"move needs %.4g nl but %s holds at most %.4g nl", vol.lo, srcName, src.hi)
 		} else if known && vol.hi > src.lo+eps {
-			emit(pc, diag.Warning, CodeMaybeRanOut,
+			emit(pc, CodeMaybeRanOut,
 				"move of %.4g nl may exceed %s's contents (as little as %.4g nl)", vol.hi, srcName, src.lo)
 		}
 	} else if src.lo > eps && src.hi < v.lc-1e-9 {
-		emit(pc, diag.Error, CodeLeastCount,
+		emit(pc, CodeLeastCount,
 			"whole-vessel move of %s dispenses at most %.4g nl, below the %.4g nl least count",
 			srcName, src.hi, v.lc)
 	}
 
 	if o := in.Operands[0]; o.Kind == ais.Unit && (o.Sub == "out1" || o.Sub == "out2") {
 		if dst := st.get(dstName); dst.lo > eps {
-			emit(pc, diag.Error, CodeOccupiedPort,
+			emit(pc, CodeOccupiedPort,
 				"write to output port %s which still holds at least %.4g nl", dstName, dst.lo)
 		}
 	}
@@ -509,10 +520,10 @@ func (v *verifier) move(pc int, in ais.Instr, st *state, emit emitFn) {
 	dst := st.get(dstName)
 	after := itv{dst.lo + moved.lo, dst.hi + moved.hi}
 	if after.lo > v.cap+eps {
-		emit(pc, diag.Error, CodeOverflow,
+		emit(pc, CodeOverflow,
 			"%s reaches at least %.4g nl, exceeding capacity %.4g nl", dstName, after.lo, v.cap)
 	} else if (known || (whole && !v.opts.UnknownVolumes)) && after.hi > v.cap+eps {
-		emit(pc, diag.Warning, CodeMaybeOverflow,
+		emit(pc, CodeMaybeOverflow,
 			"%s may reach %.4g nl, exceeding capacity %.4g nl", dstName, after.hi, v.cap)
 	}
 	if after.hi > v.limit {
@@ -534,10 +545,10 @@ func (v *verifier) unreachable(states []*state) {
 			end++
 		}
 		if end > pc {
-			v.emit(pc, diag.Warning, CodeUnreachable,
+			v.emit(pc, CodeUnreachable,
 				"unreachable instructions (pc %d through %d)", pc, end)
 		} else {
-			v.emit(pc, diag.Warning, CodeUnreachable, "unreachable instruction")
+			v.emit(pc, CodeUnreachable, "unreachable instruction")
 		}
 		pc = end
 	}

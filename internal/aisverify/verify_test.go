@@ -27,17 +27,17 @@ func codesOf(l diag.List) map[string]diag.Severity {
 	return m
 }
 
-func wantCode(t *testing.T, l diag.List, code string, sev diag.Severity) {
+func wantCode(t *testing.T, l diag.List, code diag.Code, sev diag.Severity) {
 	t.Helper()
 	for _, d := range l {
-		if d.Code == code {
+		if d.Code == code.ID {
 			if d.Severity != sev {
-				t.Errorf("%s severity = %v, want %v (%v)", code, d.Severity, sev, d)
+				t.Errorf("%s severity = %v, want %v (%v)", code.ID, d.Severity, sev, d)
 			}
 			return
 		}
 	}
-	t.Errorf("missing %s in findings: %v", code, l)
+	t.Errorf("missing %s in findings: %v", code.ID, l)
 }
 
 func TestVerifyCleanProgram(t *testing.T) {
@@ -70,7 +70,7 @@ skip:
 move-abs sensor1, s1, 600
 halt`, Options{})
 	wantCode(t, l, CodeMaybeRanOut, diag.Warning)
-	if _, hard := codesOf(l)[CodeRanOut]; hard {
+	if _, hard := codesOf(l)[CodeRanOut.ID]; hard {
 		t.Errorf("merge draw reported as definite ran-out: %v", l)
 	}
 }
@@ -94,7 +94,7 @@ input s2, ip2
 move-abs mixer1, s2, 600
 halt`, Options{})
 	wantCode(t, l, CodeMaybeOverflow, diag.Warning)
-	if _, hard := codesOf(l)[CodeOverflow]; hard {
+	if _, hard := codesOf(l)[CodeOverflow.ID]; hard {
 		t.Errorf("merge overflow reported as definite: %v", l)
 	}
 }
@@ -140,7 +140,7 @@ skip:
 dry-mov y, x
 halt`, Options{})
 	wantCode(t, l, CodeMaybeUndef, diag.Warning)
-	if _, hard := codesOf(l)[CodeUseBeforeDef]; hard {
+	if _, hard := codesOf(l)[CodeUseBeforeDef.ID]; hard {
 		t.Errorf("partially-defined register reported as never-defined: %v", l)
 	}
 }
@@ -150,7 +150,7 @@ func TestVerifyUnreachable(t *testing.T) {
 	wantCode(t, l, CodeUnreachable, diag.Warning)
 	n := 0
 	for _, d := range l {
-		if d.Code == CodeUnreachable {
+		if d.Code == CodeUnreachable.ID {
 			n++
 		}
 	}
@@ -172,7 +172,7 @@ move separator1.matrix, s2
 move separator1, s1
 separate.AF separator1, 30
 halt`, Options{})
-	if _, found := codesOf(l)[CodeNoMatrix]; found {
+	if _, found := codesOf(l)[CodeNoMatrix.ID]; found {
 		t.Errorf("loaded matrix still flagged: %v", l)
 	}
 }

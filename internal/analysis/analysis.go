@@ -38,38 +38,52 @@ import (
 	"aquavol/internal/lang/token"
 )
 
-// Diagnostic codes, stable across releases. See README.md for the
-// code → meaning → paper-section reference table.
-const (
+// Diagnostic codes, stable across releases, minted through the
+// internal/diag registry so each is unique, carries a default
+// severity, and is documented. See README.md for the code → meaning →
+// paper-section reference table. Sites that need a context-dependent
+// severity (VOL001 downgrades to Warning when cascading repairs the
+// underflow) override it with NewWith.
+var (
 	// CodeUnderflow is a definite least-count underflow: some dispense
 	// cannot reach Config.LeastCount under any volume assignment (§3.2
 	// constraint class 1 vs class 2/4).
-	CodeUnderflow = "VOL001"
+	CodeUnderflow = diag.MustRegister("VOL001", diag.Error,
+		"definite least-count underflow", "README.md#static-analysis-fluidlint")
 	// CodeOverflow is a definite capacity overflow: some node needs more
 	// than Config.MaxCapacity under any volume assignment.
-	CodeOverflow = "VOL002"
+	CodeOverflow = diag.MustRegister("VOL002", diag.Error,
+		"definite capacity overflow", "README.md#static-analysis-fluidlint")
 	// CodeDAGSolveUnderflow predicts that DAGSolve's proportional
 	// assignment (§3.3) underflows, engaging the Fig. 6 hierarchy.
-	CodeDAGSolveUnderflow = "VOL003"
+	CodeDAGSolveUnderflow = diag.MustRegister("VOL003", diag.Warning,
+		"predicted DAGSolve underflow", "README.md#static-analysis-fluidlint")
 	// CodeExtremeRatio is a mix ratio beyond MaxSkew that cascading
 	// (§3.4.1) repairs automatically.
-	CodeExtremeRatio = "VOL010"
+	CodeExtremeRatio = diag.MustRegister("VOL010", diag.Warning,
+		"mix ratio beyond MaxSkew, repairable by cascading", "README.md#static-analysis-fluidlint")
 	// CodeUncascadable is a mix ratio beyond MaxSkew that cascading
 	// cannot repair (NOEXCESS fluids, >2 parts, or no feasible depth).
-	CodeUncascadable = "VOL011"
+	CodeUncascadable = diag.MustRegister("VOL011", diag.Error,
+		"mix ratio beyond MaxSkew that cascading cannot repair", "README.md#static-analysis-fluidlint")
 	// CodeCascadeExpected notes a ratio above the cascade trigger: legal,
 	// but the volume manager will likely cascade it.
-	CodeCascadeExpected = "VOL012"
+	CodeCascadeExpected = diag.MustRegister("VOL012", diag.Info,
+		"ratio above the cascade trigger", "README.md#static-analysis-fluidlint")
 	// CodeDeadFluid is a produced fluid that is never consumed.
-	CodeDeadFluid = "VOL020"
+	CodeDeadFluid = diag.MustRegister("VOL020", diag.Warning,
+		"produced fluid is never consumed", "README.md#static-analysis-fluidlint")
 	// CodeStaticWaste is an input a large fraction of which is statically
 	// known to be discarded.
-	CodeStaticWaste = "VOL021"
+	CodeStaticWaste = diag.MustRegister("VOL021", diag.Warning,
+		"input is statically discarded beyond the waste threshold", "README.md#static-analysis-fluidlint")
 	// CodeUnusedFluid is a fluid declaration that is never referenced.
-	CodeUnusedFluid = "VOL022"
+	CodeUnusedFluid = diag.MustRegister("VOL022", diag.Warning,
+		"fluid declaration is never referenced", "README.md#static-analysis-fluidlint")
 	// CodeInexactRatio is a mix ratio that cannot be dispensed exactly as
 	// integer multiples of the least count within one reservoir.
-	CodeInexactRatio = "VOL030"
+	CodeInexactRatio = diag.MustRegister("VOL030", diag.Warning,
+		"mix ratio is not realizable in least-count multiples", "README.md#static-analysis-fluidlint")
 )
 
 // Options tunes the analyzer.

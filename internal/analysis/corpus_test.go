@@ -17,10 +17,10 @@ import (
 
 // volumeCodes are the interval-pass predictions cross-checked against the
 // solvers.
-func hasCode(l diag.List, codes ...string) bool {
+func hasCode(l diag.List, codes ...diag.Code) bool {
 	for _, d := range l {
 		for _, c := range codes {
-			if d.Code == c {
+			if d.Code == c.ID {
 				return true
 			}
 		}
@@ -28,9 +28,9 @@ func hasCode(l diag.List, codes ...string) bool {
 	return false
 }
 
-func findCode(l diag.List, code string) (diag.Diagnostic, bool) {
+func findCode(l diag.List, code diag.Code) (diag.Diagnostic, bool) {
 	for _, d := range l {
-		if d.Code == code {
+		if d.Code == code.ID {
 			return d, true
 		}
 	}
@@ -104,7 +104,7 @@ func TestCraftedExtremeMixCascades(t *testing.T) {
 	}
 	under, ok := findCode(findings, analysis.CodeUnderflow)
 	if !ok {
-		t.Fatalf("no %s finding for a 1:%g mix, got:\n%s", analysis.CodeUnderflow, ratio, render(findings))
+		t.Fatalf("no %s finding for a 1:%g mix, got:\n%s", analysis.CodeUnderflow.ID, ratio, render(findings))
 	}
 	if under.Severity != diag.Warning {
 		t.Errorf("the underflow is cascade-repairable and should be a warning, got %s", under.Error())
@@ -119,7 +119,7 @@ func TestCraftedExtremeMixCascades(t *testing.T) {
 	}
 	skew, ok := findCode(findings, analysis.CodeExtremeRatio)
 	if !ok {
-		t.Fatalf("no %s finding for a ratio beyond MaxSkew, got:\n%s", analysis.CodeExtremeRatio, render(findings))
+		t.Fatalf("no %s finding for a ratio beyond MaxSkew, got:\n%s", analysis.CodeExtremeRatio.ID, render(findings))
 	}
 	if !strings.Contains(skew.Suggestion, wantSuggestion) {
 		t.Errorf("skew suggestion %q does not mention %q", skew.Suggestion, wantSuggestion)

@@ -45,11 +45,9 @@ func (DivisibilityPass) Run(ctx *Context) diag.List {
 			continue // already reported by the skew/interval passes
 		}
 		if bestT, bestErr := scanTotals(n, maxTotal); bestErr > countTol {
-			d := diag.Diagnostic{
-				Pos: ctx.PosOf(n), Severity: diag.Warning, Code: CodeInexactRatio,
-				Msg: fmt.Sprintf("mix %s: ratios are not realizable as integer multiples of the least count within one reservoir (no exact total ≤ %d parts)",
-					n.Name, maxTotal),
-			}
+			d := CodeInexactRatio.New(ctx.PosOf(n),
+				"mix %s: ratios are not realizable as integer multiples of the least count within one reservoir (no exact total ≤ %d parts)",
+				n.Name, maxTotal)
 			if bestT > 0 && !math.IsInf(bestErr, 1) {
 				d.Suggestion = fmt.Sprintf("closest realizable ratio is %s (%d parts, max error %.2g%%)",
 					countsString(n, bestT), bestT, bestErr/float64(bestT)*100)

@@ -179,12 +179,10 @@ func (a *intervalAnalysis) findUnderflows() {
 			}
 		}
 		if feedsWet && a.maxProd[id] < lc-volTol {
-			flag(diag.Diagnostic{
-				Pos: a.ctx.PosOf(n), Severity: diag.Error, Code: CodeUnderflow,
-				Msg: fmt.Sprintf("%s can produce at most %.4g nl for downstream use (input ≤ %.4g nl, yield %.4g), below the least count %.4g nl",
-					n.Name, a.maxProd[id], a.maxIn[id], outFracHi(n)*(1-n.Discard), lc),
-				Suggestion: "raise the operation's yield or remove the downstream use; no volume assignment can dispense this product",
-			})
+			flag(CodeUnderflow.New(a.ctx.PosOf(n),
+				"%s can produce at most %.4g nl for downstream use (input ≤ %.4g nl, yield %.4g), below the least count %.4g nl",
+				n.Name, a.maxProd[id], a.maxIn[id], outFracHi(n)*(1-n.Discard), lc).
+				Suggest("raise the operation's yield or remove the downstream use; no volume assignment can dispense this product"))
 			continue
 		}
 		if n.IsSource() {
@@ -205,26 +203,22 @@ func (a *intervalAnalysis) findUnderflows() {
 		case worst != nil && worstVol < lc-volTol:
 			if depth := a.cascadeDepth(n); depth >= 2 {
 				skew := dag.ExtremeRatio(n)
-				flag(diag.Diagnostic{
-					Pos: a.ctx.PosOf(n), Severity: diag.Warning, Code: CodeUnderflow,
-					Msg: fmt.Sprintf("mix %s: the %s component gets at most %.4g nl at any feasible scale, below the least count %.4g nl (mix skew %.4g exceeds MaxSkew %.4g)",
-						n.Name, worst.From.Name, worstVol, lc, skew, a.cfg.MaxSkew()),
-					Suggestion: fmt.Sprintf("cascade depth %d suffices; the volume manager applies it automatically", depth),
-				})
+				// Cascading repairs this underflow, so the definite-Error
+				// default downgrades to Warning here.
+				flag(CodeUnderflow.NewWith(diag.Warning, a.ctx.PosOf(n),
+					"mix %s: the %s component gets at most %.4g nl at any feasible scale, below the least count %.4g nl (mix skew %.4g exceeds MaxSkew %.4g)",
+					n.Name, worst.From.Name, worstVol, lc, skew, a.cfg.MaxSkew()).
+					Suggest("cascade depth %d suffices; the volume manager applies it automatically", depth))
 			} else {
-				flag(diag.Diagnostic{
-					Pos: a.ctx.PosOf(n), Severity: diag.Error, Code: CodeUnderflow,
-					Msg: fmt.Sprintf("%s: the %s component gets at most %.4g nl at any feasible scale, below the least count %.4g nl",
-						n.Name, worst.From.Name, worstVol, lc),
-					Suggestion: "no automatic transform applies (cascading needs a two-part mix of excess-permitting fluids); reduce the ratio skew or raise upstream volumes",
-				})
+				flag(CodeUnderflow.New(a.ctx.PosOf(n),
+					"%s: the %s component gets at most %.4g nl at any feasible scale, below the least count %.4g nl",
+					n.Name, worst.From.Name, worstVol, lc).
+					Suggest("no automatic transform applies (cascading needs a two-part mix of excess-permitting fluids); reduce the ratio skew or raise upstream volumes"))
 			}
 		case a.maxIn[id] < nodeMin-volTol:
-			flag(diag.Diagnostic{
-				Pos: a.ctx.PosOf(n), Severity: diag.Error, Code: CodeUnderflow,
-				Msg: fmt.Sprintf("%s can receive at most %.4g nl, below the %.4g nl minimum for %s nodes",
-					n.Name, a.maxIn[id], nodeMin, n.Kind),
-			})
+			flag(CodeUnderflow.New(a.ctx.PosOf(n),
+				"%s can receive at most %.4g nl, below the %.4g nl minimum for %s nodes",
+				n.Name, a.maxIn[id], nodeMin, n.Kind))
 		}
 	}
 }
@@ -308,21 +302,21 @@ func (a *intervalAnalysis) findOverflows() {
 		}
 		a.flaggedOver[id] = true
 		blocked[id] = true
-		d := diag.Diagnostic{
-			Pos: a.ctx.PosOf(n), Code: CodeOverflow,
-			Msg: fmt.Sprintf("%s needs at least %.4g nl under any volume assignment, above the maximum capacity %.4g nl",
-				n.Name, a.minIn[id], cap),
-		}
+		// Severity is context-dependent: a repairable overflow (cascading
+		// or replication applies) downgrades to Warning.
+		msg := fmt.Sprintf("%s needs at least %.4g nl under any volume assignment, above the maximum capacity %.4g nl",
+			n.Name, a.minIn[id], cap)
+		var d diag.Diagnostic
 		switch depth := a.cascadeDepth(n); {
 		case depth >= 2:
-			d.Severity = diag.Warning
-			d.Suggestion = fmt.Sprintf("cascade depth %d reduces the required volume; the volume manager applies it automatically", depth)
+			d = CodeOverflow.NewWith(diag.Warning, a.ctx.PosOf(n), "%s", msg).
+				Suggest("cascade depth %d reduces the required volume; the volume manager applies it automatically", depth)
 		case !n.Unknown && n.Kind != dag.ConstrainedInput && len(n.Out()) > 1:
-			d.Severity = diag.Warning
-			d.Suggestion = fmt.Sprintf("the volume manager will replicate %s to split its %d uses", n.Name, len(n.Out()))
+			d = CodeOverflow.NewWith(diag.Warning, a.ctx.PosOf(n), "%s", msg).
+				Suggest("the volume manager will replicate %s to split its %d uses", n.Name, len(n.Out()))
 		default:
-			d.Severity = diag.Error
-			d.Suggestion = "reduce downstream demand; replication cannot split this node"
+			d = CodeOverflow.New(a.ctx.PosOf(n), "%s", msg).
+				Suggest("reduce downstream demand; replication cannot split this node")
 			a.foundDefinite = true
 		}
 		a.out = append(a.out, d)
@@ -382,11 +376,9 @@ func (a *intervalAnalysis) predictDAGSolve() {
 		var d diag.Diagnostic
 		if worstEdge != nil {
 			to := worstEdge.To
-			d = diag.Diagnostic{
-				Pos: a.ctx.posOfOrig(part.origID(to.ID())), Severity: diag.Warning, Code: CodeDAGSolveUnderflow,
-				Msg: fmt.Sprintf("DAGSolve would underflow: %s receives %.4g nl from %s (least count %.4g nl) when %s is filled to capacity",
-					to.Name, v.Edge[worstEdge.ID()]*scale, worstEdge.From.Name, a.cfg.LeastCount, maxN.Name),
-			}
+			d = CodeDAGSolveUnderflow.New(a.ctx.posOfOrig(part.origID(to.ID())),
+				"DAGSolve would underflow: %s receives %.4g nl from %s (least count %.4g nl) when %s is filled to capacity",
+				to.Name, v.Edge[worstEdge.ID()]*scale, worstEdge.From.Name, a.cfg.LeastCount, maxN.Name)
 			// Mirror core's diagnose: an underflow at a high-skew two-part
 			// mix is attributed to the ratio and fixed by cascading.
 			skew := dag.ExtremeRatio(to)
@@ -399,12 +391,10 @@ func (a *intervalAnalysis) predictDAGSolve() {
 				d.Suggestion = fmt.Sprintf("the volume manager will transform the DAG (replicating %s) or fall back on the LP solver", maxN.Name)
 			}
 		} else {
-			d = diag.Diagnostic{
-				Pos: a.ctx.posOfOrig(part.origID(worstNode.ID())), Severity: diag.Warning, Code: CodeDAGSolveUnderflow,
-				Msg: fmt.Sprintf("DAGSolve would underflow: %s receives %.4g nl, below its %.4g nl node minimum, when %s is filled to capacity",
-					worstNode.Name, v.Node[worstNode.ID()]*scale, a.minFor(worstNode), maxN.Name),
-				Suggestion: fmt.Sprintf("the volume manager will transform the DAG (replicating %s) or fall back on the LP solver", maxN.Name),
-			}
+			d = CodeDAGSolveUnderflow.New(a.ctx.posOfOrig(part.origID(worstNode.ID())),
+				"DAGSolve would underflow: %s receives %.4g nl, below its %.4g nl node minimum, when %s is filled to capacity",
+				worstNode.Name, v.Node[worstNode.ID()]*scale, a.minFor(worstNode), maxN.Name).
+				Suggest("the volume manager will transform the DAG (replicating %s) or fall back on the LP solver", maxN.Name)
 		}
 		a.out = append(a.out, d)
 	}

@@ -37,26 +37,20 @@ func (SkewPass) Run(ctx *Context) diag.List {
 		switch {
 		case R > maxSkew:
 			if depth := dag.CascadeLevels(R, maxSkew); depth >= 2 && len(n.In()) == 2 && !cascadeForbidden(n) {
-				out = append(out, diag.Diagnostic{
-					Pos: ctx.PosOf(n), Severity: diag.Warning, Code: CodeExtremeRatio,
-					Msg:        fmt.Sprintf("mix %s %s exceeds MaxSkew %.6g", n.Name, ratioString(n, R), maxSkew),
-					Suggestion: fmt.Sprintf("cascade depth %d suffices; the volume manager applies it automatically", depth),
-				})
+				out = append(out, CodeExtremeRatio.New(ctx.PosOf(n),
+					"mix %s %s exceeds MaxSkew %.6g", n.Name, ratioString(n, R), maxSkew).
+					Suggest("cascade depth %d suffices; the volume manager applies it automatically", depth))
 			} else {
-				out = append(out, diag.Diagnostic{
-					Pos: ctx.PosOf(n), Severity: diag.Error, Code: CodeUncascadable,
-					Msg: fmt.Sprintf("mix %s %s exceeds MaxSkew %.6g and cannot be cascaded (%s)",
-						n.Name, ratioString(n, R), maxSkew, uncascadableReason(n, R, maxSkew)),
-					Suggestion: "split the dilution into serial stages by hand, or relax the ratio",
-				})
+				out = append(out, CodeUncascadable.New(ctx.PosOf(n),
+					"mix %s %s exceeds MaxSkew %.6g and cannot be cascaded (%s)",
+					n.Name, ratioString(n, R), maxSkew, uncascadableReason(n, R, maxSkew)).
+					Suggest("split the dilution into serial stages by hand, or relax the ratio"))
 			}
 		case R > trigger && len(n.In()) == 2 && !cascadeForbidden(n):
 			if depth := dag.CascadeLevels(R, trigger); depth >= 2 {
-				out = append(out, diag.Diagnostic{
-					Pos: ctx.PosOf(n), Severity: diag.Info, Code: CodeCascadeExpected,
-					Msg: fmt.Sprintf("mix %s %s exceeds the cascade trigger %.4g; the volume manager will cascade it (depth %d) if dispensing underflows",
-						n.Name, ratioString(n, R), trigger, depth),
-				})
+				out = append(out, CodeCascadeExpected.New(ctx.PosOf(n),
+					"mix %s %s exceeds the cascade trigger %.4g; the volume manager will cascade it (depth %d) if dispensing underflows",
+					n.Name, ratioString(n, R), trigger, depth))
 			}
 		}
 	}

@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"fmt"
 	"sort"
 
 	"aquavol/internal/core"
@@ -57,11 +56,9 @@ func (WastePass) deadFluids(ctx *Context) diag.List {
 		}
 		switch {
 		case deadLeaf(n):
-			out = append(out, diag.Diagnostic{
-				Pos: ctx.PosOf(n), Severity: diag.Warning, Code: CodeDeadFluid,
-				Msg:        fmt.Sprintf("fluid %s is produced but never used", n.Name),
-				Suggestion: "sense or output the fluid, or delete the operation",
-			})
+			out = append(out, CodeDeadFluid.New(ctx.PosOf(n),
+				"fluid %s is produced but never used", n.Name).
+				Suggest("sense or output the fluid, or delete the operation"))
 		case n.Kind == dag.Separate && !n.IsLeaf():
 			// Discarding waste is normal; discarding the effluent while
 			// consuming only the waste stream almost certainly is not.
@@ -73,11 +70,9 @@ func (WastePass) deadFluids(ctx *Context) diag.List {
 				}
 			}
 			if !effluentUsed {
-				out = append(out, diag.Diagnostic{
-					Pos: ctx.PosOf(n), Severity: diag.Warning, Code: CodeDeadFluid,
-					Msg:        fmt.Sprintf("the effluent of %s is never used; only its waste stream is consumed", n.Name),
-					Suggestion: "consume the effluent, or swap the effluent/waste bindings if they are reversed",
-				})
+				out = append(out, CodeDeadFluid.New(ctx.PosOf(n),
+					"the effluent of %s is never used; only its waste stream is consumed", n.Name).
+					Suggest("consume the effluent, or swap the effluent/waste bindings if they are reversed"))
 			}
 		}
 	}
@@ -197,12 +192,10 @@ func (p WastePass) wastedInputs(ctx *Context) diag.List {
 		if w.share <= threshold {
 			continue
 		}
-		out = append(out, diag.Diagnostic{
-			Pos: p.declPos(ctx, w.name), Severity: diag.Warning, Code: CodeStaticWaste,
-			Msg: fmt.Sprintf("%.0f%% of input %s is statically discarded (threshold %.0f%%)",
-				w.share*100, w.name, threshold*100),
-			Suggestion: "reduce the contributing mix ratios or reuse the discarded fluid",
-		})
+		out = append(out, CodeStaticWaste.New(p.declPos(ctx, w.name),
+			"%.0f%% of input %s is statically discarded (threshold %.0f%%)",
+			w.share*100, w.name, threshold*100).
+			Suggest("reduce the contributing mix ratios or reuse the discarded fluid"))
 	}
 	return out
 }
@@ -232,11 +225,9 @@ func (WastePass) unusedDecls(ctx *Context) diag.List {
 		if ctx.Prog.UsedFluids[d.Name] {
 			continue
 		}
-		out = append(out, diag.Diagnostic{
-			Pos: d.Pos, Severity: diag.Warning, Code: CodeUnusedFluid,
-			Msg:        fmt.Sprintf("fluid %s is declared but never used", d.Name),
-			Suggestion: "delete the declaration",
-		})
+		out = append(out, CodeUnusedFluid.New(d.Pos,
+			"fluid %s is declared but never used", d.Name).
+			Suggest("delete the declaration"))
 	}
 	return out
 }

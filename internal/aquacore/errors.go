@@ -10,8 +10,12 @@ import "errors"
 var (
 	// ErrShortfall is an unrepaired volume shortfall: a draw needed more
 	// fluid than its source vessel held (EventRanOut incidents).
+	//
+	//fluidvet:allow errwrap produced by internal/recover and cmd/fluidvm, which wrap it with %w when classifying incidents
 	ErrShortfall = errors.New("aquacore: volume shortfall")
 	// ErrFUUnavailable is a functional unit that stayed unavailable after
 	// the retry budget was spent (EventFUFailure incidents).
+	//
+	//fluidvet:allow errwrap produced by internal/recover and cmd/fluidvm, which wrap it with %w when classifying incidents
 	ErrFUUnavailable = errors.New("aquacore: functional unit unavailable")
 )

@@ -518,13 +518,15 @@ func (m *Machine) Finalize() *Result {
 }
 
 // evaporate removes the injected evaporation fraction for dt seconds of
-// wet time from every vessel. Deterministic (no PRNG draw), so the map
-// iteration order cannot perturb the fault stream.
+// wet time from every vessel. Deterministic (no PRNG draw), and each
+// vessel's loss is computed from its own volume and recorded under its
+// own drift key, so iteration order cannot perturb machine state.
 func (m *Machine) evaporate(dt float64) {
 	frac := m.flt.EvapFraction(dt)
 	if frac <= 0 {
 		return
 	}
+	//fluidvet:allow determinism per-vessel independent update: loss depends only on the vessel and lands in drift[name]
 	for name, v := range m.vessels {
 		if v.vol <= 0 {
 			continue
@@ -780,7 +782,7 @@ func (m *Machine) step(pc int, in ais.Instr, prog *ais.Program, pcOut *int) (jum
 			v, ok := m.src.EdgeVolume(in.Edge)
 			if !ok {
 				if errs := m.sourceSolveErrors(); len(errs) > 0 {
-					return false, fmt.Errorf("aquacore: pc %d: no volume for edge %d: runtime solve failed earlier: %v",
+					return false, fmt.Errorf("aquacore: pc %d: no volume for edge %d: runtime solve failed earlier: %w",
 						pc, in.Edge, errs[len(errs)-1])
 				}
 				return false, fmt.Errorf("aquacore: pc %d: no volume for edge %d (runtime plan not ready?)", pc, in.Edge)

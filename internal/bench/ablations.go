@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"aquavol/internal/assays"
 	"aquavol/internal/core"
@@ -187,8 +188,16 @@ func OutputSkewSweep() *Table {
 			panic(err)
 		}
 		outs := plan.OutputVolumes()
+		names := make([]string, 0, len(outs))
+		for name := range outs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		total, min, max := 0.0, 1e18, 0.0
-		for _, v := range outs {
+		// Summing in sorted-name order keeps the float total bit-identical
+		// across runs; map order would perturb its low bits.
+		for _, name := range names {
+			v := outs[name]
 			total += v
 			if v < min {
 				min = v

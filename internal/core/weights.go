@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"aquavol/internal/dag"
 )
@@ -28,7 +29,8 @@ import (
 // output volumes in the given relative proportions. Leaves absent from
 // the map get weight 1; weights must be positive.
 func ComputeVnormsWeighted(g *dag.Graph, weight map[int]float64) (*Vnorms, error) {
-	for id, w := range weight {
+	for _, id := range sortedIDs(weight) {
+		w := weight[id]
 		n := g.Node(id)
 		if n == nil {
 			return nil, fmt.Errorf("core: output weight for missing node %d", id)
@@ -70,7 +72,8 @@ func DispenseForMinOutputs(v *Vnorms, cfg Config, minVol map[int]float64) (*Plan
 	}
 	g := v.Graph
 	scale := 0.0
-	for id, want := range minVol {
+	for _, id := range sortedIDs(minVol) {
+		want := minVol[id]
 		n := g.Node(id)
 		if n == nil || !n.IsLeaf() || n.Kind == dag.Excess {
 			return nil, fmt.Errorf("core: required volume for non-output node %d", id)
@@ -182,4 +185,16 @@ func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64, margin floa
 		}
 	}
 	return v, nil
+}
+
+// sortedIDs returns the map's node ids in increasing order, so
+// validation errors and scale selection do not depend on map iteration
+// order.
+func sortedIDs(m map[int]float64) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }

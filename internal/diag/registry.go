@@ -1,0 +1,110 @@
+package diag
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"aquavol/internal/lang/token"
+)
+
+// Code is one registered diagnostic code: the stable machine-readable
+// identifier tools key on, its default severity, a one-line summary,
+// and a documentation link. Codes are minted exclusively through
+// MustRegister — internal/fluidvet's diagcode analyzer rejects raw
+// "VOL001"-shaped string literals anywhere else — so every code in the
+// system is unique, carries exactly one default severity, and is
+// documented.
+type Code struct {
+	// ID is the stable identifier ("VOL001"). The families are VOL
+	// (compile-time volume-safety lints), AIS (listing-verifier
+	// findings), and ASM (assembler errors).
+	ID string
+	// Default is the severity a finding carries unless the reporting
+	// site overrides it with NewWith (e.g. VOL001 downgrades to Warning
+	// when cascading will repair the underflow).
+	Default Severity
+	// Summary is a one-line description of the condition.
+	Summary string
+	// Doc links the code's documentation (a README anchor).
+	Doc string
+}
+
+// codeIDRe is the code grammar: a three-letter family tag and three
+// digits. internal/fluidvet enforces the same grammar statically.
+var codeIDRe = regexp.MustCompile(`^(VOL|AIS|ASM)[0-9]{3}$`)
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Code{}
+)
+
+// MustRegister records a code in the global registry and returns it.
+// It panics on a malformed ID, a duplicate registration, or a missing
+// summary or doc link: registration happens in package variable
+// initializers, so any violation fails the first test or run that
+// links the offending package.
+func MustRegister(id string, def Severity, summary, doc string) Code {
+	if !codeIDRe.MatchString(id) {
+		panic(fmt.Sprintf("diag: code %q does not match %s", id, codeIDRe))
+	}
+	if summary == "" || doc == "" {
+		panic(fmt.Sprintf("diag: code %s registered without summary or doc link", id))
+	}
+	c := Code{ID: id, Default: def, Summary: summary, Doc: doc}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, dup := registry[id]; dup {
+		panic(fmt.Sprintf("diag: code %s registered twice (%q vs %q)", id, prev.Summary, summary))
+	}
+	registry[id] = c
+	return c
+}
+
+// Lookup returns the registered code, if any.
+func Lookup(id string) (Code, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	c, ok := registry[id]
+	return c, ok
+}
+
+// All returns every registered code sorted by ID. Only codes whose
+// registering packages are linked into the binary appear; the
+// internal/diag meta-test imports all of them.
+func All() []Code {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Code, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// New constructs a finding for the code at its default severity.
+func (c Code) New(pos token.Pos, format string, args ...any) Diagnostic {
+	return c.NewWith(c.Default, pos, format, args...)
+}
+
+// NewWith constructs a finding with an explicit severity, for codes
+// whose severity is context-dependent.
+func (c Code) NewWith(sev Severity, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      pos,
+		Severity: sev,
+		Code:     c.ID,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// Suggest returns a copy of the diagnostic with the fix suggestion set,
+// so registry-constructed findings can chain:
+//
+//	CodeUnderflow.New(pos, "…").Suggest("cascade depth %d suffices", d)
+func (d Diagnostic) Suggest(format string, args ...any) Diagnostic {
+	d.Suggestion = fmt.Sprintf(format, args...)
+	return d
+}

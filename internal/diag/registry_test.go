@@ -1,0 +1,153 @@
+package diag_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"aquavol/internal/diag"
+	"aquavol/internal/lang/token"
+
+	// Link every code-registering package so diag.All sees the full set.
+	_ "aquavol/internal/ais"
+	_ "aquavol/internal/aisverify"
+	_ "aquavol/internal/analysis"
+)
+
+// declRe matches a registration site and captures the Go identifier and
+// the code ID, so the witness scan can accept either form.
+var declRe = regexp.MustCompile(`(\w+)\s*=\s*diag\.MustRegister\(\s*"([A-Z]{3}[0-9]{3})"`)
+
+// TestRegistryBasics pins the registry surface: the full code set is
+// linked, lookups resolve, All is ID-sorted, and each entry is complete
+// (MustRegister enforces completeness at init; this guards the getters).
+func TestRegistryBasics(t *testing.T) {
+	all := diag.All()
+	if len(all) < 26 {
+		t.Fatalf("registry holds %d codes, want the full VOL/AIS/ASM set (>= 26)", len(all))
+	}
+	for i, c := range all {
+		if i > 0 && all[i-1].ID >= c.ID {
+			t.Errorf("All() not sorted: %s before %s", all[i-1].ID, c.ID)
+		}
+		if c.Summary == "" || c.Doc == "" {
+			t.Errorf("%s registered without summary or doc", c.ID)
+		}
+		got, ok := diag.Lookup(c.ID)
+		if !ok || got != c {
+			t.Errorf("Lookup(%s) = %+v, %v; want the registered code", c.ID, got, ok)
+		}
+	}
+	if _, ok := diag.Lookup("VOL999"); ok {
+		t.Error("Lookup(VOL999) succeeded for an unregistered code")
+	}
+}
+
+// TestConstructors pins New/NewWith/Suggest semantics: default severity,
+// explicit override, and suggestion chaining.
+func TestConstructors(t *testing.T) {
+	c, ok := diag.Lookup("VOL001")
+	if !ok {
+		t.Fatal("VOL001 not registered")
+	}
+	if c.Default != diag.Error {
+		t.Fatalf("VOL001 default severity = %v, want Error", c.Default)
+	}
+	d := c.New(token.Pos{Line: 3, Col: 7}, "short by %g nl", 2.5)
+	if d.Code != "VOL001" || d.Severity != diag.Error || d.Msg != "short by 2.5 nl" {
+		t.Errorf("New built %+v", d)
+	}
+	if d.Pos.Line != 3 || d.Pos.Col != 7 {
+		t.Errorf("New lost the position: %+v", d.Pos)
+	}
+	w := c.NewWith(diag.Warning, token.Pos{Line: 1, Col: 1}, "repairable").Suggest("cascade depth %d", 2)
+	if w.Severity != diag.Warning || w.Suggestion != "cascade depth 2" {
+		t.Errorf("NewWith/Suggest built %+v", w)
+	}
+}
+
+// TestEveryCodeHasTestWitness asserts each registered code is exercised
+// somewhere under internal/: its ID appears literally in a _test.go or
+// testdata file, or the identifier it is bound to appears in a _test.go
+// file. A code nothing tests is a code whose meaning can silently rot.
+func TestEveryCodeHasTestWitness(t *testing.T) {
+	idents := map[string]string{} // code ID -> declared identifier
+	var testCorpus, dataCorpus strings.Builder
+	root := ".." // the internal/ tree, relative to internal/diag
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		inTestdata := strings.Contains(path, string(filepath.Separator)+"testdata"+string(filepath.Separator))
+		isGo := strings.HasSuffix(path, ".go")
+		isTest := strings.HasSuffix(path, "_test.go")
+		if !isGo && !inTestdata {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		s := string(b)
+		switch {
+		case isTest:
+			testCorpus.WriteString(s)
+		case inTestdata:
+			dataCorpus.WriteString(s)
+		default:
+			for _, m := range declRe.FindAllStringSubmatch(s, -1) {
+				idents[m[2]] = m[1]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, data := testCorpus.String(), dataCorpus.String()
+	for _, c := range diag.All() {
+		if strings.Contains(tests, c.ID) || strings.Contains(data, c.ID) {
+			continue
+		}
+		if id := idents[c.ID]; id != "" && regexp.MustCompile(`\b`+id+`\b`).MatchString(tests) {
+			continue
+		}
+		t.Errorf("%s (%s) has no test witness: no _test.go or testdata file under internal/ mentions the ID or its identifier %q",
+			c.ID, c.Summary, idents[c.ID])
+	}
+}
+
+// TestDocLinksResolve asserts every Doc link names a repo file that
+// exists and, when it carries an anchor, a heading that slugifies to it.
+func TestDocLinksResolve(t *testing.T) {
+	nonWord := regexp.MustCompile(`[^a-z0-9 -]`)
+	for _, c := range diag.All() {
+		file, anchor, _ := strings.Cut(c.Doc, "#")
+		path := filepath.Join("..", "..", file)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: doc link %q: %v", c.ID, c.Doc, err)
+			continue
+		}
+		if anchor == "" {
+			continue
+		}
+		found := false
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "#") {
+				continue
+			}
+			h := strings.ToLower(strings.TrimSpace(strings.TrimLeft(line, "#")))
+			h = strings.ReplaceAll(nonWord.ReplaceAllString(h, ""), " ", "-")
+			if h == anchor {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: doc anchor %q not found as a heading in %s", c.ID, anchor, file)
+		}
+	}
+}

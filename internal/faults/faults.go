@@ -38,6 +38,8 @@ import (
 // dies at an instruction boundary exactly as if the host process had been
 // killed there, leaving the journal tail as-is. Chaos harnesses match it
 // with errors.Is to distinguish scheduled kills from real aborts.
+//
+//fluidvet:allow errwrap produced by internal/recover, which wraps it with %w at the crash boundary
 var ErrCrash = errors.New("faults: simulated process crash")
 
 // CrashPoint schedules one deterministic simulated process kill at an
@@ -160,7 +162,7 @@ func ParseProfile(s string) (Profile, error) {
 		}
 		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 		if err != nil {
-			return Profile{}, fmt.Errorf("faults: bad value for %q: %v", k, err)
+			return Profile{}, fmt.Errorf("faults: bad value for %q: %w", k, err)
 		}
 		*dst = x
 	}

@@ -1,0 +1,319 @@
+package fluidvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism flags constructs that break bit-identical replay in
+// replay-critical packages: wall-clock reads, draws from the unseeded
+// math/rand globals, and map-range loops whose iteration order can
+// leak into results. Crash-resume (internal/journal, internal/recover)
+// and the seeded-determinism CI gates rely on a run being a pure
+// function of (listing, seed, profile); one of these constructs in
+// aquacore/journal/recover/faults/codegen/core/dag makes resume output
+// diverge from the original run in a way no test on the happy path
+// catches.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads, unseeded math/rand, and order-sensitive map iteration in replay-critical packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are time-package functions whose result depends on the
+// wall clock. Constructors like NewTimer are excluded: creating a timer
+// is only a hazard when its reading reaches replayed state, which the
+// map/clock rules catch at the use site.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// seededRandCtors are the math/rand and math/rand/v2 functions that
+// construct explicitly-seeded generators; everything else exported by
+// those packages draws from (or reseeds) process-global state.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !isReplayCritical(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Clock and PRNG rules apply everywhere in the file, including
+		// package-level initializers.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to time.%s reads the wall clock in a replay-critical package: replay from (listing, seed, profile) must be bit-identical, so derive timing from the plan or the seeded fault PRNG", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(call.Pos(),
+						"call to %s.%s uses the process-global PRNG, which is not derived from the run seed: use rand.New(rand.NewSource(seed)) so replay can reproduce every draw", lastSegment(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+
+		// The map-order rule reasons about whole function bodies (it
+		// needs to see whether collected keys are later sorted), so it
+		// walks declarations.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorts := bodyCallsSort(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if detail := mapRangeOrderHazard(pass, rng, sorts); detail != "" {
+					pass.Reportf(rng.For,
+						"map iteration order is nondeterministic and this loop is order-sensitive (%s): journal records, snapshots, listings, and event streams must not depend on it; iterate sorted keys instead", detail)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the function a call invokes, or nil for builtins,
+// conversions, and calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// bodyCallsSort reports whether the function body calls into package
+// sort or slices anywhere — the signal that a key slice collected from
+// a map range is ordered before use.
+func bodyCallsSort(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mapRangeOrderHazard inspects the body of a range-over-map and returns
+// a non-empty description if its effect can depend on iteration order.
+// The loop is order-free when every statement is one of:
+//
+//   - a declaration, := binding, increment/decrement, continue;
+//   - an op-assignment (+=, |=, ...) — commutative across iterations —
+//     unless the target is a float or string accumulator that is not
+//     indexed by the range key (float addition is not associative, so
+//     even a sum changes bits with iteration order);
+//   - a plain assignment whose every target is an index into a map
+//     (per-key writes touch each key once, in any order);
+//   - x = append(x, ...) when the enclosing function sorts afterwards
+//     (the collect-keys-then-sort idiom);
+//   - delete(...);
+//   - an if statement whose branches satisfy the same rules, where
+//     plain assignment is additionally permitted (the min/max selection
+//     idiom is conditional assignment).
+func mapRangeOrderHazard(pass *Pass, rng *ast.RangeStmt, fnSorts bool) string {
+	var keyObj types.Object
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = pass.Info.Defs[id]
+		if keyObj == nil {
+			keyObj = pass.Info.Uses[id]
+		}
+	}
+	var check func(s ast.Stmt, inBranch bool) string
+	checkList := func(list []ast.Stmt, inBranch bool) string {
+		for _, s := range list {
+			if d := check(s, inBranch); d != "" {
+				return d
+			}
+		}
+		return ""
+	}
+	check = func(s ast.Stmt, inBranch bool) string {
+		switch s := s.(type) {
+		case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+			return ""
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				return ""
+			}
+			return "a break/goto inside the loop makes the visited set order-dependent"
+		case *ast.BlockStmt:
+			return checkList(s.List, inBranch)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				if d := check(s.Init, true); d != "" {
+					return d
+				}
+			}
+			if d := checkList(s.Body.List, true); d != "" {
+				return d
+			}
+			if s.Else != nil {
+				return check(s.Else, true)
+			}
+			return ""
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						return ""
+					}
+				}
+			}
+			return "calls with effects inside the loop body"
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.DEFINE:
+				return ""
+			case token.ASSIGN:
+				if allMapIndexTargets(pass, s.Lhs) {
+					return ""
+				}
+				if isSelfAppend(s) {
+					if fnSorts {
+						return ""
+					}
+					return "keys are collected but never sorted in this function"
+				}
+				if inBranch {
+					return ""
+				}
+				return "a plain assignment keeps only the last-iterated entry"
+			default:
+				for _, lhs := range s.Lhs {
+					t := pass.TypeOf(lhs)
+					if t == nil {
+						continue
+					}
+					b, ok := t.Underlying().(*types.Basic)
+					if !ok {
+						continue
+					}
+					info := b.Info()
+					if info&(types.IsFloat|types.IsComplex) != 0 && !indexedByKey(pass, lhs, keyObj) {
+						return "floating-point accumulation is not associative, so the sum's bits depend on iteration order"
+					}
+					if info&types.IsString != 0 && !indexedByKey(pass, lhs, keyObj) {
+						return "string concatenation depends on iteration order"
+					}
+				}
+				return ""
+			}
+		default:
+			return "the loop body is not a recognized order-free form"
+		}
+	}
+	return checkList(rng.Body.List, false)
+}
+
+// allMapIndexTargets reports whether every assignment target is an
+// index expression into a map.
+func allMapIndexTargets(pass *Pass, lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		t := pass.TypeOf(ix.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return false
+		}
+	}
+	return true
+}
+
+// isSelfAppend matches `x = append(x, ...)`.
+func isSelfAppend(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && arg0.Name == lhs.Name
+}
+
+// indexedByKey reports whether lhs is an index expression whose index
+// mentions the range key — the per-key accumulation pattern m[k] += v,
+// which touches each key exactly once and so is order-free.
+func indexedByKey(pass *Pass, lhs ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	uses := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+			uses = true
+		}
+		return true
+	})
+	return uses
+}

@@ -1,0 +1,133 @@
+package fluidvet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// DiagCode enforces that VOL/AIS/ASM diagnostic codes are minted
+// exclusively through the internal/diag registry. The codes are a
+// stable machine-readable surface (tools parse fluidlint/aisverify
+// -json output by code), so every code must be unique, carry one
+// severity, and be documented — properties the registry guarantees at
+// registration and this analyzer guarantees nobody bypasses: a raw
+// "VOL001"-shaped string literal may appear only as the ID argument of
+// diag.MustRegister, and diag.Diagnostic literals must not set Code
+// directly outside internal/diag (use diag.New, which looks the code
+// up).
+var DiagCode = &Analyzer{
+	Name: "diagcode",
+	Doc:  "diagnostic codes must be minted through the internal/diag registry (unique, one severity, documented)",
+	Run:  runDiagCode,
+}
+
+// diagPkgPath is the registry package. The analyzer recognizes it by
+// path so fixtures importing the real package are checked identically.
+const diagPkgPath = "aquavol/internal/diag"
+
+var codeLitRe = regexp.MustCompile(`^(VOL|AIS|ASM)[0-9]{3}$`)
+
+func runDiagCode(pass *Pass) error {
+	inDiag := pass.Pkg.Path() == diagPkgPath
+	// registered maps code literal -> first MustRegister position, for
+	// same-package duplicate detection (cross-package duplicates panic
+	// at registration and are caught by internal/diag's meta-test).
+	registered := map[string]bool{}
+	allowedLits := map[*ast.BasicLit]bool{}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMustRegister(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"diag.MustRegister ID must be a string literal so uniqueness and documentation are statically checkable")
+				return true
+			}
+			allowedLits[lit] = true
+			id, err := strconv.Unquote(lit.Value)
+			if err != nil || !codeLitRe.MatchString(id) {
+				pass.Reportf(lit.Pos(),
+					"diag.MustRegister ID %s does not match the VOL/AIS/ASM code grammar %s", lit.Value, codeLitRe)
+				return true
+			}
+			if registered[id] {
+				pass.Reportf(lit.Pos(), "diagnostic code %s registered twice in this package: codes must be unique", id)
+			}
+			registered[id] = true
+			// MustRegister(id, severity, summary, doc): statically empty
+			// summary or doc defeats the "documented" guarantee.
+			for _, part := range []struct {
+				i    int
+				what string
+			}{{2, "summary"}, {3, "doc link"}} {
+				i, what := part.i, part.what
+				if i < len(call.Args) {
+					if s, ok := ast.Unparen(call.Args[i]).(*ast.BasicLit); ok && (s.Value == `""` || s.Value == "``") {
+						pass.Reportf(s.Pos(), "diagnostic code %s has an empty %s: registered codes must be documented", id, what)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if allowedLits[n] {
+					return true
+				}
+				s, err := strconv.Unquote(n.Value)
+				if err != nil || !codeLitRe.MatchString(s) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"raw diagnostic code %q: mint codes through diag.MustRegister and reference the registered variable, so every code is unique, has one severity, and is documented", s)
+			case *ast.CompositeLit:
+				if inDiag {
+					return true
+				}
+				if !isDiagDiagnosticType(pass.TypeOf(n)) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+						pass.Reportf(kv.Pos(),
+							"diag.Diagnostic literal sets Code directly: construct coded findings with diag.New so the severity and documentation come from the registry")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMustRegister(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Name() == "MustRegister" &&
+		fn.Pkg() != nil && fn.Pkg().Path() == diagPkgPath
+}
+
+func isDiagDiagnosticType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Diagnostic" && obj.Pkg() != nil && obj.Pkg().Path() == diagPkgPath
+}

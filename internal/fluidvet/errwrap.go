@@ -1,0 +1,218 @@
+package fluidvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the error-taxonomy contract in replay-critical
+// packages: the recovery runtime, fluidvm's exit-code mapping, and the
+// resume path all classify failures with errors.Is, which only works
+// when intermediate layers wrap causes with %w (not %v/%s/%q) and when
+// every declared sentinel is actually produced by some code path. A
+// sentinel that is only ever *tested* can never match; an error
+// formatted with %v is flattened to text and loses its identity.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "error causes must be wrapped with %w and declared sentinels must be produced somewhere, so errors.Is classification works",
+	Run:  runErrWrap,
+}
+
+// errWrapScope extends the replay-critical set with regen: it is part
+// of the recovery machinery whose errors the repair policy classifies.
+func errWrapScope(pkg *types.Package) bool {
+	return isReplayCritical(pkg) || lastSegment(pkg.Path()) == "regen"
+}
+
+func runErrWrap(pass *Pass) error {
+	if !errWrapScope(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			checkErrorfVerbs(pass, call)
+			return true
+		})
+	}
+	checkSentinels(pass)
+	return nil
+}
+
+// checkErrorfVerbs maps format verbs to arguments and flags error-typed
+// arguments rendered with an identity-destroying verb.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	args := call.Args[1:]
+	argIx := 0
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags, width, precision; '*' consumes an argument.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				argIx++
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+		if argIx >= len(args) {
+			break
+		}
+		arg := args[argIx]
+		argIx++
+		if verb == 'w' || verb == 'T' {
+			continue
+		}
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		t := pass.TypeOf(arg)
+		if t == nil || !implementsError(t) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error formatted with %%%c is flattened to text and loses its identity for errors.Is; wrap the cause with %%w so the recovery taxonomy can classify it", verb)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// checkSentinels flags package-level Err* sentinels that no code path
+// in the package produces: every use is the target of errors.Is /
+// errors.As (or there are no uses at all), so matching can never
+// succeed. Sentinels intentionally produced by another package carry a
+// //fluidvet:allow errwrap comment naming the producer.
+func checkSentinels(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	sentinels := map[types.Object]bool{}
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !strings.HasPrefix(name, "Err") || !implementsError(obj.Type()) {
+			continue
+		}
+		sentinels[obj] = false // false = no producing use seen yet
+	}
+	if len(sentinels) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := sentinels[obj]; !tracked {
+				return true
+			}
+			if !isErrorsIsTarget(pass, file, id) {
+				sentinels[obj] = true
+			}
+			return true
+		})
+	}
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		produced, tracked := sentinels[obj]
+		if tracked && !produced {
+			pass.Reportf(obj.Pos(),
+				"sentinel %s is never produced in this package: no return or %%w wrap creates it, so errors.Is(err, %s) cannot match; produce it or document the external producer with an allow", name, name)
+		}
+	}
+}
+
+// isErrorsIsTarget reports whether ident id appears as the second
+// argument of errors.Is or errors.As — a testing use, not a producing
+// one. The enclosing call is found by walking down from the file root.
+func isErrorsIsTarget(pass *Pass, file *ast.File, id *ast.Ident) bool {
+	path := enclosingCalls(file, id)
+	for _, call := range path {
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+			continue
+		}
+		if fn.Name() != "Is" && fn.Name() != "As" {
+			continue
+		}
+		if len(call.Args) == 2 && containsNode(call.Args[1], id) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingCalls returns the call expressions containing pos, innermost
+// last.
+func enclosingCalls(file *ast.File, id *ast.Ident) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		// Prune subtrees that cannot contain the ident.
+		if n.Pos() > id.Pos() || n.End() < id.End() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,136 @@
+package fluidvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr enforces the journal/snapshot durability discipline in
+// replay-critical packages: the write-ahead log's crash guarantees
+// hold only if every (*os.File).Sync and Close result on a write path
+// is checked — a failed fsync means the record is not durable, a
+// failed Close can swallow the final flush — and only if CRC results
+// are actually consumed. Discarding any of these turns "the journal
+// survives the crashes it exists for" into a hope. Read-only paths
+// where the result genuinely cannot matter carry a //fluidvet:allow
+// with the reason.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "flag unchecked (*os.File).Sync/Close and ignored CRC results on journal/snapshot write paths",
+	Run:  runSyncErr,
+}
+
+func runSyncErr(pass *Pass) error {
+	if !isReplayCritical(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, n.X, "discarded")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "deferred without checking")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "discarded (go statement)")
+			case *ast.AssignStmt:
+				if allBlank(n.Lhs) {
+					for _, rhs := range n.Rhs {
+						checkDiscardedCall(pass, rhs, "explicitly discarded")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags e when it is a call whose error or checksum
+// result is being dropped.
+func checkDiscardedCall(pass *Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name, ok := osFileSyncOrClose(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"(*os.File).%s result %s: a failed %s on a journal or snapshot write path silently breaks durability; check it (or allow with a reason on read-only paths)", name, how, name)
+		return
+	}
+	if name, ok := crcResult(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"%s result %s: a checksum that is computed but never compared protects nothing", name, how)
+	}
+}
+
+// osFileSyncOrClose reports whether call invokes Sync or Close on an
+// *os.File receiver.
+func osFileSyncOrClose(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Sync" && name != "Close" {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !isOSFilePtr(sig.Recv().Type()) && !isOSFilePtr(pass.TypeOf(sel.X)) {
+		return "", false
+	}
+	return name, true
+}
+
+func isOSFilePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// crcResult reports whether call computes a CRC whose result is the
+// call's value: hash/crc32 and hash/crc64 package functions, or Sum32/
+// Sum64 on their hash objects.
+func crcResult(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "hash/crc32", "hash/crc64":
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() == 0 {
+			return "", false
+		}
+		return lastSegment(fn.Pkg().Path()) + "." + fn.Name(), true
+	case "hash":
+		if fn.Name() == "Sum32" || fn.Name() == "Sum64" {
+			return "hash." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}

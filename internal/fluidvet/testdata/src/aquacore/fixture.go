@@ -1,0 +1,107 @@
+// Package aquacore is a fluidvet fixture: its directory name puts it in
+// the replay-critical set, so the determinism analyzer's trigger and
+// suppress cases both run here.
+package aquacore
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock twice: both flagged.
+func Clock() time.Duration {
+	start := time.Now()      // want `determinism: call to time\.Now reads the wall clock`
+	return time.Since(start) // want `determinism: call to time\.Since reads the wall clock`
+}
+
+// Draw mixes the process-global PRNG (flagged) with a seeded generator
+// (method calls on an explicitly-seeded source are fine).
+func Draw(seed int64) (float64, float64) {
+	global := rand.Float64() // want `determinism: call to rand\.Float64 uses the process-global PRNG`
+	seeded := rand.New(rand.NewSource(seed)).Float64()
+	return global, seeded
+}
+
+// SumInts accumulates integers over a map: commutative, order-free.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumFloats accumulates floats over a map: float addition is not
+// associative, so the sum's bits depend on iteration order.
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `determinism: map iteration order is nondeterministic .*floating-point accumulation`
+		total += v
+	}
+	return total
+}
+
+// PerKey writes each entry under its own range key: order-free.
+func PerKey(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// Keys collects then sorts: the canonical deterministic-iteration idiom.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Unsorted collects without ever sorting: the slice order leaks.
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `determinism: map iteration order is nondeterministic .*never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Last keeps only the final iterated entry: which one that is depends
+// on iteration order.
+func Last(m map[string]int) string {
+	winner := ""
+	for k := range m { // want `determinism: map iteration order is nondeterministic .*last-iterated`
+		winner = k
+	}
+	return winner
+}
+
+// Max is conditional selection (the min/max idiom): order-free.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Prune deletes as it goes: order-free.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Emit calls an effectful function per entry: the observable call order
+// depends on iteration order.
+func Emit(m map[string]int, sink func(string)) {
+	for k := range m { // want `determinism: map iteration order is nondeterministic .*calls with effects`
+		sink(k)
+	}
+}

@@ -1,0 +1,24 @@
+// Package clerk is a fluidvet fixture OUTSIDE the replay-critical set:
+// the same constructs the determinism analyzer flags in aquacore pass
+// without a finding here.
+package clerk
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: fine outside replay-critical packages.
+func Stamp() time.Time { return time.Now() }
+
+// Roll draws from the global PRNG: likewise fine here.
+func Roll() float64 { return rand.Float64() }
+
+// Tally iterates a map into a float accumulator: likewise fine here.
+func Tally(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

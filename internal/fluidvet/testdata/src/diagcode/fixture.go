@@ -1,0 +1,36 @@
+// Package diagcode is a fluidvet fixture for the registry discipline:
+// codes minted through diag.MustRegister pass; non-literal IDs, grammar
+// violations, duplicates, empty documentation, raw code literals, and
+// directly-set Diagnostic.Code fields are flagged.
+package diagcode
+
+import (
+	"aquavol/internal/diag"
+)
+
+// CodeGood is minted through the registry: fine. (The fixture is only
+// analyzed, never linked, so the registration does not execute.)
+var CodeGood = diag.MustRegister("VOL900", diag.Error,
+	"fixture condition", "README.md#static-analysis-fluidlint")
+
+// A non-literal ID defeats the static uniqueness check.
+var dynamicID = pick()
+
+var CodeDynamic = diag.MustRegister(dynamicID, diag.Warning, "s", "d") // want `diagcode: .*must be a string literal`
+
+// A malformed ID breaks the code grammar.
+var CodeBad = diag.MustRegister("VOLX01", diag.Error, "s", "d") // want `diagcode: .*does not match the VOL/AIS/ASM code grammar`
+
+// Registering the same ID twice in one package.
+var CodeDup = diag.MustRegister("VOL900", diag.Error, "s", "d") // want `diagcode: .*registered twice`
+
+// An empty summary defeats the "documented" guarantee.
+var CodeBlank = diag.MustRegister("VOL902", diag.Error, "", "d") // want `diagcode: .*empty summary`
+
+// A raw code literal outside MustRegister bypasses the registry.
+var raw = "AIS001" // want `diagcode: raw diagnostic code "AIS001"`
+
+// Setting Code directly skips the registry's severity and doc.
+var direct = diag.Diagnostic{Code: CodeGood.ID} // want `diagcode: .*sets Code directly`
+
+func pick() string { return raw }

@@ -1,0 +1,90 @@
+// Package enumswitch is a fluidvet fixture for the exhaustiveness
+// rules over RepairKind and EventKind (guarded by type name, so the
+// fixture's structurally identical enums exercise the real scoping).
+package enumswitch
+
+// RepairKind mirrors the recovery repair ladder.
+type RepairKind int
+
+const (
+	RepairRetry RepairKind = iota
+	RepairRescale
+	RepairAbort
+)
+
+// EventKind mirrors the aquacore event taxonomy.
+type EventKind int
+
+const (
+	EventBegin EventKind = iota
+	EventEnd
+)
+
+// Other is not a guarded enum: never flagged.
+type Other int
+
+const (
+	OtherA Other = iota
+	OtherB
+)
+
+// Full covers every repair kind: fine.
+func Full(k RepairKind) int {
+	switch k {
+	case RepairRetry:
+		return 1
+	case RepairRescale:
+		return 2
+	case RepairAbort:
+		return 3
+	}
+	return 0
+}
+
+// Partial drops the abort arm.
+func Partial(k RepairKind) int {
+	switch k { // want `enumswitch: switch over RepairKind is not exhaustive: missing RepairAbort`
+	case RepairRetry:
+		return 1
+	case RepairRescale:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted documents the fall-through: fine.
+func Defaulted(k RepairKind) int {
+	switch k {
+	case RepairRetry:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Events misses EventEnd.
+func Events(k EventKind) bool {
+	switch k { // want `enumswitch: switch over EventKind is not exhaustive: missing EventEnd`
+	case EventBegin:
+		return true
+	}
+	return false
+}
+
+// NonConstant cases defeat static coverage: the analyzer stands down.
+func NonConstant(k, other RepairKind) bool {
+	switch k {
+	case other:
+		return true
+	}
+	return false
+}
+
+// Unguarded enums are out of scope.
+func Unguarded(o Other) bool {
+	switch o {
+	case OtherA:
+		return true
+	}
+	return false
+}

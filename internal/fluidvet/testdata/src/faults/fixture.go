@@ -1,0 +1,40 @@
+// Package faults is a fluidvet fixture for the //fluidvet:allow escape
+// hatch, in a replay-critical directory so the determinism analyzer
+// supplies the findings to suppress. Expectations live in
+// TestAllowFixture (misuse findings land on the directive-comment lines
+// themselves, which cannot also carry want comments).
+package faults
+
+import "time"
+
+// SameLine is properly allowed on the finding's line: suppressed.
+func SameLine() time.Time {
+	return time.Now() //fluidvet:allow determinism fixture: wall time is reported, never replayed
+}
+
+// LineAbove is properly allowed on the line above: suppressed.
+func LineAbove() time.Time {
+	//fluidvet:allow determinism fixture: wall time is reported, never replayed
+	return time.Now()
+}
+
+// UnknownName names a nonexistent analyzer: the directive is a finding
+// and the wall-clock finding survives.
+func UnknownName() time.Time {
+	return time.Now() //fluidvet:allow clockcheck this analyzer does not exist
+}
+
+// NoReason suppresses without an audit trail: rejected, finding survives.
+func NoReason() time.Time {
+	return time.Now() //fluidvet:allow determinism
+}
+
+// NoName gives neither analyzer nor reason: rejected, finding survives.
+func NoName() time.Time {
+	return time.Now() //fluidvet:allow
+}
+
+// WrongVerb uses an unknown fluidvet directive: malformed.
+//
+//fluidvet:deny determinism no such verb
+func WrongVerb() {}

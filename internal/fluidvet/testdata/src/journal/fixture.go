@@ -1,0 +1,75 @@
+// Package journal is a fluidvet fixture for the durability analyzers:
+// its directory name is replay-critical, so unchecked Sync/Close and
+// computed-but-unused CRCs are flagged (syncerr), and its Kind enum is
+// exhaustiveness-guarded by name (enumswitch).
+package journal
+
+import (
+	"hash/crc32"
+	"os"
+)
+
+// Kind mirrors the journal's record-kind enum: guarded because the
+// declaring package is named journal.
+type Kind int
+
+const (
+	KindBegin Kind = iota
+	KindStep
+	KindSnapshot
+)
+
+// Describe covers every kind: fine.
+func Describe(k Kind) string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindStep:
+		return "step"
+	case KindSnapshot:
+		return "snapshot"
+	}
+	return ""
+}
+
+// Partial silently drops snapshots.
+func Partial(k Kind) string {
+	switch k { // want `enumswitch: switch over Kind is not exhaustive: missing KindSnapshot`
+	case KindBegin:
+		return "begin"
+	case KindStep:
+		return "step"
+	}
+	return ""
+}
+
+// Defaulted documents the fall-through: fine.
+func Defaulted(k Kind) string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	default:
+		return "other"
+	}
+}
+
+// WriteUnchecked drops a checksum, an fsync result, and a close result.
+func WriteUnchecked(f *os.File, payload []byte) {
+	crc32.ChecksumIEEE(payload) // want `syncerr: crc32\.ChecksumIEEE result discarded`
+	f.Sync()                    // want `syncerr: .*Sync result discarded`
+	defer f.Close()             // want `syncerr: .*Close result deferred without checking`
+}
+
+// Blank discards explicitly: still flagged.
+func Blank(f *os.File) {
+	_ = f.Close() // want `syncerr: .*Close result explicitly discarded`
+}
+
+// WriteChecked consumes every result: fine.
+func WriteChecked(f *os.File, payload []byte) (uint32, error) {
+	sum := crc32.ChecksumIEEE(payload)
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return sum, f.Close()
+}

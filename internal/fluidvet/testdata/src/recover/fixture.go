@@ -1,0 +1,61 @@
+// Package recover is a fluidvet fixture for the errwrap analyzer: its
+// directory name is in scope, so identity-destroying format verbs and
+// never-produced sentinels are flagged.
+package recover
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStuck is only ever tested with errors.Is, never produced: the
+// match can never succeed.
+var ErrStuck = errors.New("recover: stuck") // want `errwrap: sentinel ErrStuck is never produced`
+
+// ErrDone is produced by Finish: fine.
+var ErrDone = errors.New("recover: done")
+
+// ErrExternal is produced by another package; the allow documents it.
+//
+//fluidvet:allow errwrap produced by the fixture's imaginary sibling package
+var ErrExternal = errors.New("recover: external")
+
+// Classify only tests the sentinels.
+func Classify(err error) bool {
+	return errors.Is(err, ErrStuck) || errors.Is(err, ErrDone) || errors.Is(err, ErrExternal)
+}
+
+// Finish produces ErrDone (wrapped, which also counts).
+func Finish(step int) error {
+	if step > 0 {
+		return fmt.Errorf("step %d: %w", step, ErrDone)
+	}
+	return ErrDone
+}
+
+// Flatten renders the cause with %v: its identity is lost.
+func Flatten(err error) error {
+	return fmt.Errorf("replan failed: %v", err) // want `errwrap: error formatted with %v`
+}
+
+// Wrap keeps the cause's identity: fine.
+func Wrap(err error) error {
+	return fmt.Errorf("replan failed: %w", err)
+}
+
+// Mixed maps verbs to arguments: the %s lands on the error even with
+// other verbs (and a width) in front.
+func Mixed(n int, err error) error {
+	return fmt.Errorf("%3d retries: %s", n, err) // want `errwrap: error formatted with %s`
+}
+
+// Quoted is as lossy as %v.
+func Quoted(err error) error {
+	return fmt.Errorf("inner: %q", err) // want `errwrap: error formatted with %q`
+}
+
+// TypeOnly prints the dynamic type, which never carries identity to
+// begin with: not flagged.
+func TypeOnly(err error) error {
+	return fmt.Errorf("unexpected %T", err)
+}

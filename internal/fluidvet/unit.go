@@ -1,0 +1,233 @@
+package fluidvet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the JSON configuration the go command writes for each
+// package when it invokes a -vettool. The field set mirrors the
+// x/tools unitchecker contract; fields this driver does not consume are
+// kept so the document round-trips recognizably in debug output.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/fluidvet. It implements the protocol
+// the go command expects of a -vettool:
+//
+//	fluidvet -V=full         print a versioned build ID and exit
+//	fluidvet -flags          print the supported analyzer flags (JSON)
+//	fluidvet help            print usage
+//	fluidvet <file>.cfg      analyze one package described by the config
+//
+// Diagnostics print to stderr as file:line:col: [analyzer] message and
+// the process exits 1 if there were any, which go vet turns into a
+// non-zero exit for the whole run.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if len(os.Args) == 2 {
+		switch arg := os.Args[1]; {
+		case arg == "-V=full":
+			printVersion()
+			return
+		case arg == "-flags":
+			// No analyzer flags: an empty JSON list tells the go
+			// command there is nothing to forward.
+			fmt.Println("[]")
+			return
+		case arg == "help", arg == "-h", arg == "-help", arg == "--help":
+			printUsage(analyzers)
+			return
+		}
+	}
+	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=<path to %s>"`, progname, progname)
+	}
+	findings, err := runUnit(os.Args[1], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the "name version devel ... buildID=hash" line the
+// go command hashes into its action cache key, in the same shape as
+// x/tools' unitchecker (whose format the go command parses).
+func printVersion() {
+	progname, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	// The binary is opened read-only for hashing; its close result
+	// cannot affect correctness.
+	//fluidvet:allow syncerr read-only self-hash, close result is irrelevant
+	_ = f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+func printUsage(analyzers []*Analyzer) {
+	fmt.Println("fluidvet is a vet tool enforcing aquavol's determinism, diagnostics,")
+	fmt.Println("and durability invariants. Run it via:")
+	fmt.Println()
+	fmt.Println("\tgo vet -vettool=$(command -v fluidvet) ./...")
+	fmt.Println()
+	fmt.Println("Suppress one finding with //fluidvet:allow <analyzer> <reason>.")
+	fmt.Println()
+	fmt.Println("Registered analyzers:")
+	fmt.Println()
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("\t%-12s %s\n", a.Name, doc)
+	}
+}
+
+// runUnit analyzes the single package described by cfgFile.
+func runUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err)
+	}
+
+	// The go command expects a facts file for every package it vets,
+	// ours carry no cross-package facts, so an empty marker suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+
+	// Import path "pkg [pkg.test]" is the test variant of pkg: analyze
+	// its production files under the plain path. Everything outside
+	// this module (stdlib, synthesized test mains) passes untouched, as
+	// do fact-only invocations for dependencies.
+	ipath := cfg.ImportPath
+	if i := strings.IndexByte(ipath, ' '); i >= 0 {
+		ipath = ipath[:i]
+	}
+	if cfg.VetxOnly || !inModule(ipath) || strings.HasSuffix(ipath, ".test") {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg, info, err := typeCheck(fset, files, ipath, cfg.GoVersion, makeImporter(fset, cfg))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", ipath, err)
+	}
+	return Check(fset, files, pkg, info, analyzers)
+}
+
+// makeImporter resolves imports from the export-data files the go
+// command listed in the vet config, exactly as the compiler saw them.
+func makeImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typeCheck runs go/types over the files with full info recording.
+func typeCheck(fset *token.FileSet, files []*ast.File, path, goVersion string, imp types.Importer) (*types.Package, *types.Info, error) {
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

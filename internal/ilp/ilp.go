@@ -133,10 +133,13 @@ func Solve(p *lp.Problem, opts Options) (*Result, error) {
 	sawNodeLimit := false
 	deadline := time.Time{}
 	if opt.MaxTime > 0 {
-		deadline = time.Now().Add(opt.MaxTime)
+		// The MaxTime budget is a resource guard, not replayed state: a
+		// truncated search reports Status=NodeLimit either way, and no
+		// journal or snapshot records the wall time.
+		deadline = time.Now().Add(opt.MaxTime) //fluidvet:allow determinism MaxTime is a resource guard; truncation is reported, never replayed
 	}
 	search = func(depth int) error {
-		if res.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		if res.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) { //fluidvet:allow determinism MaxTime is a resource guard; truncation is reported, never replayed
 			sawNodeLimit = true
 			return nil
 		}

@@ -97,10 +97,10 @@ func (jr *Reader) next() (*Record, error) {
 	}
 	rec := &Record{}
 	if err := json.Unmarshal(payload, rec); err != nil {
-		return nil, fmt.Errorf("%w: undecodable payload at offset %d: %v", ErrCorrupt, jr.good, err)
+		return nil, fmt.Errorf("%w: undecodable payload at offset %d: %w", ErrCorrupt, jr.good, err)
 	}
 	if err := rec.validate(); err != nil {
-		return nil, fmt.Errorf("%v (at offset %d)", err, jr.good)
+		return nil, fmt.Errorf("%w (at offset %d)", err, jr.good)
 	}
 	return rec, nil
 }
@@ -143,7 +143,7 @@ func Recover(path string) ([]*Record, Tail, error) {
 	if err != nil {
 		return nil, Tail{}, fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //fluidvet:allow syncerr read-only open; no buffered writes can be lost
 	return recoverFrom(f)
 }
 
@@ -175,23 +175,26 @@ func OpenAppend(path string) ([]*Record, Tail, *Writer, *os.File, error) {
 	}
 	recs, tail, err := recoverFrom(f)
 	if err != nil {
-		f.Close()
+		f.Close() //fluidvet:allow syncerr error path; the read failure being returned supersedes any close error
 		return nil, Tail{}, nil, nil, err
 	}
 	if len(recs) == 0 {
-		f.Close()
+		f.Close() //fluidvet:allow syncerr error path; nothing was written, the salvage failure is the error
+
 		reason := tail.Reason
 		if reason == nil {
 			reason = fmt.Errorf("%w: no records", ErrTornWrite)
 		}
-		return nil, tail, nil, nil, fmt.Errorf("journal: nothing salvageable in %s: %v", path, reason)
+		return nil, tail, nil, nil, fmt.Errorf("journal: nothing salvageable in %s: %w", path, reason)
 	}
 	if err := f.Truncate(tail.GoodBytes); err != nil {
-		f.Close()
+		f.Close() //fluidvet:allow syncerr error path; the truncate failure being returned supersedes any close error
+
 		return nil, Tail{}, nil, nil, fmt.Errorf("journal: truncating bad tail: %w", err)
 	}
 	if _, err := f.Seek(tail.GoodBytes, io.SeekStart); err != nil {
-		f.Close()
+		f.Close() //fluidvet:allow syncerr error path; the seek failure being returned supersedes any close error
+
 		return nil, Tail{}, nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	jw := &Writer{w: f, sync: f.Sync}

@@ -50,7 +50,7 @@ func Create(path string) (*Writer, *os.File, error) {
 	}
 	jw, err := NewWriter(f)
 	if err != nil {
-		f.Close()
+		f.Close() //fluidvet:allow syncerr error path; the header-write failure being returned supersedes any close error
 		return nil, nil, err
 	}
 	return jw, f, nil

@@ -92,6 +92,9 @@ func (c CostModel) Cost(cand Candidate) float64 {
 		cost += c.DegradePenalty
 	case RepairAbort:
 		cost += c.AbortPenalty
+	default:
+		// Retry/rescale/regen/replan carry no fixed penalty beyond their
+		// reagent and time terms.
 	}
 	return cost
 }

@@ -490,6 +490,9 @@ func run(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 			switch e.Kind {
 			case aquacore.EventRanOut, aquacore.EventOverflow, aquacore.EventSolveFailed:
 				out.Incidents = append(out.Incidents, Incident{Event: e})
+			default:
+				// Repair bookkeeping (retries, regens, replans) is not an
+				// incident; only unrepaired machine faults are.
 			}
 		}
 
@@ -577,6 +580,9 @@ func regenerate(m *aquacore.Machine, prog *ais.Program, g *dag.Graph, clusters m
 			}
 			m.RecordEvent(ev)
 			out.Incidents = append(out.Incidents, Incident{Event: ev})
+		default:
+			// Other events during replay (transfers, senses) are the
+			// regeneration working as intended, not a fault.
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"fmt"
+	"sort"
 
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
@@ -17,7 +18,8 @@ import (
 // of its mix is already realized at the old volumes, and rescaling only
 // the remaining draws would corrupt the blend ratios.
 func replanViable(prog *ais.Program, clusters map[int][2]int, pc int) bool {
-	for _, cl := range clusters {
+	for _, start := range sortedClusterStarts(clusters) {
+		cl := clusters[start]
 		if pc < cl[0] || pc >= cl[1] {
 			continue
 		}
@@ -121,8 +123,10 @@ func applyReplan(m *aquacore.Machine, prog *ais.Program, c *Compiled, pc, bounda
 			}
 		}
 	}
-	for p, v := range patches {
-		m.Patch(p, v)
+	// Patch in pc order so the machine's mutation sequence (and any
+	// trace of it) is identical across runs.
+	for _, p := range sortedPCs(patches) {
+		m.Patch(p, patches[p])
 	}
 
 	out.Replans++
@@ -142,4 +146,25 @@ func applyReplan(m *aquacore.Machine, prog *ais.Program, c *Compiled, pc, bounda
 		}
 	}
 	return true, nil
+}
+
+// sortedClusterStarts returns the cluster keys in increasing order, so
+// cluster scans visit ranges deterministically.
+func sortedClusterStarts(clusters map[int][2]int) []int {
+	keys := make([]int, 0, len(clusters))
+	for k := range clusters {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedPCs returns the patched pcs in increasing order.
+func sortedPCs(patches map[int]float64) []int {
+	pcs := make([]int, 0, len(patches))
+	for p := range patches {
+		pcs = append(pcs, p)
+	}
+	sort.Ints(pcs)
+	return pcs
 }
