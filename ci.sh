@@ -17,12 +17,23 @@ go vet ./...
 
 echo "== fluidvet =="
 # The repo's own analyzers (determinism, diagcode, errwrap, syncerr,
-# enumswitch) run through the same vet driver. The binary lands in the
-# build cache, so rebuilds after the first run are near-instant.
+# enumswitch, parallelsafe, globalstate, sharedcapture) run through the
+# same vet driver. The binary lands in the build cache, so rebuilds
+# after the first run are near-instant.
 vettmp=$(mktemp -d)
 trap 'rm -rf "$vettmp"' EXIT
 go build -o "$vettmp/fluidvet" ./cmd/fluidvet
 go vet -vettool="$vettmp/fluidvet" ./...
+
+echo "== fluidvet -json dump =="
+# Machine-readable findings dump (one JSON object per vetted package,
+# on the tool's stderr channel; '#' lines are go vet's package headers).
+# The gate is the plain run above — this dump always exits 0 and is
+# uploaded as a CI artifact so certification output can be diffed
+# across commits.
+go vet -vettool="$vettmp/fluidvet" -json ./... 2>&1 >/dev/null \
+    | grep -v '^#' >fluidvet-findings.json
+echo "wrote fluidvet-findings.json ($(wc -c <fluidvet-findings.json) bytes)"
 
 echo "== go build =="
 go build ./...

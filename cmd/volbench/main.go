@@ -3,14 +3,20 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan]
-//	         [-full] [-sweep N] [-seeds N]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver]
+//	         [-full] [-sweep N] [-seeds N] [-json FILE]
+//
+// -experiment solver measures the raw planning throughput/latency
+// baseline (plans/sec, p50/p99 per shipped assay and solver); with
+// -json it also writes the machine-readable report (BENCH_solver.json
+// at the repository root is the recorded trajectory).
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
 // roughly a gigabyte of tableau, which is the paper's point).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +29,29 @@ func main() {
 	full := flag.Bool("full", false, "include the long Enzyme10 LP solve")
 	sweep := flag.Int("sweep", 5, "max N for the EnzymeN scaling sweep")
 	seeds := flag.Int("seeds", 5, "seeds per cell in the robustness Monte-Carlo sweep")
+	jsonOut := flag.String("json", "", "write the solver experiment's machine-readable report to this file")
 	flag.Parse()
 
 	var tables []*bench.Table
 	switch *experiment {
+	case "solver":
+		t, report, err := bench.SolverBaseline()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solver baseline: %v\n", err)
+			os.Exit(1)
+		}
+		tables = []*bench.Table{t}
+		if *jsonOut != "" {
+			blob, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
 	case "all":
 		tables = bench.All(*full, *sweep)
 	case "fig5":

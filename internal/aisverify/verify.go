@@ -123,6 +123,11 @@ type verifier struct {
 // Verify checks p and returns its findings in program order: structural
 // errors first (which, when present, suppress the dataflow passes), then
 // dataflow findings by instruction index, then unreachable-code runs.
+//
+// Verify is certified parallel-safe: concurrent verifications are
+// race-free provided any caller-supplied Options.NodeVolume callback is.
+//
+//fluidvet:parallelsafe
 func Verify(p *ais.Program, opts Options) diag.List {
 	if opts.Config.MaxCapacity == 0 {
 		opts.Config = core.DefaultConfig()

@@ -212,6 +212,12 @@ func DefaultPasses() []Pass {
 // returning the aggregated, position-sorted findings. It returns a non-nil
 // error only when the inputs themselves are unusable (invalid config or
 // DAG) — an assay full of volume errors analyzes fine and reports them.
+//
+// Analyze is certified parallel-safe: concurrent lints are race-free
+// provided any caller-supplied Options.Passes are (the default pipeline
+// is).
+//
+//fluidvet:parallelsafe
 func Analyze(prog *elab.Program, cfg core.Config, opts Options) (diag.List, error) {
 	return run(&Context{Prog: prog, Graph: prog.Graph, Cfg: cfg, Opts: opts})
 }
@@ -237,8 +243,20 @@ func run(ctx *Context) (diag.List, error) {
 	}
 	var out diag.List
 	for _, p := range passes {
-		out = append(out, p.Run(ctx)...)
+		out = append(out, runPass(p, ctx)...)
 	}
 	out.Sort()
 	return out, nil
+}
+
+// runPass dispatches one pass through the Pass interface — the single
+// dynamic call on the certified Analyze path, isolated here so the
+// effect assertion trusts exactly this dispatch and nothing else. The
+// default passes (interval, skew, waste, divisibility) are in-package
+// pure analyses over the Context; caller-supplied passes must uphold
+// the same contract, which Options.Passes documents.
+//
+//fluidvet:effect reads-global,calls-param default passes are in-package pure analyses; Options.Passes extensions must be race-free per the field contract
+func runPass(p Pass, ctx *Context) diag.List {
+	return p.Run(ctx)
 }

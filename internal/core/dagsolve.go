@@ -147,6 +147,12 @@ func Dispense(v *Vnorms, cfg Config, avail Availability) (*Plan, error) {
 // Dispense, honoring cfg.SafetyMargin. For graphs without constrained
 // inputs avail may be nil; for statically-split inputs use
 // StaticAvailability(cfg).
+//
+// DAGSolve is certified reentrant: it writes no package-level state and
+// performs no IO, so concurrent calls — even over a shared, unmutated
+// graph — are race-free.
+//
+//fluidvet:parallelsafe
 func DAGSolve(g *dag.Graph, cfg Config, avail Availability) (*Plan, error) {
 	v, err := ComputeVnormsMargin(g, cfg.SafetyMargin)
 	if err != nil {

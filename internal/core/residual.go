@@ -63,6 +63,11 @@ func (rp *ResidualPlan) InputVolumes() map[int]float64 {
 // detail wrapped) when neither solver finds a feasible plan — including
 // when the residual still contains unknown-volume interior nodes, whose
 // measurements have not happened yet.
+//
+// SolveResidual is certified parallel-safe: concurrent replans are
+// race-free provided the live callback is.
+//
+//fluidvet:parallelsafe
 func SolveResidual(r *dag.Residual, cfg Config, live LiveVolume) (*ResidualPlan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

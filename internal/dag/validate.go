@@ -22,6 +22,12 @@ const fracTol = 1e-9
 //
 // It returns every violation found, joined into a single error (nil if the
 // graph is valid). Use ValidateAll to examine violations individually.
+//
+// Validate is certified parallel-safe: it only reads the graph, so any
+// number of goroutines may validate (distinct or shared, unmutated)
+// graphs concurrently.
+//
+//fluidvet:parallelsafe
 func (g *Graph) Validate() error {
 	return errors.Join(g.ValidateAll()...)
 }

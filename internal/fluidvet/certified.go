@@ -1,0 +1,28 @@
+package fluidvet
+
+// CertifiedEntryPoints is the canonical list of solver-core functions
+// that carry a //fluidvet:parallelsafe declaration directive. It is the
+// single source of truth three consumers check against:
+//
+//   - the certified-list meta-test verifies every entry here carries
+//     the directive in source (and that no directive exists outside
+//     this list), so the certificate cannot silently drift;
+//   - the concurrency smoke test hammers each entry point from many
+//     goroutines under -race, validating the static certificate
+//     dynamically;
+//   - the CI gate compares this list against the table documented in
+//     README.md ("Parallel-safety certification").
+//
+// Names are FullName forms as go/types renders them. The paper-facing
+// shorthand (README) maps dag.Validate to the (*dag.Graph).Validate
+// method, lp.Solve to (*lp.Problem).Solve, and analysis.Run to
+// analysis.Analyze — the repo's actual API names.
+var CertifiedEntryPoints = []string{
+	"aquavol/internal/core.DAGSolve",
+	"aquavol/internal/core.SolveResidual",
+	"(*aquavol/internal/lp.Problem).Solve",
+	"aquavol/internal/ilp.Solve",
+	"(*aquavol/internal/dag.Graph).Validate",
+	"aquavol/internal/analysis.Analyze",
+	"aquavol/internal/aisverify.Verify",
+}

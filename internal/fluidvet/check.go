@@ -48,6 +48,12 @@ func buildAllowTable(fset *token.FileSet, files []*ast.File, misuse func(Finding
 				if !strings.HasPrefix(c.Text, "//fluidvet:") {
 					continue
 				}
+				// Declaration directives (//fluidvet:effect,
+				// //fluidvet:parallelsafe) belong to the effect layer,
+				// which validates them itself.
+				if isEffectDirective(c.Text) {
+					continue
+				}
 				m := allowRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					misuse(Finding{
@@ -121,13 +127,19 @@ func analyzerNames() string {
 }
 
 // Check runs the analyzers over one type-checked package and returns
-// the surviving findings, sorted by position. Test files must already
-// have been excluded from files. The allow escape hatch is applied
-// here, uniformly for every analyzer, and its misuses are returned as
-// findings under the "allow" pseudo-analyzer.
-func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+// the surviving findings, sorted by (file, line, column, analyzer,
+// message) so `go vet -vettool` output is byte-stable across runs and
+// usable in golden tests. Test files must already have been excluded
+// from files. The allow escape hatch is applied here, uniformly for
+// every analyzer, and its misuses are returned as findings under the
+// "allow" pseudo-analyzer. Effect inference (which the parallelsafe,
+// globalstate, and sharedcapture analyzers consume) runs once per
+// package; deps supplies imported packages' effect facts (nil is fine
+// for single-package runs — externals fall back to the curated table).
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, deps EffectFacts) ([]Finding, *Effects, error) {
 	var out []Finding
 	tab := buildAllowTable(fset, files, func(f Finding) { out = append(out, f) })
+	effects := InferEffects(fset, files, pkg, info, deps, func(f Finding) { out = append(out, f) })
 
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -136,6 +148,7 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Effects:  effects,
 		}
 		pass.report = func(d Diagnostic) {
 			posn := fset.Position(d.Pos)
@@ -145,10 +158,17 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("fluidvet: %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("fluidvet: %s: %w", a.Name, err)
 		}
 	}
 
+	SortFindings(out)
+	return out, effects, nil
+}
+
+// SortFindings orders findings by (file, line, column, analyzer,
+// message) — the emission order every driver and test relies on.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -165,7 +185,6 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 		}
 		return a.Message < b.Message
 	})
-	return out, nil
 }
 
 // modulePath is the import-path prefix of this repository. The vet

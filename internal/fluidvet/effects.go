@@ -1,0 +1,1036 @@
+package fluidvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The effect system: an interprocedural, flow-insensitive inference of
+// what each function in the module may do to shared state. It is the
+// foundation the parallelsafe, globalstate, and sharedcapture analyzers
+// build on, and the mechanism by which //fluidvet:parallelsafe entry
+// points are certified data-race-free by construction.
+//
+// Every function gets a value in a small effect lattice:
+//
+//	pure < reads-global < writes-global / does-io / spawns-goroutine
+//
+// represented as a bitset so the join is a bitwise or. Effects are
+// inferred bottom-up: local effects come from the function body
+// (assignments to package-level variables, `go` statements, calls into
+// classified standard-library packages), callee effects are joined in
+// transitively by a fixed-point iteration over the strongly connected
+// components of the package's static call graph, and cross-package
+// effects flow through the go vet facts channel (each package's
+// summaries are serialized into its .vetx file and read back by its
+// dependents, so `go vet -vettool` gives whole-module transitive
+// closure for free, in dependency order).
+//
+// Unknown callees are worst-case by construction: a call through an
+// interface method or a function value that cannot be resolved
+// statically is assumed to read, write, do IO, and spawn — unless the
+// value is caller-bound (a parameter, or reached through one), in
+// which case the call contributes the distinct calls-param effect:
+// "as effectful as whatever the caller passes in". A caller that only
+// ever passes pure closures keeps a pure certificate. The escape hatch
+// for dispatch sites the human can vouch for is the declaration
+// directive
+//
+//	//fluidvet:effect <effect>[,<effect>...] <reason>
+//
+// which overrides inference for that one function (and is itself
+// validated: unknown effect names or a missing reason are findings).
+
+// Effect is a join-semilattice element: a set of effect bits. The zero
+// value is pure.
+type Effect uint8
+
+const (
+	// EffectReadsGlobal: reads a package-level variable (any package).
+	EffectReadsGlobal Effect = 1 << iota
+	// EffectWritesGlobal: writes a package-level variable, or mutates a
+	// map/slice held in one, without synchronization.
+	EffectWritesGlobal
+	// EffectIO: performs input/output (file system, process state,
+	// terminal) or calls into a standard-library package that does.
+	EffectIO
+	// EffectSpawns: starts a goroutine, directly or transitively.
+	EffectSpawns
+	// EffectCallsParam: calls through a caller-bound function value (a
+	// parameter or a value reached through one). The function is as
+	// effectful as the callbacks its caller supplies.
+	EffectCallsParam
+
+	// EffectPure is the lattice bottom.
+	EffectPure Effect = 0
+	// effectWorst is the lattice top: what an unresolvable callee is
+	// assumed to do.
+	effectWorst = EffectReadsGlobal | EffectWritesGlobal | EffectIO | EffectSpawns
+)
+
+// effectNames maps each bit to its surface name, in severity order.
+var effectNames = []struct {
+	bit  Effect
+	name string
+}{
+	{EffectReadsGlobal, "reads-global"},
+	{EffectWritesGlobal, "writes-global"},
+	{EffectIO, "does-io"},
+	{EffectSpawns, "spawns-goroutine"},
+	{EffectCallsParam, "calls-param"},
+}
+
+func (e Effect) String() string {
+	if e == EffectPure {
+		return "pure"
+	}
+	var parts []string
+	for _, en := range effectNames {
+		if e&en.bit != 0 {
+			parts = append(parts, en.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseEffect resolves one surface name to its bit. "pure" maps to the
+// zero effect.
+func parseEffect(name string) (Effect, bool) {
+	if name == "pure" {
+		return EffectPure, true
+	}
+	for _, en := range effectNames {
+		if en.name == name {
+			return en.bit, true
+		}
+	}
+	return 0, false
+}
+
+// A Step is one hop in the call path that witnesses an effect: either a
+// call ("core.DAGSolve calls lp.(*Problem).Solve") or the leaf cause
+// ("writes package-level var lp.pivotCache").
+type Step struct {
+	Desc string `json:"desc"`
+	Pos  string `json:"pos"`
+}
+
+// maxWitnessDepth bounds the length of a recorded call path so facts
+// files stay small; deeper chains are truncated with an ellipsis step.
+const maxWitnessDepth = 16
+
+// A Summary is the inferred (or asserted) effect of one function, with
+// one witness call path per effect bit explaining where it comes from.
+type Summary struct {
+	Effect  Effect            `json:"effect"`
+	Witness map[Effect][]Step `json:"witness,omitempty"`
+	// Asserted marks a summary fixed by a //fluidvet:effect directive
+	// rather than inferred; its witness is the directive itself.
+	Asserted bool `json:"asserted,omitempty"`
+}
+
+// witnessFor returns the recorded path for the severest effect bit in
+// mask that the summary carries.
+func (s *Summary) witnessFor(mask Effect) []Step {
+	for i := len(effectNames) - 1; i >= 0; i-- {
+		bit := effectNames[i].bit
+		if bit&mask != 0 && s.Effect&bit != 0 {
+			if w := s.Witness[bit]; w != nil {
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// EffectFacts is the serialized form of a package's summaries, keyed by
+// types.Func.FullName (e.g. "aquavol/internal/core.DAGSolve" or
+// "(*aquavol/internal/lp.Problem).Solve").
+type EffectFacts map[string]*Summary
+
+// Effects holds the inference result for one package: summaries for the
+// package's own functions plus the imported facts of its dependencies.
+type Effects struct {
+	pkg       *types.Package
+	summaries map[*types.Func]*Summary
+	deps      EffectFacts
+	// paramFuncs records, per function literal or declaration body,
+	// objects that are caller-bound function values (parameters of
+	// function type, and locals assigned from them).
+	callerBound map[types.Object]bool
+	// guardedOnce marks function-literal nodes whose body is an argument
+	// to (*sync.Once).Do: writes inside are synchronized by definition.
+	// lockHolders marks declared functions that acquire a sync.Mutex or
+	// RWMutex lock somewhere in their body; global writes inside them
+	// are treated as guarded (and left to human audit via the lock).
+	guardedOnce map[*ast.FuncLit]bool
+	lockHolders map[*ast.FuncDecl]bool
+}
+
+// Of returns the summary for fn, consulting local inference first, then
+// imported facts, then the curated standard-library table, and finally
+// the worst case. The returned summary is never nil.
+func (e *Effects) Of(fn *types.Func) *Summary {
+	if s, ok := e.summaries[fn]; ok {
+		return s
+	}
+	if s, ok := e.deps[fn.FullName()]; ok {
+		return s
+	}
+	return stdlibSummary(fn)
+}
+
+// OfName looks a summary up by FullName string (used by tests and the
+// certified-entry-point meta-checks).
+func (e *Effects) OfName(full string) (*Summary, bool) {
+	for fn, s := range e.summaries {
+		if fn.FullName() == full {
+			return s, true
+		}
+	}
+	s, ok := e.deps[full]
+	return s, ok
+}
+
+// Facts renders the package's own summaries for serialization into the
+// .vetx facts file consumed by dependent packages. Only exported-ish
+// reachability matters, but unexported functions are included too: a
+// dependent package never names them, and the size cost is small
+// compared to re-deriving paths.
+func (e *Effects) Facts() EffectFacts {
+	out := make(EffectFacts, len(e.summaries))
+	for fn, s := range e.summaries {
+		out[fn.FullName()] = s
+	}
+	return out
+}
+
+// stdlibClass classifies standard-library (and otherwise external)
+// packages by import path. Worst-case is the default for anything not
+// listed: externals are untrusted unless classified or annotated.
+//
+// The classification is about *data races and process effects*, not
+// determinism (the determinism analyzer owns that): time.Now is
+// race-safe, sync.Mutex.Lock is the whole point, fmt.Sprintf is pure.
+var stdlibClass = map[string]Effect{
+	// Pure computation and in-memory data structure packages.
+	"errors": EffectPure, "sort": EffectPure, "strings": EffectPure,
+	"strconv": EffectPure, "bytes": EffectPure, "unicode": EffectPure,
+	"unicode/utf8": EffectPure, "math": EffectPure, "math/bits": EffectPure,
+	"math/big": EffectPure, "slices": EffectPure, "maps": EffectPure,
+	"cmp": EffectPure, "container/heap": EffectPure, "container/list": EffectPure,
+	"hash": EffectPure, "hash/crc32": EffectPure, "crypto/sha256": EffectPure,
+	"encoding/json": EffectPure, "encoding/binary": EffectPure,
+	"regexp": EffectPure, "path": EffectPure, "path/filepath": EffectPure,
+	"go/token": EffectPure, "go/ast": EffectPure, "go/types": EffectPure,
+	// Synchronization primitives are race-safe by definition, and the
+	// wall clock is race-safe (determinism is a separate analyzer).
+	"sync": EffectPure, "sync/atomic": EffectPure, "time": EffectPure,
+	"reflect": EffectPure,
+	// IO-performing packages.
+	"os": EffectIO, "io": EffectIO, "io/fs": EffectIO, "bufio": EffectIO,
+	"log": EffectIO, "os/exec": EffectIO, "net": EffectIO, "syscall": EffectIO,
+	// The global PRNG is shared mutable state (rand.New et al. are
+	// carved out in stdlibSummary).
+	"math/rand":    EffectReadsGlobal | EffectWritesGlobal,
+	"math/rand/v2": EffectReadsGlobal | EffectWritesGlobal,
+}
+
+// fmtPure are the fmt functions that only build strings or values; the
+// rest of fmt writes to a writer or standard output.
+var fmtPure = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Sscanf": true, "Sscan": true, "Sscanln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+	"FormatString": true,
+}
+
+// seededRandFuncs are math/rand constructors and methods on explicitly
+// constructed generators — no global state involved.
+func isSeededRand(fn *types.Func) bool {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return true // methods on *rand.Rand / sources are instance state
+	}
+	return seededRandCtors[fn.Name()]
+}
+
+// stdlibSummary classifies one external function. The witness explains
+// the classification so certification findings stay readable.
+func stdlibSummary(fn *types.Func) *Summary {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return &Summary{Effect: EffectPure} // builtins, error.Error
+	}
+	path := pkg.Path()
+	var eff Effect
+	var why string
+	switch {
+	case path == "fmt":
+		if fmtPure[fn.Name()] {
+			return &Summary{Effect: EffectPure}
+		}
+		eff, why = EffectIO, fmt.Sprintf("fmt.%s writes to a stream", fn.Name())
+	case path == "math/rand" || path == "math/rand/v2":
+		if isSeededRand(fn) {
+			return &Summary{Effect: EffectPure}
+		}
+		eff = EffectReadsGlobal | EffectWritesGlobal
+		why = fmt.Sprintf("%s.%s uses the process-global PRNG", lastSegment(path), fn.Name())
+	default:
+		if class, ok := stdlibClass[path]; ok {
+			if class == EffectPure {
+				return &Summary{Effect: EffectPure}
+			}
+			eff, why = class, fmt.Sprintf("%s.%s is classified %s", lastSegment(path), fn.Name(), class)
+		} else {
+			eff, why = effectWorst, fmt.Sprintf("%s.%s is external and unclassified: assumed worst-case", path, fn.Name())
+		}
+	}
+	s := &Summary{Effect: eff, Witness: map[Effect][]Step{}}
+	for _, en := range effectNames {
+		if eff&en.bit != 0 {
+			s.Witness[en.bit] = []Step{{Desc: why}}
+		}
+	}
+	return s
+}
+
+// effectDirective is one parsed //fluidvet:effect or
+// //fluidvet:parallelsafe declaration directive.
+type effectDirective struct {
+	kind   string // "effect" or "parallelsafe"
+	effect Effect
+	reason string
+	pos    token.Pos
+}
+
+// parseEffectDirectives scans a declaration's doc comment. Misuses are
+// reported through misuse under the "effect" pseudo-analyzer.
+func parseEffectDirectives(fset *token.FileSet, doc *ast.CommentGroup, misuse func(Finding)) []effectDirective {
+	if doc == nil {
+		return nil
+	}
+	var out []effectDirective
+	for _, c := range doc.List {
+		switch {
+		case c.Text == "//fluidvet:parallelsafe":
+			out = append(out, effectDirective{kind: "parallelsafe", pos: c.Pos()})
+		case strings.HasPrefix(c.Text, "//fluidvet:parallelsafe"):
+			misuse(Finding{
+				Analyzer: "effect",
+				Pos:      fset.Position(c.Pos()),
+				Message:  fmt.Sprintf("malformed directive %q (want exactly //fluidvet:parallelsafe)", c.Text),
+			})
+		case strings.HasPrefix(c.Text, "//fluidvet:effect"):
+			rest := strings.TrimPrefix(c.Text, "//fluidvet:effect")
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				misuse(Finding{
+					Analyzer: "effect",
+					Pos:      fset.Position(c.Pos()),
+					Message:  "//fluidvet:effect needs an effect list and a reason: //fluidvet:effect <effect>[,<effect>] <reason>",
+				})
+				continue
+			}
+			var eff Effect
+			bad := false
+			for _, name := range strings.Split(fields[0], ",") {
+				bit, ok := parseEffect(name)
+				if !ok {
+					misuse(Finding{
+						Analyzer: "effect",
+						Pos:      fset.Position(c.Pos()),
+						Message:  fmt.Sprintf("//fluidvet:effect names unknown effect %q (valid: pure, reads-global, writes-global, does-io, spawns-goroutine, calls-param)", name),
+					})
+					bad = true
+					break
+				}
+				eff |= bit
+			}
+			if bad {
+				continue
+			}
+			out = append(out, effectDirective{kind: "effect", effect: eff, reason: strings.Join(fields[1:], " "), pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// isEffectDirective reports whether a //fluidvet: comment belongs to the
+// effect layer (so the allow-table scanner leaves it alone).
+func isEffectDirective(text string) bool {
+	return strings.HasPrefix(text, "//fluidvet:effect") ||
+		strings.HasPrefix(text, "//fluidvet:parallelsafe")
+}
+
+// syncType reports whether t (or the type it points to) is a sync
+// primitive whose methods and state are synchronization rather than
+// shared data: sync.Mutex, RWMutex, Once, WaitGroup, Map, Cond, Pool,
+// and the sync/atomic value types.
+func syncType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// packageLevelVar resolves expr's base object if it is a package-level
+// variable (of this or any imported package), excluding sync primitives.
+// For selector chains and index expressions (g.f[i].x) the *root* is
+// what decides: mutating anything reachable from a global mutates
+// global state.
+func packageLevelVar(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if !ok || v.Pkg() == nil {
+				return nil
+			}
+			// A package-level var's parent scope is the package scope.
+			if v.Parent() != v.Pkg().Scope() {
+				return nil
+			}
+			if syncType(v.Type()) {
+				return nil
+			}
+			return v
+		case *ast.SelectorExpr:
+			// Qualified identifier (pkg.Var) resolves through the Sel;
+			// field access recurses into the base.
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				if syncType(v.Type()) {
+					return nil
+				}
+				return v
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// InferEffects runs the whole inference for one package: local effect
+// collection, call-graph construction, SCC condensation, and fixed-point
+// propagation. deps supplies the facts of imported packages (nil is
+// fine: everything external falls back to the curated table or worst
+// case). Directive misuses are reported through misuse.
+func InferEffects(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps EffectFacts, misuse func(Finding)) *Effects {
+	e := &Effects{
+		pkg:         pkg,
+		summaries:   map[*types.Func]*Summary{},
+		deps:        deps,
+		callerBound: map[types.Object]bool{},
+		guardedOnce: map[*ast.FuncLit]bool{},
+		lockHolders: map[*ast.FuncDecl]bool{},
+	}
+	if e.deps == nil {
+		e.deps = EffectFacts{}
+	}
+
+	// Pass 1: collect declarations, directives, caller-bound values, and
+	// synchronization context.
+	type funcInfo struct {
+		fn    *types.Func
+		decl  *ast.FuncDecl
+		local *Summary                  // local effects + witnesses
+		calls map[*types.Func]token.Pos // same-package static callees
+	}
+	infos := map[*types.Func]*funcInfo{}
+	var order []*types.Func // declaration order, for deterministic iteration
+	asserted := map[*types.Func]*Summary{}
+
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{fn: fn, decl: fd, local: &Summary{Witness: map[Effect][]Step{}}, calls: map[*types.Func]token.Pos{}}
+			infos[fn] = fi
+			order = append(order, fn)
+
+			for _, d := range parseEffectDirectives(fset, fd.Doc, misuse) {
+				if d.kind == "effect" {
+					s := &Summary{Effect: d.effect, Asserted: true, Witness: map[Effect][]Step{}}
+					for _, en := range effectNames {
+						if d.effect&en.bit != 0 {
+							s.Witness[en.bit] = []Step{{
+								Desc: fmt.Sprintf("%s is asserted %s by //fluidvet:effect (%s)", funcDisplayName(fn), d.effect, d.reason),
+								Pos:  fset.Position(d.pos).String(),
+							}}
+						}
+					}
+					asserted[fn] = s
+				}
+			}
+
+			// Parameters of function type are caller-bound.
+			sig := fn.Type().(*types.Signature)
+			markCallerBoundParams(e, sig)
+			if fd.Body != nil {
+				collectCallerBoundLocals(e, info, fd.Body)
+				markSyncContexts(e, info, fd)
+			}
+		}
+	}
+
+	// Pass 2: per-function local effects and call edges.
+	for _, fn := range order {
+		fi := infos[fn]
+		if fi.decl.Body == nil {
+			continue
+		}
+		w := &effectWalker{
+			fset:   fset,
+			info:   info,
+			pkg:    pkg,
+			eff:    e,
+			fn:     fn,
+			out:    fi.local,
+			calls:  fi.calls,
+			decl:   fi.decl,
+			locked: e.lockHolders[fi.decl],
+		}
+		w.walkBody(fi.decl.Body)
+	}
+
+	// Pass 3: SCC condensation of the same-package call graph (Tarjan),
+	// then fixed-point propagation in reverse topological order. Within
+	// an SCC the members iterate to a fixed point (the lattice is finite
+	// and the join monotone, so this terminates quickly).
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	var sccs [][]*types.Func
+	next := 0
+	var strongconnect func(fn *types.Func)
+	strongconnect = func(fn *types.Func) {
+		index[fn] = next
+		low[fn] = next
+		next++
+		stack = append(stack, fn)
+		onStack[fn] = true
+		fi := infos[fn]
+		// Deterministic edge order: sort callees by name.
+		callees := make([]*types.Func, 0, len(fi.calls))
+		for c := range fi.calls {
+			if _, same := infos[c]; same {
+				callees = append(callees, c)
+			}
+		}
+		sort.Slice(callees, func(i, j int) bool { return callees[i].FullName() < callees[j].FullName() })
+		for _, c := range callees {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				low[fn] = min(low[fn], low[c])
+			} else if onStack[c] {
+				low[fn] = min(low[fn], index[c])
+			}
+		}
+		if low[fn] == index[fn] {
+			var scc []*types.Func
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == fn {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, fn := range order {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+
+	// Tarjan emits SCCs in reverse topological order (callees before
+	// callers), which is exactly the propagation order we need.
+	for _, scc := range sccs {
+		// Seed each member with its assertion or local summary.
+		for _, fn := range scc {
+			if s, ok := asserted[fn]; ok {
+				e.summaries[fn] = s
+				continue
+			}
+			fi := infos[fn]
+			e.summaries[fn] = &Summary{
+				Effect:  fi.local.Effect,
+				Witness: cloneWitness(fi.local.Witness),
+			}
+		}
+		// Fixed point over the SCC: join callee summaries until stable.
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range scc {
+				if _, isAsserted := asserted[fn]; isAsserted {
+					continue
+				}
+				s := e.summaries[fn]
+				fi := infos[fn]
+				callees := make([]*types.Func, 0, len(fi.calls))
+				for c := range fi.calls {
+					callees = append(callees, c)
+				}
+				sort.Slice(callees, func(i, j int) bool { return callees[i].FullName() < callees[j].FullName() })
+				for _, c := range callees {
+					cs := e.Of(c)
+					add := cs.Effect &^ s.Effect
+					if add == 0 {
+						continue
+					}
+					s.Effect |= add
+					pos := fset.Position(fi.calls[c])
+					for _, en := range effectNames {
+						if add&en.bit == 0 {
+							continue
+						}
+						step := Step{
+							Desc: fmt.Sprintf("%s calls %s", funcDisplayName(fn), funcDisplayName(c)),
+							Pos:  pos.String(),
+						}
+						path := append([]Step{step}, cs.Witness[en.bit]...)
+						if len(path) > maxWitnessDepth {
+							path = append(path[:maxWitnessDepth], Step{Desc: "..."})
+						}
+						s.Witness[en.bit] = path
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	return e
+}
+
+func cloneWitness(w map[Effect][]Step) map[Effect][]Step {
+	out := make(map[Effect][]Step, len(w))
+	for k, v := range w {
+		out[k] = append([]Step(nil), v...)
+	}
+	return out
+}
+
+// markCallerBoundParams registers a signature's function-typed
+// parameters as caller-bound values.
+func markCallerBoundParams(e *Effects, sig *types.Signature) {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if _, ok := p.Type().Underlying().(*types.Signature); ok {
+			e.callerBound[p] = true
+		}
+	}
+}
+
+// collectCallerBoundLocals marks locals assigned directly from a
+// caller-bound value (v := param; v(...)), one level of copying deep —
+// enough for the repo's idioms without building full dataflow.
+func collectCallerBoundLocals(e *Effects, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if robj := info.Uses[rhs]; robj != nil && e.callerBound[robj] {
+				if lobj := info.Defs[lhs]; lobj != nil {
+					e.callerBound[lobj] = true
+				} else if lobj := info.Uses[lhs]; lobj != nil {
+					e.callerBound[lobj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markSyncContexts records (a) function literals passed to
+// (*sync.Once).Do and (b) whether the declaration acquires a mutex lock
+// anywhere — the two synchronization shapes under which a global write
+// does not count as an unsynchronized race.
+func markSyncContexts(e *Effects, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return true
+		}
+		recvName := recvTypeName(recv.Type())
+		switch {
+		case recvName == "Once" && fn.Name() == "Do" && len(call.Args) == 1:
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				e.guardedOnce[lit] = true
+			}
+		case (recvName == "Mutex" || recvName == "RWMutex") && (fn.Name() == "Lock" || fn.Name() == "RLock"):
+			e.lockHolders[fd] = true
+		}
+		return true
+	})
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// funcDisplayName renders a function for findings: package-qualified but
+// with the module prefix shortened to the package's base name.
+func funcDisplayName(fn *types.Func) string {
+	full := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil {
+		full = strings.ReplaceAll(full, pkg.Path(), lastSegment(pkg.Path()))
+	}
+	return full
+}
+
+// effectWalker accumulates the local effects of one function body.
+type effectWalker struct {
+	fset   *token.FileSet
+	info   *types.Info
+	pkg    *types.Package
+	eff    *Effects
+	fn     *types.Func
+	out    *Summary
+	calls  map[*types.Func]token.Pos
+	decl   *ast.FuncDecl
+	locked bool // the function acquires a mutex: its writes are guarded
+}
+
+// add records effect bits with a leaf witness for each newly-set bit.
+func (w *effectWalker) add(bits Effect, pos token.Pos, desc string) {
+	newBits := bits &^ w.out.Effect
+	if newBits == 0 {
+		return
+	}
+	w.out.Effect |= newBits
+	step := []Step{{
+		Desc: fmt.Sprintf("%s %s", funcDisplayName(w.fn), desc),
+		Pos:  w.fset.Position(pos).String(),
+	}}
+	for _, en := range effectNames {
+		if newBits&en.bit != 0 {
+			w.out.Witness[en.bit] = step
+		}
+	}
+}
+
+// walkBody traverses the body including nested function literals
+// (effects of a closure are attributed to the function that creates it:
+// conservative, and sound for certification).
+func (w *effectWalker) walkBody(body *ast.BlockStmt) {
+	w.walkNode(body, false)
+}
+
+func (w *effectWalker) walkNode(root ast.Node, guarded bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Recurse manually so the guarded flag tracks Once.Do bodies.
+			w.walkNode(n.Body, guarded || w.eff.guardedOnce[n])
+			return false
+		case *ast.GoStmt:
+			w.add(EffectSpawns, n.Pos(), "starts a goroutine")
+			return true
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				w.checkWrite(lhs, guarded)
+			}
+			return true
+		case *ast.IncDecStmt:
+			w.checkWrite(n.X, guarded)
+			return true
+		case *ast.UnaryExpr:
+			// Taking the address of a package-level var leaks a mutable
+			// reference; treat as a write (conservative).
+			if n.Op == token.AND {
+				w.checkWrite(n.X, guarded)
+			}
+			return true
+		case *ast.Ident:
+			if v, ok := w.info.Uses[n].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && !syncType(v.Type()) {
+				w.add(EffectReadsGlobal, n.Pos(), fmt.Sprintf("reads package-level var %s.%s", lastSegment(v.Pkg().Path()), v.Name()))
+			}
+			return true
+		case *ast.CallExpr:
+			return w.checkCall(n, guarded)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies an assignment target.
+func (w *effectWalker) checkWrite(lhs ast.Expr, guarded bool) {
+	v := packageLevelVar(w.info, lhs)
+	if v == nil {
+		return
+	}
+	if guarded || w.locked {
+		// Synchronized writes still read/publish shared state.
+		w.add(EffectReadsGlobal, lhs.Pos(), fmt.Sprintf("writes package-level var %s.%s under synchronization", lastSegment(v.Pkg().Path()), v.Name()))
+		return
+	}
+	w.add(EffectWritesGlobal, lhs.Pos(), fmt.Sprintf("writes package-level var %s.%s", lastSegment(v.Pkg().Path()), v.Name()))
+}
+
+// checkCall classifies one call site. The return value tells the walk
+// whether to descend into the call's children (false only for
+// sync/atomic calls, whose &global operands are synchronized accesses,
+// not unguarded writes).
+func (w *effectWalker) checkCall(call *ast.CallExpr, guarded bool) bool {
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions (T(x), pkg.T(x), (*T)(x)) are pure.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+
+	// Builtins: delete(g, k) on a global is a write; the rest are pure.
+	// Conversions are pure.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete":
+				if len(call.Args) > 0 {
+					w.checkWrite(call.Args[0], guarded)
+				}
+			case "print", "println":
+				w.add(EffectIO, call.Pos(), fmt.Sprintf("calls builtin %s", b.Name()))
+			}
+			return true
+		}
+		if _, isType := w.info.Uses[id].(*types.TypeName); isType {
+			return true
+		}
+	}
+
+	// Statically resolved function or method?
+	var callee *types.Func
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		callee, _ = w.info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Interface dispatch is dynamic; concrete methods are static.
+				if isInterfaceRecv(sel) {
+					w.dynamicCall(call, fn)
+					return true
+				}
+				callee = fn
+			}
+		} else if fn, ok := w.info.Uses[fun.Sel].(*types.Func); ok {
+			callee = fn // qualified identifier pkg.F
+		}
+	case *ast.FuncLit:
+		return true // immediate invocation: body effects counted by the walk
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation f[T](...) — resolve the underlying ident.
+		var base ast.Expr
+		if ix, ok := fun.(*ast.IndexExpr); ok {
+			base = ix.X
+		} else {
+			base = fun.(*ast.IndexListExpr).X
+		}
+		switch b := ast.Unparen(base).(type) {
+		case *ast.Ident:
+			callee, _ = w.info.Uses[b].(*types.Func)
+		case *ast.SelectorExpr:
+			callee, _ = w.info.Uses[b.Sel].(*types.Func)
+		}
+	}
+
+	if callee == nil {
+		// A call through a function value. Caller-bound values get the
+		// calls-param effect; anything else is worst-case.
+		if w.isCallerBound(fun) {
+			w.add(EffectCallsParam, call.Pos(), "calls a caller-supplied function value")
+		} else {
+			w.add(effectWorst, call.Pos(), "calls through an unresolvable function value: assumed worst-case")
+		}
+		return true
+	}
+
+	// sync/atomic operands are synchronized accesses of their targets:
+	// record a read and keep the walk out of the &global arguments.
+	if p := callee.Pkg(); p != nil && p.Path() == "sync/atomic" {
+		for _, arg := range call.Args {
+			if v := packageLevelVar(w.info, arg); v != nil {
+				w.add(EffectReadsGlobal, arg.Pos(), fmt.Sprintf("accesses package-level var %s.%s atomically", lastSegment(v.Pkg().Path()), v.Name()))
+			}
+		}
+		return false
+	}
+
+	if callee.Pkg() == w.pkg {
+		// Same package: record a call-graph edge for the fixed point.
+		if _, ok := w.calls[callee]; !ok {
+			w.calls[callee] = call.Pos()
+		}
+		return true
+	}
+
+	// Cross-package: join facts (module deps) or the curated table.
+	s := w.eff.Of(callee)
+	eff := s.Effect
+	if guarded || w.locked {
+		// Inside a synchronized region a callee's global writes are
+		// guarded at this site (the lazily-initialized-map idiom).
+		if eff&EffectWritesGlobal != 0 {
+			eff = (eff &^ EffectWritesGlobal) | EffectReadsGlobal
+		}
+	}
+	add := eff &^ w.out.Effect
+	if add == 0 {
+		return true
+	}
+	w.out.Effect |= add
+	pos := w.fset.Position(call.Pos())
+	for _, en := range effectNames {
+		if add&en.bit == 0 {
+			continue
+		}
+		step := Step{
+			Desc: fmt.Sprintf("%s calls %s", funcDisplayName(w.fn), funcDisplayName(callee)),
+			Pos:  pos.String(),
+		}
+		path := append([]Step{step}, s.Witness[en.bit]...)
+		if len(path) > maxWitnessDepth {
+			path = append(path[:maxWitnessDepth], Step{Desc: "..."})
+		}
+		w.out.Witness[en.bit] = path
+	}
+	return true
+}
+
+// isCallerBound reports whether the callee expression denotes a
+// caller-bound function value: a parameter, a local copied from one, or
+// a field of function type reached through a parameter or local struct
+// (opts.Callback, v.opts.Callback).
+func (w *effectWalker) isCallerBound(fun ast.Expr) bool {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		obj := w.info.Uses[fun]
+		if obj == nil {
+			return false
+		}
+		if w.eff.callerBound[obj] {
+			return true
+		}
+		// Any non-package-level variable of function type: a local or
+		// parameter whose closure origin was attributed at creation.
+		if v, ok := obj.(*types.Var); ok {
+			return v.Pkg() == nil || v.Parent() != v.Pkg().Scope()
+		}
+		return false
+	case *ast.SelectorExpr:
+		// A func-typed field is caller-bound iff its base chain roots in
+		// a non-global variable (struct carried by value/pointer from
+		// the caller, or built locally from caller data).
+		return packageLevelVar(w.info, fun) == nil && rootIsVar(w.info, fun.X)
+	}
+	return false
+}
+
+// rootIsVar reports whether the expression's base chain bottoms out in a
+// plain variable (as opposed to a call result or literal, which could
+// hide arbitrary origin — those stay worst-case).
+func rootIsVar(info *types.Info, expr ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			_, ok := info.Uses[e].(*types.Var)
+			return ok
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// isInterfaceRecv reports whether a method selection dispatches through
+// an interface. error.Error and fmt.Stringer.String are conventionally
+// pure and carved out by the caller via stdlibSummary (their *types.Func
+// has no body anywhere).
+func isInterfaceRecv(sel *types.Selection) bool {
+	if sel.Kind() != types.MethodVal && sel.Kind() != types.MethodExpr {
+		return false
+	}
+	return types.IsInterface(sel.Recv())
+}
+
+// dynamicCall handles an interface-method call site.
+func (w *effectWalker) dynamicCall(call *ast.CallExpr, fn *types.Func) {
+	// Conventionally-pure interface methods: error.Error, Stringer.
+	if fn.Name() == "Error" || fn.Name() == "String" {
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); ok && b.Kind() == types.String {
+				return
+			}
+		}
+	}
+	w.add(effectWorst, call.Pos(), fmt.Sprintf("calls interface method %s dynamically: assumed worst-case (annotate the dispatch site with //fluidvet:effect if audited)", fn.Name()))
+}

@@ -61,12 +61,16 @@ type Analyzer struct {
 // A Pass is one analyzer applied to one package. The driver constructs
 // it with full type information; Files holds the package's non-test
 // files only (test files may use wall clocks and raw codes freely).
+// Effects is the package's interprocedural effect-inference result
+// (with imported facts joined in); it is computed once per package and
+// shared by every analyzer in the run.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Effects  *Effects
 
 	report func(Diagnostic)
 }
@@ -100,6 +104,9 @@ func All() []*Analyzer {
 		ErrWrap,
 		SyncErr,
 		EnumSwitch,
+		ParallelSafe,
+		GlobalState,
+		SharedCapture,
 	}
 }
 

@@ -1,0 +1,127 @@
+package fluidvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GlobalState enforces that package-level mutable state in the solver
+// core is effectively-const or sync-guarded. The certified entry points
+// (parallelsafe) run concurrently; a package map lazily populated on
+// first solve, or a counter bumped per call, is a data race the happy
+// path never trips. In the packages below, a package-level variable may
+// be assigned in its declaration and in init functions, and mutated
+// under synchronization (inside a (*sync.Once).Do body, or in a
+// function that acquires a sync.Mutex/RWMutex); every other write is a
+// finding. Variables of sync primitive types are exempt — they are the
+// synchronization.
+var GlobalState = &Analyzer{
+	Name: "globalstate",
+	Doc:  "package-level state in the solver core must be effectively-const or sync-guarded",
+	Run:  runGlobalState,
+}
+
+// solverCore is the set of package directory names whose package-level
+// state must be effectively-const: the packages reachable from the
+// //fluidvet:parallelsafe entry points.
+var solverCore = map[string]bool{
+	"core":      true,
+	"lp":        true,
+	"ilp":       true,
+	"dag":       true,
+	"analysis":  true,
+	"aisverify": true,
+}
+
+func runGlobalState(pass *Pass) error {
+	if !solverCore[lastSegment(pass.Pkg.Path())] {
+		return nil
+	}
+	eff := pass.Effects
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				continue // initialization before main is single-threaded
+			}
+			locked := eff != nil && eff.lockHolders[fd]
+			checkGlobalWrites(pass, fd.Body, locked)
+		}
+	}
+	return nil
+}
+
+// checkGlobalWrites walks one function body reporting unguarded writes
+// to package-level variables. Function literals inherit the guard when
+// they are (*sync.Once).Do bodies.
+func checkGlobalWrites(pass *Pass, body ast.Node, guarded bool) {
+	report := func(pos token.Pos, v *types.Var, how string) {
+		if guarded {
+			return
+		}
+		pass.Reportf(pos,
+			"package-level %s.%s is %s outside init and without synchronization: make it effectively-const, or guard it with a sync.Once/sync.Mutex so the certified solver entry points stay data-race-free",
+			lastSegment(v.Pkg().Path()), v.Name(), how)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g := guarded
+			if pass.Effects != nil && pass.Effects.guardedOnce[n] {
+				g = true
+			}
+			checkGlobalWrites(pass, n.Body, g)
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if v := packageLevelVar(pass.Info, lhs); v != nil {
+					how := "reassigned"
+					if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+						how = "mutated (element write)"
+					} else if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+						how = "mutated (field write)"
+					}
+					report(lhs.Pos(), v, how)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := packageLevelVar(pass.Info, n.X); v != nil {
+				report(n.X.Pos(), v, "incremented/decremented")
+			}
+		case *ast.CallExpr:
+			// delete(globalMap, k) mutates; sync/atomic accesses are
+			// synchronized by definition (skip their &global operands).
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) > 0 {
+					if v := packageLevelVar(pass.Info, n.Args[0]); v != nil {
+						report(n.Args[0].Pos(), v, "mutated (delete)")
+					}
+					return true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// &globalVar escaping into arbitrary code is a mutable
+			// alias; the effect layer treats it as a write, and so does
+			// this analyzer.
+			if n.Op == token.AND {
+				if v := packageLevelVar(pass.Info, n.X); v != nil {
+					report(n.X.Pos(), v, "aliased (&) into mutable context")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,90 @@
+package fluidvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ParallelSafe certifies annotated entry points data-race-free by
+// construction. A function carrying the declaration directive
+//
+//	//fluidvet:parallelsafe
+//
+// must be transitively free of unsynchronized package-level writes,
+// IO, and goroutine spawns, as established by the interprocedural
+// effect inference (see effects.go). Reads of package-level state are
+// permitted — shared immutable tables are how the solver core is built
+// — and calls through caller-supplied function values are permitted
+// with the contract that the certificate extends only to callers that
+// pass race-free callbacks (the concurrency smoke test does exactly
+// that). Violations print the full offending call path so the finding
+// reads as a proof trace: entry → ... → leaf cause.
+var ParallelSafe = &Analyzer{
+	Name: "parallelsafe",
+	Doc:  "certify //fluidvet:parallelsafe entry points transitively free of global writes, IO, and goroutine spawns",
+	Run:  runParallelSafe,
+}
+
+// forbiddenInParallel are the effect bits a certified entry point must
+// not have.
+const forbiddenInParallel = EffectWritesGlobal | EffectIO | EffectSpawns
+
+func runParallelSafe(pass *Pass) error {
+	if pass.Effects == nil {
+		return fmt.Errorf("parallelsafe requires effect inference")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			hasDirective := false
+			for _, c := range fd.Doc.List {
+				if c.Text == "//fluidvet:parallelsafe" {
+					hasDirective = true
+				}
+			}
+			if !hasDirective {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := pass.Effects.Of(fn)
+			bad := s.Effect & forbiddenInParallel
+			if bad == 0 {
+				continue
+			}
+			for _, en := range effectNames {
+				if bad&en.bit == 0 {
+					continue
+				}
+				pass.Reportf(fd.Name.Pos(),
+					"%s is declared //fluidvet:parallelsafe but is %s: %s",
+					funcDisplayName(fn), en.name, renderPath(s.Witness[en.bit]))
+			}
+		}
+	}
+	return nil
+}
+
+// renderPath flattens a witness call path into a single-line proof
+// trace: "a (pos) calls b -> b (pos) calls c -> c (pos) writes x".
+func renderPath(path []Step) string {
+	if len(path) == 0 {
+		return "(no witness recorded)"
+	}
+	parts := make([]string, len(path))
+	for i, s := range path {
+		if s.Pos != "" {
+			parts[i] = fmt.Sprintf("%s (%s)", s.Desc, s.Pos)
+		} else {
+			parts[i] = s.Desc
+		}
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,398 @@
+package fluidvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedCapture flags goroutine bodies that capture addressable
+// variables also touched outside the goroutine without synchronization
+// — the race shape `go vet`'s own loopclosure check no longer covers
+// now that loop variables are per-iteration. Two shapes are findings:
+//
+//   - a captured variable written inside the goroutine body and used
+//     (read or written) outside it in the enclosing function: the
+//     write races with the outer use unless synchronized;
+//   - a captured variable written outside the goroutine after the
+//     spawn point (or anywhere in the surrounding loop when the spawn
+//     sits in one) and used inside it.
+//
+// Synchronization that silences the finding: the captured variable has
+// a channel/sync type, every inside write goes through sync/atomic, a
+// captured map/slice is only written through per-key/per-index element
+// writes into a slice (the fan-out-into-distinct-elements idiom —
+// element writes into a captured *map* still race and are flagged), or
+// both sides lock. Function values passed to spawning APIs (callees
+// whose inferred effect includes spawns-goroutine) are analyzed like
+// `go` statement bodies.
+var SharedCapture = &Analyzer{
+	Name: "sharedcapture",
+	Doc:  "goroutine closures must not capture variables written elsewhere without synchronization",
+	Run:  runSharedCapture,
+}
+
+func runSharedCapture(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Collect every goroutine-body literal in this function:
+			// direct `go func(){...}()` and literals handed to spawning
+			// callees.
+			type spawn struct {
+				lit    *ast.FuncLit
+				pos    token.Pos
+				inLoop bool
+			}
+			var spawns []spawn
+			var loopStack []ast.Node
+			var visit func(n ast.Node) bool
+			visit = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loopStack = append(loopStack, n)
+					ast.Inspect(loopBody(n), visit)
+					loopStack = loopStack[:len(loopStack)-1]
+					return false
+				case *ast.GoStmt:
+					if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+						spawns = append(spawns, spawn{lit: lit, pos: n.Pos(), inLoop: len(loopStack) > 0})
+					}
+					return true
+				case *ast.CallExpr:
+					if pass.Effects == nil {
+						return true
+					}
+					if fn := calleeFunc(pass, n); fn != nil {
+						// Only positively-inferred spawners count as spawning
+						// APIs. A fully worst-case-widened callee (unknown or
+						// dynamic) carries the spawns bit by assumption, not
+						// evidence — treating it as a spawner would turn every
+						// closure handed to e.g. ast.Inspect or sort.Slice
+						// into a goroutine body. parallelsafe still surfaces
+						// the widened callee itself at certified call sites.
+						eff := pass.Effects.Of(fn).Effect
+						if eff&EffectSpawns != 0 && eff&effectWorst != effectWorst {
+							for _, arg := range n.Args {
+								if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+									spawns = append(spawns, spawn{lit: lit, pos: n.Pos(), inLoop: len(loopStack) > 0})
+								}
+							}
+						}
+					}
+					return true
+				}
+				return true
+			}
+			ast.Inspect(fd.Body, visit)
+
+			for _, sp := range spawns {
+				checkCaptures(pass, fd, sp.lit, sp.pos, sp.inLoop)
+			}
+		}
+	}
+	return nil
+}
+
+func loopBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return n
+}
+
+// accessKind summarizes how one variable is touched at one site.
+type accessKind struct {
+	write   bool
+	atomic  bool
+	element bool // write through an index/field, not to the var itself
+	mapElem bool // element write into a map
+}
+
+// checkCaptures analyzes one goroutine-body literal.
+func checkCaptures(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit, spawnPos token.Pos, inLoop bool) {
+	// A captured object: declared in the enclosing function (not inside
+	// the literal, not package-level), used inside the literal.
+	insideWrites := map[*types.Var][]accessKind{}
+	insideReads := map[*types.Var]bool{}
+	capturedSet := map[*types.Var]bool{}
+
+	isLocalVar := func(obj types.Object) *types.Var {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return nil
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return nil // package-level: globalstate/effects territory
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil // declared inside the literal (incl. its params)
+		}
+		if !posWithin(v.Pos(), fd) {
+			return nil // not from this function (e.g. receiver of elsewhere)
+		}
+		return v
+	}
+
+	collectAccesses(pass, lit.Body, func(v *types.Var, a accessKind) {
+		if lv := isLocalVar(v); lv != nil {
+			capturedSet[lv] = true
+			if a.write {
+				insideWrites[lv] = append(insideWrites[lv], a)
+			} else {
+				insideReads[lv] = true
+			}
+		}
+	})
+
+	// Outside accesses: the rest of the function body, excluding the
+	// literal itself. Writes in a for-loop post statement to the loop's
+	// own init-declared variables are exempt: loop variables are
+	// per-iteration (Go ≥ 1.22), so the header increment operates on each
+	// ending iteration's own copy and cannot race with a captured one.
+	perIter := perIterationPosts(pass, fd.Body)
+	outsideWrites := map[*types.Var][]token.Pos{}
+	outsideReads := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() >= lit.Pos() && n.End() <= lit.End() {
+			return false // inside the literal
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if v := baseLocalVar(pass, lhs); v != nil && !perIter[lhs.Pos()] {
+					outsideWrites[v] = append(outsideWrites[v], lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := baseLocalVar(pass, n.X); v != nil && !perIter[n.X.Pos()] {
+				outsideWrites[v] = append(outsideWrites[v], n.X.Pos())
+			}
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[n].(*types.Var); ok {
+				outsideReads[v] = true
+			}
+		}
+		return true
+	})
+
+	synced := func(v *types.Var) bool {
+		if syncType(v.Type()) {
+			return true
+		}
+		if _, isChan := v.Type().Underlying().(*types.Chan); isChan {
+			return true
+		}
+		// Both sides lock: crude but auditable — the enclosing function
+		// acquires a mutex somewhere.
+		if pass.Effects != nil && pass.Effects.lockHolders[fd] {
+			return true
+		}
+		return false
+	}
+
+	// Deterministic report order: sort captured variables by position.
+	vars := make([]*types.Var, 0, len(capturedSet))
+	for v := range capturedSet {
+		vars = append(vars, v)
+	}
+	sortVarsByPos(vars)
+
+	for _, v := range vars {
+		if synced(v) {
+			continue
+		}
+		var hasDirectWrite, hasMapElemWrite bool
+		allAtomic := true
+		anyWrite := false
+		for _, a := range insideWrites[v] {
+			anyWrite = true
+			if !a.atomic {
+				allAtomic = false
+			}
+			if !a.element {
+				hasDirectWrite = true
+			}
+			if a.mapElem {
+				hasMapElemWrite = true
+			}
+		}
+		switch {
+		case anyWrite && allAtomic:
+			continue
+		case hasDirectWrite && (outsideReads[v] || len(outsideWrites[v]) > 0):
+			pass.Reportf(spawnPos,
+				"goroutine captures %q and writes it while the enclosing function also uses it: unsynchronized shared capture races; communicate the result over a channel, use sync/atomic, or guard both sides with a mutex", v.Name())
+		case hasMapElemWrite:
+			pass.Reportf(spawnPos,
+				"goroutine writes into captured map %q: concurrent map writes race (and fault); give each goroutine its own slice element or guard the map with a mutex", v.Name())
+		case insideReads[v] && writesAfter(outsideWrites[v], spawnPos, inLoop):
+			pass.Reportf(spawnPos,
+				"goroutine reads captured %q, which the enclosing function writes after the spawn: unsynchronized shared capture races; pass the value as an argument or synchronize the write", v.Name())
+		}
+	}
+}
+
+func sortVarsByPos(vars []*types.Var) {
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j].Pos() < vars[j-1].Pos(); j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+}
+
+// perIterationPosts collects the write positions in for-loop post
+// statements that target the loop's own init-declared variables. Per
+// Go's per-iteration loop-variable semantics these writes do not race
+// with a goroutine's captured incarnation, so the outside-write scan
+// skips them. Writes in a post statement to *outer* variables
+// (`for ; ; total++`) are still real shared writes and stay in.
+func perIterationPosts(pass *Pass, body ast.Node) map[token.Pos]bool {
+	skip := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		f, ok := n.(*ast.ForStmt)
+		if !ok || f.Post == nil || f.Init == nil {
+			return true
+		}
+		mark := func(x ast.Expr) {
+			if v := baseLocalVar(pass, x); v != nil && v.Pos() >= f.Init.Pos() && v.Pos() <= f.Init.End() {
+				skip[x.Pos()] = true
+			}
+		}
+		switch p := f.Post.(type) {
+		case *ast.IncDecStmt:
+			mark(p.X)
+		case *ast.AssignStmt:
+			if p.Tok != token.DEFINE {
+				for _, lhs := range p.Lhs {
+					mark(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return skip
+}
+
+// writesAfter reports whether any outside write lands after the spawn
+// point — or anywhere, when the spawn is inside a loop (a write before
+// the go statement in iteration i races with iteration i-1's goroutine).
+func writesAfter(writes []token.Pos, spawnPos token.Pos, inLoop bool) bool {
+	for _, w := range writes {
+		if inLoop || w > spawnPos {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAccesses walks a goroutine body and reports each access to a
+// variable: writes (direct, element, atomic) and reads.
+func collectAccesses(pass *Pass, body ast.Node, report func(*types.Var, accessKind)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				reportWrite(pass, lhs, false, report)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(pass, n.X, false, report)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+					for _, arg := range n.Args {
+						reportWrite(pass, stripAddr(arg), true, report)
+					}
+					return false
+				}
+			}
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[n].(*types.Var); ok {
+				report(v, accessKind{})
+			}
+		}
+		return true
+	})
+}
+
+func stripAddr(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return e
+}
+
+// reportWrite classifies one write target and reports the base variable.
+func reportWrite(pass *Pass, lhs ast.Expr, atomic bool, report func(*types.Var, accessKind)) {
+	a := accessKind{write: true, atomic: atomic}
+	expr := ast.Unparen(lhs)
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+				report(v, a)
+			}
+			return
+		case *ast.IndexExpr:
+			a.element = true
+			if t := pass.TypeOf(e.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					a.mapElem = true
+				}
+			}
+			expr = ast.Unparen(e.X)
+		case *ast.SelectorExpr:
+			a.element = true
+			expr = ast.Unparen(e.X)
+		case *ast.StarExpr:
+			a.element = true
+			expr = ast.Unparen(e.X)
+		default:
+			return
+		}
+	}
+}
+
+// baseLocalVar resolves the base variable of a write target when it is
+// function-local (not package-level).
+func baseLocalVar(pass *Pass, lhs ast.Expr) *types.Var {
+	expr := ast.Unparen(lhs)
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[e].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+				return nil
+			}
+			return v
+		case *ast.IndexExpr:
+			expr = ast.Unparen(e.X)
+		case *ast.SelectorExpr:
+			expr = ast.Unparen(e.X)
+		case *ast.StarExpr:
+			expr = ast.Unparen(e.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// posWithin reports whether pos falls inside the function declaration.
+func posWithin(pos token.Pos, fd *ast.FuncDecl) bool {
+	return pos >= fd.Pos() && pos <= fd.End()
+}

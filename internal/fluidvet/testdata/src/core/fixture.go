@@ -1,0 +1,80 @@
+// Package core is a globalstate fixture: its import-path last segment
+// places it in the solver-core set, so package-level mutable state must
+// be effectively-const or sync-guarded. Each finding below is the race
+// shape the analyzer exists to catch — a lazily-populated package map or
+// a per-call counter that the certified entry points would trip
+// concurrently; each non-finding is a blessed repair for it.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var limits = map[string]int{"cap": 8}
+
+var (
+	mu      sync.Mutex
+	byLabel = map[string]int{}
+)
+
+var (
+	once sync.Once
+	lazy map[string]int
+)
+
+var hits atomic.Int64
+
+var calls int64
+
+func init() {
+	limits["init"] = 1 // initialization before main is single-threaded: ok
+}
+
+func record(k string) {
+	limits[k] = limits[k] + 1 // want `globalstate: package-level core\.limits is mutated \(element write\) outside init`
+}
+
+func reset() {
+	limits = map[string]int{} // want `globalstate: package-level core\.limits is reassigned outside init`
+}
+
+func drop(k string) {
+	delete(limits, k) // want `globalstate: package-level core\.limits is mutated \(delete\) outside init`
+}
+
+func bump() {
+	calls++ // want `globalstate: package-level core\.calls is incremented/decremented outside init`
+}
+
+func leak() *map[string]int {
+	return &limits // want `globalstate: package-level core\.limits is aliased \(&\) into mutable context`
+}
+
+// lockAndRecord acquires the package mutex: its writes are guarded.
+func lockAndRecord(k string) {
+	mu.Lock()
+	defer mu.Unlock()
+	byLabel[k]++
+}
+
+// lazyGet is the blessed lazily-initialized-map idiom: the write lives
+// in a (*sync.Once).Do body.
+func lazyGet(k string) int {
+	once.Do(func() { lazy = map[string]int{"a": 1} })
+	return lazy[k]
+}
+
+// count mutates a sync/atomic value type: the variable is the
+// synchronization.
+func count() {
+	hits.Add(1)
+}
+
+var total int64
+
+// countAtomic goes through sync/atomic, so the &total operand is a
+// synchronized access, not an unguarded alias.
+func countAtomic() {
+	atomic.AddInt64(&total, 1)
+}

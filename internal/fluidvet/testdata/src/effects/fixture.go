@@ -1,0 +1,127 @@
+// Package effects exercises every transition of the fluidvet effect
+// lattice. effects_test.go asserts the inferred summary of each function
+// by name (the table-driven lattice test), and the
+// //fluidvet:parallelsafe annotations below pin the parallelsafe
+// analyzer's findings — including the call-path proof traces — via want
+// comments.
+package effects
+
+import (
+	"os"
+	"sync"
+)
+
+// --- pure chain: purity propagates through same-package calls ---
+
+func pureLeaf(x int) int { return x + 1 }
+
+func pureChain(x int) int { return pureLeaf(pureLeaf(x)) }
+
+// --- global read ---
+
+var table = map[string]int{"a": 1}
+
+func readsTable(k string) int { return table[k] }
+
+// --- global write: direct, and through an aliasing pointer ---
+
+var counter int
+
+func writesCounter() { counter++ }
+
+func writesThroughPointer() {
+	p := &counter
+	*p = 42
+}
+
+// --- interface-call widening: dynamic dispatch is worst-case ---
+
+type doer interface{ Do() }
+
+func callsInterface(d doer) { d.Do() }
+
+// --- SCC recursion: one member's write taints the whole cycle ---
+
+func recursiveA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return recursiveB(n - 1)
+}
+
+func recursiveB(n int) int {
+	counter = n
+	return recursiveA(n - 1)
+}
+
+// --- caller-bound function values: effect polymorphism lite ---
+
+func callsParam(f func() int) int { return f() }
+
+// --- sync.Once-guarded initialization: the write downgrades to a read ---
+
+var (
+	once  sync.Once
+	cache map[string]int
+)
+
+func gets(k string) int {
+	once.Do(func() { cache = map[string]int{"a": 1} })
+	return cache[k]
+}
+
+// --- IO and spawning ---
+
+func doesIO() string { return os.Getenv("HOME") }
+
+func spawns() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+}
+
+// --- directive override: trusted assertion replaces inference ---
+
+// asserted would be worst-case by inference (interface dispatch) but the
+// directive pins it pure; the override is what the lattice test checks.
+//
+//fluidvet:effect pure the dispatch target is audited pure
+func asserted(d doer) { d.Do() }
+
+// --- certified entry points: the parallelsafe analyzer's findings ---
+
+// goodEntry only computes and reads immutable package state: certified.
+//
+//fluidvet:parallelsafe
+func goodEntry(x int) int { return pureChain(x) + readsTable("a") }
+
+// paramEntry calls whatever its caller supplies: calls-param is
+// permitted under the race-free-callback contract.
+//
+//fluidvet:parallelsafe
+func paramEntry(f func() int) int { return callsParam(f) }
+
+// assertedEntry leans on the trusted //fluidvet:effect assertion.
+//
+//fluidvet:parallelsafe
+func assertedEntry(d doer) { asserted(d) }
+
+//fluidvet:parallelsafe
+func badEntry() { // want `parallelsafe: effects\.badEntry is declared //fluidvet:parallelsafe but is writes-global: effects\.badEntry calls effects\.writesCounter \(.*fixture\.go.*\) -> effects\.writesCounter writes package-level var effects\.counter`
+	writesCounter()
+}
+
+//fluidvet:parallelsafe
+func ioEntry() string { // want `parallelsafe: effects\.ioEntry is declared //fluidvet:parallelsafe but is does-io: effects\.ioEntry calls effects\.doesIO \(.*\) -> effects\.doesIO calls os\.Getenv`
+	return doesIO()
+}
+
+//fluidvet:parallelsafe
+func spawnEntry() { // want `parallelsafe: effects\.spawnEntry is declared //fluidvet:parallelsafe but is spawns-goroutine: effects\.spawnEntry calls effects\.spawns \(.*\) -> effects\.spawns starts a goroutine`
+	spawns()
+}
+
+//fluidvet:parallelsafe
+func widenedEntry(d doer) { // want `parallelsafe: effects\.widenedEntry .* but is writes-global: .*calls interface method Do dynamically` `parallelsafe: effects\.widenedEntry .* but is does-io: .*assumed worst-case` `parallelsafe: effects\.widenedEntry .* but is spawns-goroutine: .*assumed worst-case`
+	callsInterface(d)
+}

@@ -1,0 +1,21 @@
+// Package effectsbad holds malformed effect-layer directives; the
+// misuse findings land on the directive-comment lines themselves (which
+// cannot also carry want comments), so effects_test.go checks them
+// programmatically, mirroring TestAllowFixture.
+package effectsbad
+
+// BadName asserts an effect that does not exist.
+//
+//fluidvet:effect launders-money because reasons
+func BadName() {}
+
+// NoReason asserts an effect without justifying it.
+//
+//fluidvet:effect pure
+func NoReason() {}
+
+// BadParallel decorates the parallelsafe directive, which must appear
+// exactly bare.
+//
+//fluidvet:parallelsafe because it is fast
+func BadParallel() {}

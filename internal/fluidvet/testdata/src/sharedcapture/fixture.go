@@ -1,0 +1,137 @@
+// Package sharedcapture is the fixture for the goroutine-capture
+// analyzer: each finding is an unsynchronized shared capture, each
+// non-finding is one of the blessed shapes (channels, sync/atomic,
+// both-sides locking, fan-out into distinct slice elements, and Go's
+// per-iteration loop variables).
+package sharedcapture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func compute() int { return 42 }
+
+// A direct write inside the goroutine while the enclosing function also
+// uses the variable.
+func sumRace() int {
+	total := 0
+	go func() { // want `sharedcapture: goroutine captures "total" and writes it while the enclosing function also uses it`
+		total++
+	}()
+	return total
+}
+
+// Concurrent map writes race (and fault at runtime).
+func mapRace() map[int]int {
+	m := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // want `sharedcapture: goroutine writes into captured map "m"`
+			defer wg.Done()
+			m[i] = i * i
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// A write after the spawn races with the goroutine's read.
+func staleRead() chan int {
+	x := 1
+	done := make(chan int)
+	go func() { // want `sharedcapture: goroutine reads captured "x", which the enclosing function writes after the spawn`
+		done <- x
+	}()
+	x = 2
+	return done
+}
+
+// spawnHelper launches f on a fresh goroutine; its inferred effect
+// includes spawns-goroutine, so literals passed to it are analyzed
+// exactly like go-statement bodies.
+func spawnHelper(f func()) { go f() }
+
+func viaSpawnAPI() int {
+	total := 0
+	spawnHelper(func() { // want `sharedcapture: goroutine captures "total" and writes it while the enclosing function also uses it`
+		total++
+	})
+	return total
+}
+
+// --- blessed shapes: no findings ---
+
+// Communicate the result over a channel.
+func viaChannel() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	return <-ch
+}
+
+// Fan out into distinct slice elements.
+func fanOut(xs []int) []int {
+	out := make([]int, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = x * x
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Per-iteration loop variables (Go ≥ 1.22): the header increment
+// operates on each ending iteration's own copy.
+func perIteration(n int) []int {
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			results[i] = i
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Every inside write goes through sync/atomic.
+func atomicCount(n int) int64 {
+	var total int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&total, 1)
+		}()
+	}
+	wg.Wait()
+	return atomic.LoadInt64(&total)
+}
+
+// Both sides lock.
+func lockedCount(n int) int {
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return count
+}

@@ -44,11 +44,14 @@ type vetConfig struct {
 //	fluidvet -V=full         print a versioned build ID and exit
 //	fluidvet -flags          print the supported analyzer flags (JSON)
 //	fluidvet help            print usage
-//	fluidvet <file>.cfg      analyze one package described by the config
+//	fluidvet [-json] <file>.cfg  analyze one package described by the config
 //
-// Diagnostics print to stderr as file:line:col: [analyzer] message and
-// the process exits 1 if there were any, which go vet turns into a
-// non-zero exit for the whole run.
+// Diagnostics print to stderr as file:line:col: [analyzer] message,
+// sorted by (file, line, column, analyzer), and the process exits 1 if
+// there were any, which go vet turns into a non-zero exit for the whole
+// run. With -json (forwarded by `go vet -json`), findings print to
+// stdout as a JSON object {package: {analyzer: [{posn, message}]}} and
+// the exit status is 0 — the machine-readable dump CI archives.
 func Main(analyzers ...*Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	log.SetFlags(0)
@@ -60,21 +63,38 @@ func Main(analyzers ...*Analyzer) {
 			printVersion()
 			return
 		case arg == "-flags":
-			// No analyzer flags: an empty JSON list tells the go
-			// command there is nothing to forward.
-			fmt.Println("[]")
+			// Advertise the flags the go command may forward to each
+			// tool invocation (cmd/go/internal/vet queries this list).
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON diagnostics to stdout"}]`)
 			return
 		case arg == "help", arg == "-h", arg == "-help", arg == "--help":
 			printUsage(analyzers)
 			return
 		}
 	}
-	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+	args := os.Args[1:]
+	jsonOut := false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-json", args[0] == "-json=true", args[0] == "--json":
+			jsonOut = true
+		case args[0] == "-json=false":
+			jsonOut = false
+		default:
+			log.Fatalf("unknown flag %s", args[0])
+		}
+		args = args[1:]
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=<path to %s>"`, progname, progname)
 	}
-	findings, err := runUnit(os.Args[1], analyzers)
+	ipath, findings, err := runUnit(args[0], analyzers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if jsonOut {
+		writeJSONFindings(os.Stdout, ipath, findings)
+		return
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
@@ -82,6 +102,32 @@ func Main(analyzers ...*Analyzer) {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is one finding in the -json dump, shaped like the
+// x/tools unitchecker output so generic tooling can consume it.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// writeJSONFindings emits {package: {analyzer: [diagnostics]}}. The
+// findings arrive sorted, so the dump is byte-stable across runs.
+func writeJSONFindings(w io.Writer, ipath string, findings []Finding) {
+	byAnalyzer := map[string][]jsonDiagnostic{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiagnostic{
+			Posn:    f.Pos.String(),
+			Message: f.Message,
+		})
+	}
+	doc := map[string]map[string][]jsonDiagnostic{ipath: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	// Encoding a map of plain data cannot fail; ignore the error like
+	// the unitchecker does.
+	//fluidvet:allow syncerr stdout JSON encode of plain maps cannot fail
+	_ = enc.Encode(doc)
 }
 
 // printVersion emits the "name version devel ... buildID=hash" line the
@@ -126,35 +172,56 @@ func printUsage(analyzers []*Analyzer) {
 	}
 }
 
-// runUnit analyzes the single package described by cfgFile.
-func runUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
+// runUnit analyzes the single package described by cfgFile. It returns
+// the package's import path alongside its findings.
+//
+// The effect facts channel: each in-module package's inferred function
+// summaries are serialized as JSON into its .vetx output, which the go
+// command hands to every dependent package's invocation via
+// PackageVetx. Since the go command schedules vet actions in dependency
+// order, `go vet -vettool ./...` computes the transitive, module-wide
+// effect closure one package at a time — the same topology x/tools
+// facts use. Out-of-module packages (stdlib) get an empty facts file
+// and are classified by the curated table instead.
+func runUnit(cfgFile string, analyzers []*Analyzer) (string, []Finding, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	cfg := new(vetConfig)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		return nil, fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err)
-	}
-
-	// The go command expects a facts file for every package it vets,
-	// ours carry no cross-package facts, so an empty marker suffices.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, fmt.Errorf("writing facts: %w", err)
-		}
+		return "", nil, fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err)
 	}
 
 	// Import path "pkg [pkg.test]" is the test variant of pkg: analyze
 	// its production files under the plain path. Everything outside
-	// this module (stdlib, synthesized test mains) passes untouched, as
-	// do fact-only invocations for dependencies.
+	// this module (stdlib, synthesized test mains) passes untouched.
 	ipath := cfg.ImportPath
 	if i := strings.IndexByte(ipath, ' '); i >= 0 {
 		ipath = ipath[:i]
 	}
-	if cfg.VetxOnly || !inModule(ipath) || strings.HasSuffix(ipath, ".test") {
-		return nil, nil
+
+	writeFacts := func(facts EffectFacts) error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		payload := []byte{}
+		if len(facts) > 0 {
+			// encoding/json sorts map keys, so the facts file is
+			// byte-stable and cache-friendly.
+			payload, err = json.Marshal(facts)
+			if err != nil {
+				return fmt.Errorf("encoding facts: %w", err)
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			return fmt.Errorf("writing facts: %w", err)
+		}
+		return nil
+	}
+
+	if !inModule(ipath) || strings.HasSuffix(ipath, ".test") {
+		return ipath, nil, writeFacts(nil)
 	}
 
 	fset := token.NewFileSet()
@@ -166,24 +233,66 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return ipath, nil, writeFacts(nil)
 			}
-			return nil, err
+			return ipath, nil, err
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, nil
+		return ipath, nil, writeFacts(nil)
 	}
 
 	pkg, info, err := typeCheck(fset, files, ipath, cfg.GoVersion, makeImporter(fset, cfg))
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return ipath, nil, writeFacts(nil)
 		}
-		return nil, fmt.Errorf("typechecking %s: %w", ipath, err)
+		return ipath, nil, fmt.Errorf("typechecking %s: %w", ipath, err)
 	}
-	return Check(fset, files, pkg, info, analyzers)
+
+	deps, err := readDepFacts(cfg)
+	if err != nil {
+		return ipath, nil, err
+	}
+
+	findings, effects, err := Check(fset, files, pkg, info, analyzers, deps)
+	if err != nil {
+		return ipath, nil, err
+	}
+	if err := writeFacts(effects.Facts()); err != nil {
+		return ipath, nil, err
+	}
+	if cfg.VetxOnly {
+		// Fact-generation-only invocation for a dependency outside the
+		// vet pattern: summaries are written, findings are not reported.
+		return ipath, nil, nil
+	}
+	return ipath, findings, nil
+}
+
+// readDepFacts loads the effect summaries of every dependency the go
+// command provided a .vetx file for. Empty files (stdlib, pre-effect
+// tools) contribute nothing.
+func readDepFacts(cfg *vetConfig) (EffectFacts, error) {
+	all := EffectFacts{}
+	for path, file := range cfg.PackageVetx {
+		if !inModule(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue // absent or empty facts: fall back to worst-case
+		}
+		facts := EffectFacts{}
+		if err := json.Unmarshal(data, &facts); err != nil {
+			return nil, fmt.Errorf("decoding facts for %s: %w", path, err)
+		}
+		for k, v := range facts {
+			all[k] = v
+		}
+	}
+	return all, nil
 }
 
 // makeImporter resolves imports from the export-data files the go

@@ -92,11 +92,21 @@ func loadFixture(t *testing.T, name string) *fixture {
 // check runs Check over the fixture with the given analyzers.
 func (fx *fixture) check(t *testing.T, analyzers ...*Analyzer) []Finding {
 	t.Helper()
-	findings, err := Check(fx.fset, fx.files, fx.pkg, fx.info, analyzers)
+	findings, _, err := Check(fx.fset, fx.files, fx.pkg, fx.info, analyzers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return findings
+}
+
+// effects runs the inference alone over the fixture (no analyzers).
+func (fx *fixture) effects(t *testing.T) *Effects {
+	t.Helper()
+	_, eff, err := Check(fx.fset, fx.files, fx.pkg, fx.info, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eff
 }
 
 // runFixture loads the fixture, runs the analyzers, and matches findings
@@ -110,7 +120,7 @@ func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 	// syncerr and enumswitch); only the wants addressed to the analyzers
 	// under test are in play for this run. Every want regexp leads with
 	// its analyzer's name, so the prefix routes it.
-	inPlay := map[string]bool{"allow": true}
+	inPlay := map[string]bool{"allow": true, "effect": true}
 	for _, a := range analyzers {
 		inPlay[a.Name] = true
 	}

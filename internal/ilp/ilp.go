@@ -92,6 +92,12 @@ type Result struct {
 // Solve runs branch and bound on p. The problem's variable bounds are
 // temporarily tightened during the search and restored before returning, so
 // p may be reused afterwards.
+//
+// Solve is certified parallel-safe over distinct Problems; the bound
+// tightening mutates p, so concurrent solves of one Problem race on the
+// receiver as with any mutable value.
+//
+//fluidvet:parallelsafe
 func Solve(p *lp.Problem, opts Options) (*Result, error) {
 	opt := opts.withDefaults()
 	n := p.NumVariables()

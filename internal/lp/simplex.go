@@ -89,6 +89,12 @@ type column struct {
 // Solve runs two-phase primal simplex and returns the solution. An error is
 // returned only for structurally invalid problems; infeasibility and
 // unboundedness are reported through Solution.Status.
+//
+// Solve is certified parallel-safe: distinct Problems may be solved
+// concurrently. (Solving one Problem from two goroutines still races on
+// the receiver itself, as with any mutable value.)
+//
+//fluidvet:parallelsafe
 func (p *Problem) Solve(opts Options) (*Solution, error) {
 	for _, v := range p.vars {
 		if math.IsNaN(v.lo) || math.IsNaN(v.hi) || math.IsNaN(v.obj) {
