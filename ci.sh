@@ -96,10 +96,32 @@ grep -Eq ' [1-9][0-9]* replans' "$tmp/replan1.out" # the gate is vacuous if noth
 # state already carries the replan patch overlay.
 for at in 7 18; do
     status=0
-    "$tmp/fluidvm" -replan -faults moderate -seed 42 -journal "$tmp/rcrash.aqj" -crash-at "$at" testdata/glucose.asy >/dev/null 2>&1 || status=$?
+    "$tmp/fluidvm" -replan -faults moderate -seed 42 -journal "$tmp/rcrash$at.aqj" -crash-at "$at" testdata/glucose.asy >/dev/null 2>&1 || status=$?
     [ "$status" -eq 3 ]
-    "$tmp/fluidvm" -resume "$tmp/rcrash.aqj" testdata/glucose.asy >"$tmp/rresume.out" 2>/dev/null
+    "$tmp/fluidvm" -resume "$tmp/rcrash$at.aqj" testdata/glucose.asy >"$tmp/rresume.out" 2>/dev/null
     cmp "$tmp/rref.out" "$tmp/rresume.out"
 done
+
+echo "== storage-fault robustness (E14) =="
+# The storage-chaos matrix injects one fault at every journal I/O site
+# (EIO, ENOSPC, short writes, lying fsyncs) and asserts the trichotomy:
+# clean completion, refused journal creation, or a fail-stop abort whose
+# salvaged journal resumes bit-identical. The table is seeded and
+# timing-free, so two runs must agree byte for byte.
+go build -o "$tmp/volbench" ./cmd/volbench
+"$tmp/volbench" -experiment storage-chaos >"$tmp/chaos1.out"
+"$tmp/volbench" -experiment storage-chaos >"$tmp/chaos2.out"
+cmp "$tmp/chaos1.out" "$tmp/chaos2.out"
+grep -q 'recovered' "$tmp/chaos1.out"
+! grep -q 'FAILED' "$tmp/chaos1.out"
+# fluidvm smoke: a journal refuses to clobber crash evidence, a lying
+# fsync under -fsfaults fail-stops the run, and the snapshot-fallback
+# resume still lands on the reference output.
+status=0
+"$tmp/fluidvm" -journal "$tmp/ref.aqj" testdata/glucose.asy >/dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] # exit 1 = refused to clobber the earlier reference journal
+status=0
+"$tmp/fluidvm" -fsfaults sync@2:lying -journal "$tmp/lying.aqj" -force-journal testdata/glucose.asy >/dev/null 2>&1 || status=$?
+[ "$status" -eq 3 ] # exit 3 = fail-stop abort on the first failed fsync
 
 echo "CI OK"

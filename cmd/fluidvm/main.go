@@ -31,13 +31,24 @@
 //
 // -journal makes the run durable: a write-ahead log of execution records
 // and periodic machine snapshots (cadence -snapshot-every boundaries).
-// -resume restores the last good snapshot from such a journal and
-// continues; the run configuration (profile, seed, margin, yield, retry
-// budget, cadence) is taken from the journal's opening record, not from
-// flags, and the recompiled program must hash-match the journaled one.
-// Because execution is deterministic, a resumed run finishes bit-identical
-// to one that was never interrupted. -crash-at N simulates a process kill
+// Creating a journal over an existing non-empty one is refused — it may
+// be the only crash evidence of an interrupted run — unless
+// -force-journal is given. -resume restores the newest usable snapshot
+// from such a journal and continues, falling back to earlier snapshots
+// (and ultimately a restart) when the newest is unrestorable; the run
+// configuration (profile, seed, margin, yield, retry budget, cadence) is
+// taken from the journal's opening record, not from flags, and the
+// recompiled program must hash-match the journaled one. Because
+// execution is deterministic, a resumed run finishes bit-identical to
+// one that was never interrupted. -crash-at N simulates a process kill
 // after instruction boundary N (chaos testing). All three imply -recover.
+//
+// -fsfaults injects storage faults underneath the journal (chaos
+// testing): either a deterministic strike list like "sync@3:lying" or
+// "write@5:enospc:sticky" (see internal/vfs.ParseStrikes), or a
+// rate-based profile like "write=0.01,sync=0.005" drawn from the
+// -fsfault-seed PRNG. The fluidic machine is untouched — only the
+// journal's filesystem misbehaves.
 //
 // Exit codes: 0 completed, 1 error, 2 completed-degraded (unrepaired
 // faults), 3 aborted, 4 resume failure, 64 usage.
@@ -50,6 +61,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
@@ -59,6 +71,7 @@ import (
 	"aquavol/internal/journal"
 	"aquavol/internal/lang"
 	recovery "aquavol/internal/recover"
+	"aquavol/internal/vfs"
 )
 
 // Structured exit codes: scripts branch on the terminal status without
@@ -92,8 +105,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resumePath := fs.String("resume", "", "resume a crashed run from its journal (implies -recover)")
 	crashAt := fs.Int("crash-at", -1, "simulate a process kill after instruction boundary N (implies -recover)")
 	snapEvery := fs.Int("snapshot-every", 8, "journal snapshot cadence in instruction boundaries")
+	forceJournal := fs.Bool("force-journal", false, "overwrite an existing non-empty journal at -journal PATH")
+	fsFaults := fs.String("fsfaults", "", "inject storage faults under the journal: strike list (op@N[:mod]) or rate profile (k=v)")
+	fsFaultSeed := fs.Int64("fsfault-seed", 0, "PRNG seed for rate-based -fsfaults profiles")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	fsys, err := buildFS(*fsFaults, *fsFaultSeed)
+	if err != nil {
+		return fail(stderr, err)
 	}
 	var traceFn func(aquacore.TraceEntry)
 	var eventFn func(aquacore.Event)
@@ -103,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *resumePath != "" {
-		return doResume(*resumePath, fs.Args(), *aisFile, *volFile, traceFn, eventFn, stdout, stderr)
+		return doResume(fsys, *resumePath, fs.Args(), *aisFile, *volFile, traceFn, eventFn, stdout, stderr)
 	}
 
 	prof, err := faults.ParseProfile(*faultSpec)
@@ -146,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *journalPath != "" {
-		jw, jf, jerr := journal.Create(*journalPath)
+		jw, jf, jerr := journal.Create(fsys, *journalPath, *forceJournal)
 		if jerr != nil {
 			return fail(stderr, jerr)
 		}
@@ -176,18 +196,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitCompleted
 }
 
+// buildFS constructs the journal's filesystem from the -fsfaults spec:
+// empty means the real OS, "@" terms select deterministic strikes, "="
+// terms a rate-based disk profile drawn from seed. Both fault shapes can
+// be combined in one comma list.
+func buildFS(spec string, seed int64) (vfs.FS, error) {
+	if spec == "" {
+		return vfs.OS{}, nil
+	}
+	var strikeTerms, rateTerms []string
+	for _, term := range strings.Split(spec, ",") {
+		switch {
+		case strings.TrimSpace(term) == "":
+		case strings.Contains(term, "@"):
+			strikeTerms = append(strikeTerms, term)
+		default:
+			rateTerms = append(rateTerms, term)
+		}
+	}
+	strikes, err := vfs.ParseStrikes(strings.Join(strikeTerms, ","))
+	if err != nil {
+		return nil, err
+	}
+	var disk *faults.DiskInjector
+	if len(rateTerms) > 0 {
+		p, err := faults.ParseDiskProfile(strings.Join(rateTerms, ","))
+		if err != nil {
+			return nil, err
+		}
+		if p.Enabled() {
+			disk = faults.NewDisk(p, seed)
+		}
+	}
+	return vfs.NewFaulty(vfs.OS{}, strikes, disk), nil
+}
+
 // doResume restores a crashed journaled run and continues it to
 // completion, appending to the recovered journal. Configuration comes
 // from the journal's begin record; only the program source (and -trace)
-// come from the command line. Notices go to stderr so stdout stays
+// come from the command line. The snapshot ladder runs newest-first:
+// when the newest snapshot is unrestorable (poisoned contents behind a
+// valid CRC) the resume falls back to earlier ones, and ultimately to a
+// deterministic restart. Notices go to stderr so stdout stays
 // byte-identical to the uninterrupted run's.
-func doResume(path string, args []string, aisFile, volFile string,
+func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string,
 	traceFn func(aquacore.TraceEntry), eventFn func(aquacore.Event), stdout, stderr io.Writer) int {
 	resumeFail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "fluidvm: resume: "+format+"\n", a...)
 		return exitResumeFailed
 	}
-	recs, tail, w, f, err := journal.OpenAppend(path)
+	recs, tail, w, f, err := journal.OpenAppend(fsys, path)
 	if err != nil {
 		return resumeFail("%v", err)
 	}
@@ -206,27 +264,36 @@ func doResume(path string, args []string, aisFile, volFile string,
 	}
 
 	// Rebuild the run exactly as the original invocation configured it.
-	var inj *faults.Injector
-	if begin.Profile.Enabled() {
-		inj = faults.New(begin.Profile, begin.Seed)
-	}
+	// Each ladder rung needs a fresh machine (Restore refuses a used one),
+	// so construction is a closure; the program and compile artifacts are
+	// deterministic and come from the first build.
 	var (
 		prog *ais.Program
 		comp *recovery.Compiled
-		m    *aquacore.Machine
 	)
-	if aisFile != "" {
-		prog, m, err = buildShipped(aisFile, volFile, begin.Yield, traceFn, eventFn, inj)
-	} else {
-		if len(args) != 1 {
-			fmt.Fprintln(stderr, "usage: fluidvm -resume run.aqj assay.asy")
-			return exitUsage
+	newMachine := func() (*aquacore.Machine, error) {
+		var inj *faults.Injector
+		if begin.Profile.Enabled() {
+			inj = faults.New(begin.Profile, begin.Seed)
 		}
-		var src []byte
-		if src, err = os.ReadFile(args[0]); err == nil {
-			prog, comp, m, err = buildAssay(string(src), begin.Yield, begin.Margin, traceFn, eventFn, inj)
+		if aisFile != "" {
+			p, m, err := buildShipped(aisFile, volFile, begin.Yield, traceFn, eventFn, inj)
+			prog = p
+			return m, err
 		}
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		p, c, m, err := buildAssay(string(src), begin.Yield, begin.Margin, traceFn, eventFn, inj)
+		prog, comp = p, c
+		return m, err
 	}
+	if aisFile == "" && len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: fluidvm -resume run.aqj assay.asy")
+		return exitUsage
+	}
+	firstMachine, err := newMachine()
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -241,24 +308,17 @@ func doResume(path string, args []string, aisFile, volFile string,
 		EnableReplan:    begin.Replan,
 		Journal:         w,
 	}
-	var snap *journal.Snapshot
-	for _, r := range recs {
-		if r.Kind == journal.KindSnapshot {
-			snap = r.Snapshot
-		}
-	}
-	var out *recovery.Outcome
-	if snap == nil {
+	snaps := recovery.Snapshots(recs)
+	if len(snaps) == 0 {
 		// Death before the first snapshot frame landed: nothing to
 		// restore, so the resume is a fresh deterministic run.
 		fmt.Fprintln(stderr, "fluidvm: resume: no snapshot in journal; restarting from the beginning")
-		out = recovery.Run(m, prog, comp, ropts)
-	} else {
-		fmt.Fprintf(stderr, "fluidvm: resuming at boundary %d (pc %d)\n", snap.Boundary, snap.PC)
-		out, err = recovery.Resume(m, prog, comp, ropts, snap)
-		if err != nil {
-			return resumeFail("%v", err)
-		}
+		return finish(recovery.Run(firstMachine, prog, comp, ropts), stdout, stderr)
+	}
+	out, _, err := recovery.ResumeFallback(newMachine, prog, comp, ropts, snaps,
+		func(s string) { fmt.Fprintf(stderr, "fluidvm: resume: %s\n", s) })
+	if err != nil {
+		return resumeFail("%v", err)
 	}
 	return finish(out, stdout, stderr)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -102,5 +103,86 @@ func TestResumeRejectsDifferentProgram(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "-resume", filepath.Join(dir, "missing.aqj"), glucose); code != exitResumeFailed {
 		t.Fatalf("missing journal resume exit %d, want %d", code, exitResumeFailed)
+	}
+}
+
+// A resume over a torn journal tail (process died mid-append) reports
+// the truncation on stderr — the reason and how many good bytes
+// survived — and still finishes with the uninterrupted run's exit code
+// and stdout.
+func TestResumeReportsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	refCode, refOut, _ := runCLI(t, "-faults", "moderate", "-seed", "42",
+		"-journal", filepath.Join(dir, "ref.aqj"), glucose)
+
+	crashPath := filepath.Join(dir, "crash.aqj")
+	if code, _, _ := runCLI(t, "-faults", "moderate", "-seed", "42",
+		"-journal", crashPath, "-crash-at", "6", glucose); code != exitAborted {
+		t.Fatal("setup crash run did not abort")
+	}
+	b, err := os.ReadFile(crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(crashPath, b[:len(b)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errw := runCLI(t, "-resume", crashPath, glucose)
+	if code != refCode {
+		t.Fatalf("torn-tail resume exit %d, want %d (stderr: %s)", code, refCode, errw)
+	}
+	if out != refOut {
+		t.Errorf("torn-tail resume stdout differs from uninterrupted run\n got: %q\nwant: %q", out, refOut)
+	}
+	if !strings.Contains(errw, "recovered journal tail") || !strings.Contains(errw, "good bytes") {
+		t.Errorf("torn-tail warning missing from stderr: %s", errw)
+	}
+}
+
+// -journal refuses to clobber an existing non-empty journal — it may be
+// the only crash evidence of an interrupted run — unless -force-journal
+// overrides.
+func TestJournalNoClobber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.aqj")
+	if code, _, errw := runCLI(t, "-journal", path, glucose); code != exitCompleted {
+		t.Fatalf("first journaled run exit %d (stderr: %s)", code, errw)
+	}
+	code, _, errw := runCLI(t, "-journal", path, glucose)
+	if code != exitError {
+		t.Fatalf("clobbering run exit %d, want %d", code, exitError)
+	}
+	if !strings.Contains(errw, "refusing to clobber") {
+		t.Errorf("no-clobber diagnostic missing: %s", errw)
+	}
+	if code, _, errw := runCLI(t, "-journal", path, "-force-journal", glucose); code != exitCompleted {
+		t.Fatalf("forced journaled run exit %d (stderr: %s)", code, errw)
+	}
+}
+
+// -fsfaults puts an injected filesystem under the journal: a lying fsync
+// on the first append poisons the writer and aborts the run (fail-stop),
+// while a malformed spec is a usage-level error.
+func TestFSFaultsFlag(t *testing.T) {
+	dir := t.TempDir()
+	// sync #0 is the header sync inside Create, #1 the begin record; #2 is
+	// the first record the recovery loop appends.
+	code, _, errw := runCLI(t, "-fsfaults", "sync@2:lying",
+		"-journal", filepath.Join(dir, "j.aqj"), glucose)
+	if code != exitAborted {
+		t.Fatalf("lying-fsync run exit %d, want %d (stderr: %s)", code, exitAborted, errw)
+	}
+	if code, _, _ := runCLI(t, "-fsfaults", "sync@x", glucose); code != exitError {
+		t.Fatalf("bad strike spec exit %d, want %d", code, exitError)
+	}
+	if code, _, _ := runCLI(t, "-fsfaults", "frob=0.5", glucose); code != exitError {
+		t.Fatalf("bad rate spec exit %d, want %d", code, exitError)
+	}
+	// A rate profile with a seed parses and runs (zero faults at rate 0 is
+	// not expressible — use a tiny rate over a short run).
+	if code, _, errw := runCLI(t, "-fsfaults", "write=0.0001", "-fsfault-seed", "7",
+		"-journal", filepath.Join(dir, "r.aqj"), glucose); code != exitCompleted {
+		t.Fatalf("low-rate fsfaults run exit %d (stderr: %s)", code, errw)
 	}
 }

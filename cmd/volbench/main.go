@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver|storage-chaos]
 //	         [-full] [-sweep N] [-seeds N] [-json FILE]
 //
 // -experiment solver measures the raw planning throughput/latency
 // baseline (plans/sec, p50/p99 per shipped assay and solver); with
 // -json it also writes the machine-readable report (BENCH_solver.json
 // at the repository root is the recorded trajectory).
+//
+// -experiment storage-chaos runs the E14 storage-fault matrix: one
+// injected fault at every journal I/O site, asserting the trichotomy
+// (clean / refused journal / bit-identical resume). Its table is
+// deterministic; -json adds the journaling-overhead timing.
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
 // roughly a gigabyte of tableau, which is the paper's point).
@@ -38,6 +43,24 @@ func main() {
 		t, report, err := bench.SolverBaseline()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "solver baseline: %v\n", err)
+			os.Exit(1)
+		}
+		tables = []*bench.Table{t}
+		if *jsonOut != "" {
+			blob, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
+	case "storage-chaos":
+		t, report, err := bench.StorageChaos()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "storage chaos: %v\n", err)
 			os.Exit(1)
 		}
 		tables = []*bench.Table{t}

@@ -1,11 +1,25 @@
 package aquacore
 
 import (
+	"cmp"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 
 	"aquavol/internal/faults"
 )
+
+// sortedKeys returns m's keys in ascending order: validation walks every
+// map deterministically so the reported entry is stable run to run.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // Measurement is one run-time measurement reported to the volume source
 // (a separation or concentration output). Snapshots carry the full
@@ -119,16 +133,80 @@ func (m *Machine) Snapshot() *Snapshot {
 	return s
 }
 
+// maxDrawAdvance bounds the fault-PRNG fast-forward a snapshot may
+// request. AdvanceTo replays the stream draw by draw, so a corrupt Draws
+// field (a bit-flipped uint64 can claim 2^63 draws) would otherwise turn
+// Restore into an unbounded loop. Real runs draw a handful of times per
+// wet instruction; 2^26 covers programs four orders of magnitude larger
+// than anything the compiler emits while keeping the worst-case
+// fast-forward well under a second.
+const maxDrawAdvance = 1 << 26
+
+// validate rejects structurally-broken snapshots — the decoded form of a
+// truncated, bit-flipped, or field-dropped record that still parsed as
+// JSON. Restore refuses them with an error instead of installing
+// poisoned state (or hanging in the PRNG fast-forward), which is what
+// lets a resume fall back to an earlier snapshot.
+func (s *Snapshot) validate() error {
+	if s.Vessels == nil {
+		return fmt.Errorf("aquacore: snapshot has no vessel table")
+	}
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	// Which broken entry gets reported lands in resume diagnostics, so
+	// every map walks in sorted order.
+	for _, name := range sortedKeys(s.Vessels) {
+		vs := s.Vessels[name]
+		if bad(vs.Volume) || vs.Volume < -1e-6 {
+			return fmt.Errorf("aquacore: snapshot vessel %q has impossible volume %v", name, vs.Volume)
+		}
+		for _, fluid := range sortedKeys(vs.Composition) {
+			if v := vs.Composition[fluid]; bad(v) {
+				return fmt.Errorf("aquacore: snapshot vessel %q composition %q is %v", name, fluid, v)
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.Regs) {
+		if v := s.Regs[name]; bad(v) {
+			return fmt.Errorf("aquacore: snapshot register %q is %v", name, v)
+		}
+	}
+	if s.Steps < 0 || s.Budget < 0 || s.WetInstrs < 0 || s.DryInstrs < 0 || s.SolveErrsSeen < 0 {
+		return fmt.Errorf("aquacore: snapshot has negative counters (steps %d, budget %d, wet %d, dry %d, solveErrs %d)",
+			s.Steps, s.Budget, s.WetInstrs, s.DryInstrs, s.SolveErrsSeen)
+	}
+	if bad(s.WetSeconds) || s.WetSeconds < 0 || bad(s.DrySeconds) || s.DrySeconds < 0 {
+		return fmt.Errorf("aquacore: snapshot has impossible clock state (wet %v, dry %v)", s.WetSeconds, s.DrySeconds)
+	}
+	for _, pc := range sortedKeys(s.Patches) {
+		if v := s.Patches[pc]; pc < 0 || bad(v) || v < 0 {
+			return fmt.Errorf("aquacore: snapshot patch pc %d = %v is impossible", pc, v)
+		}
+	}
+	for i, meas := range s.Measurements {
+		if meas.Node < 0 || bad(meas.Volume) || meas.Volume < 0 {
+			return fmt.Errorf("aquacore: snapshot measurement %d (node %d, %q, %v) is impossible", i, meas.Node, meas.Port, meas.Volume)
+		}
+	}
+	if s.Faults != nil && s.Faults.Draws > maxDrawAdvance {
+		return fmt.Errorf("aquacore: snapshot claims %d fault-PRNG draws (limit %d): corrupt", s.Faults.Draws, maxDrawAdvance)
+	}
+	return nil
+}
+
 // Restore loads a snapshot onto a freshly-constructed machine (same
 // Config, graph, and volume source as the snapshotted one). It replays
 // the measurement log into the source — reconstructing any staged-plan
 // state — and fast-forwards the fault injector's PRNG stream, so
 // execution resumed from the restored state is bit-identical to the
 // uninterrupted run. Restoring onto a machine that has already executed
-// instructions is an error.
+// instructions is an error, as is a snapshot that fails validation
+// (corrupt records must surface as errors, not installed state).
 func (m *Machine) Restore(s *Snapshot) error {
 	if m.steps != 0 || len(m.res.Events) != 0 || len(m.measLog) != 0 {
 		return fmt.Errorf("aquacore: Restore requires a fresh machine (already executed %d steps)", m.steps)
+	}
+	if err := s.validate(); err != nil {
+		return err
 	}
 	// Fault-injector stream: same construction parameters, fast-forwarded.
 	switch {

@@ -1,0 +1,119 @@
+package aquacore_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"aquavol/internal/aquacore"
+)
+
+// midRunSnapshotJSON captures a real mid-run snapshot as the journal
+// would store it: the base material every mutation test corrupts.
+func midRunSnapshotJSON(t *testing.T) []byte {
+	t.Helper()
+	m, cg := newFaultyGlucose(t, 5)
+	pc := 0
+	for i := 0; i < 7; i++ {
+		next, halted, err := m.ExecOne(cg.Prog, pc)
+		if err != nil || halted {
+			t.Fatalf("halted=%v err=%v", halted, err)
+		}
+		pc = next
+	}
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Restore is the last line of defense behind the journal's CRC: a
+// corrupt snapshot that still decodes as JSON must never panic (or spin
+// in the PRNG fast-forward) — it either restores coherent state or
+// errors, and an error is what lets the resume ladder fall back to an
+// earlier snapshot. This property test throws truncated, bit-flipped,
+// and field-dropped snapshot JSON at it.
+func TestRestoreSurvivesMutatedSnapshots(t *testing.T) {
+	base := midRunSnapshotJSON(t)
+	tryRestore := func(data []byte) {
+		var snap aquacore.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return // the journal's frame CRC and decoder reject these earlier
+		}
+		fresh, _ := newFaultyGlucose(t, 5)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Restore panicked on mutant %q: %v", data, r)
+			}
+		}()
+		_ = fresh.Restore(&snap) // may error; must not panic
+	}
+	for cut := 0; cut <= len(base); cut += 7 {
+		tryRestore(base[:cut])
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		mut := append([]byte(nil), base...)
+		mut[rng.Intn(len(mut))] ^= byte(1) << rng.Intn(8)
+		tryRestore(mut)
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(base, &obj); err != nil {
+		t.Fatal(err)
+	}
+	for drop := range obj {
+		clone := make(map[string]json.RawMessage, len(obj))
+		for k, v := range obj {
+			if k != drop {
+				clone[k] = v
+			}
+		}
+		b, err := json.Marshal(clone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tryRestore(b)
+	}
+}
+
+// Specific poisons — the decoded shapes a damaged journal realistically
+// produces — must be refused with an error, not installed: the resume
+// ladder only triggers when Restore says no.
+func TestRestoreRejectsPoisonedSnapshots(t *testing.T) {
+	base := midRunSnapshotJSON(t)
+	poisons := []struct {
+		name   string
+		mutate func(s *aquacore.Snapshot)
+	}{
+		{"dropped vessel table", func(s *aquacore.Snapshot) { s.Vessels = nil }},
+		{"negative step counter", func(s *aquacore.Snapshot) { s.Steps = -3 }},
+		{"negative budget", func(s *aquacore.Snapshot) { s.Budget = -1 }},
+		{"negative wet clock", func(s *aquacore.Snapshot) { s.WetSeconds = -0.5 }},
+		{"negative vessel volume", func(s *aquacore.Snapshot) {
+			for name, vs := range s.Vessels {
+				vs.Volume = -40
+				s.Vessels[name] = vs
+				break
+			}
+		}},
+		{"negative patch pc", func(s *aquacore.Snapshot) { s.Patches = map[int]float64{-2: 1} }},
+		{"negative measurement node", func(s *aquacore.Snapshot) {
+			s.Measurements = append(s.Measurements, aquacore.Measurement{Node: -1, Port: "o", Volume: 1})
+		}},
+		// A bit-flipped draw count would otherwise spin AdvanceTo for
+		// geological time: the cap turns the hang into an error.
+		{"absurd PRNG draw count", func(s *aquacore.Snapshot) { s.Faults.Draws = 1 << 40 }},
+	}
+	for _, p := range poisons {
+		var snap aquacore.Snapshot
+		if err := json.Unmarshal(base, &snap); err != nil {
+			t.Fatal(err)
+		}
+		p.mutate(&snap)
+		fresh, _ := newFaultyGlucose(t, 5)
+		if err := fresh.Restore(&snap); err == nil {
+			t.Errorf("%s: Restore accepted the poisoned snapshot", p.name)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"aquavol/internal/faults"
 	"aquavol/internal/journal"
 	recovery "aquavol/internal/recover"
+	"aquavol/internal/vfs"
 )
 
 // DurabilityCell is one assay × profile result of the chaos matrix.
@@ -89,7 +90,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 
 	// Reference: uninterrupted journaled run.
 	refPath := filepath.Join(dir, ca.name+"-"+pname+"-ref.aqj")
-	jw, f, err := journal.Create(refPath)
+	jw, f, err := journal.Create(vfs.OS{}, refPath, false)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 	if st, err := os.Stat(refPath); err == nil {
 		cell.JournalBytes = st.Size()
 	}
-	refRecs, _, err := journal.Recover(refPath)
+	refRecs, _, err := journal.Recover(vfs.OS{}, refPath)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +184,7 @@ func durabilityCell(ca *compiledAssay, pname string, p faults.Profile,
 
 // crashRun executes a journaled run killed at boundary k.
 func crashRun(ca *compiledAssay, p faults.Profile, seed int64, opts recovery.Options, path string, k int) error {
-	jw, f, err := journal.Create(path)
+	jw, f, err := journal.Create(vfs.OS{}, path, true)
 	if err != nil {
 		return err
 	}
@@ -205,7 +206,7 @@ func crashRun(ca *compiledAssay, p faults.Profile, seed int64, opts recovery.Opt
 // resumeFromFile recovers a (possibly damaged) journal, resumes from its
 // last good snapshot, and fingerprints the final machine state.
 func resumeFromFile(ca *compiledAssay, p faults.Profile, seed int64, opts recovery.Options, path string) (string, error) {
-	recs, _, w, f, err := journal.OpenAppend(path)
+	recs, _, w, f, err := journal.OpenAppend(vfs.OS{}, path)
 	if err != nil {
 		return "", err
 	}

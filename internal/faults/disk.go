@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DiskProfile describes probabilistic storage-fault injection: the rates
+// at which the vfs layer's operations fail. Like Profile it is a plain
+// description; the randomness lives in DiskInjector. The zero value
+// injects nothing.
+type DiskProfile struct {
+	// WriteErr is the probability a write fails outright with EIO
+	// (nothing written).
+	WriteErr float64
+	// ShortWrite is the probability a write delivers only part of its
+	// bytes before failing with ENOSPC.
+	ShortWrite float64
+	// SyncErr is the probability an fsync reports failure while the
+	// written bytes in fact reached the disk (a transient, honest error).
+	SyncErr float64
+	// LyingSync is the probability an fsync reports failure AND the bytes
+	// buffered since the last successful fsync are dropped — the
+	// "fsyncgate" page-cache semantics real kernels exhibit.
+	LyingSync float64
+}
+
+// Enabled reports whether the profile injects any storage fault at all.
+func (p DiskProfile) Enabled() bool {
+	return p.WriteErr > 0 || p.ShortWrite > 0 || p.SyncErr > 0 || p.LyingSync > 0
+}
+
+// String renders the profile in the canonical k=v form ParseDiskProfile
+// accepts.
+func (p DiskProfile) String() string {
+	return fmt.Sprintf("write=%g,short=%g,sync=%g,lying=%g",
+		p.WriteErr, p.ShortWrite, p.SyncErr, p.LyingSync)
+}
+
+// Validate checks every rate is a probability.
+func (p DiskProfile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"WriteErr", p.WriteErr},
+		{"ShortWrite", p.ShortWrite},
+		{"SyncErr", p.SyncErr},
+		{"LyingSync", p.LyingSync},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faults: disk %s must be in [0, 1], got %v", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// ParseDiskProfile parses a comma-separated k=v list with keys write,
+// short, sync, lying (e.g. "write=0.01,sync=0.005"; omitted keys are
+// zero). The empty string is the zero profile.
+func ParseDiskProfile(s string) (DiskProfile, error) {
+	var p DiskProfile
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	fields := map[string]*float64{
+		"write": &p.WriteErr,
+		"short": &p.ShortWrite,
+		"sync":  &p.SyncErr,
+		"lying": &p.LyingSync,
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return DiskProfile{}, fmt.Errorf("faults: bad disk-profile term %q (want k=v list)", kv)
+		}
+		dst, ok := fields[strings.TrimSpace(k)]
+		if !ok {
+			keys := make([]string, 0, len(fields))
+			for name := range fields {
+				keys = append(keys, name)
+			}
+			sort.Strings(keys)
+			return DiskProfile{}, fmt.Errorf("faults: unknown disk-profile key %q (have %s)", k, strings.Join(keys, ", "))
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return DiskProfile{}, fmt.Errorf("faults: bad value for %q: %w", k, err)
+		}
+		*dst = x
+	}
+	if err := p.Validate(); err != nil {
+		return DiskProfile{}, err
+	}
+	return p, nil
+}
+
+// DiskInjector draws storage-fault realizations from its own seeded PRNG
+// stream — deliberately separate from Injector's fluidic stream, whose
+// position is machine state carried in snapshots: disk faults strike the
+// I/O layer, and a resumed run performs different I/O than the original,
+// so sharing one stream would break resume determinism. The same
+// (DiskProfile, seed) and the same operation sequence always realize the
+// same faults.
+type DiskInjector struct {
+	p   DiskProfile
+	rng *rand.Rand
+}
+
+// NewDisk creates a storage-fault injector for one run.
+func NewDisk(p DiskProfile, seed int64) *DiskInjector {
+	return &DiskInjector{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile returns the injected profile.
+func (d *DiskInjector) Profile() DiskProfile { return d.p }
+
+// Enabled reports whether the injector does anything. Nil-safe.
+func (d *DiskInjector) Enabled() bool { return d != nil && d.p.Enabled() }
+
+// WriteFault draws the fate of one write. Exactly one of fail/short can
+// be set. Classes with zero rate consume no randomness, so disabling one
+// fault class never perturbs the others' draw sequence.
+func (d *DiskInjector) WriteFault() (fail, short bool) {
+	if d.p.WriteErr > 0 && d.rng.Float64() < d.p.WriteErr {
+		return true, false
+	}
+	if d.p.ShortWrite > 0 && d.rng.Float64() < d.p.ShortWrite {
+		return false, true
+	}
+	return false, false
+}
+
+// SyncFault draws the fate of one fsync. lying implies fail.
+func (d *DiskInjector) SyncFault() (fail, lying bool) {
+	if d.p.SyncErr > 0 && d.rng.Float64() < d.p.SyncErr {
+		return true, false
+	}
+	if d.p.LyingSync > 0 && d.rng.Float64() < d.p.LyingSync {
+		return true, true
+	}
+	return false, false
+}

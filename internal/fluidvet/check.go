@@ -224,6 +224,7 @@ var replayCritical = map[string]bool{
 	"dag":      true,
 	"ilp":      true,
 	"bench":    true,
+	"vfs":      true,
 }
 
 // isReplayCritical reports whether pkg is in the replay-critical set.

@@ -58,6 +58,11 @@ func checkDiscardedCall(pass *Pass, e ast.Expr, how string) {
 			"(*os.File).%s result %s: a failed %s on a journal or snapshot write path silently breaks durability; check it (or allow with a reason on read-only paths)", name, how, name)
 		return
 	}
+	if recv, name, ok := vfsDurabilityCall(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"%s.%s result %s: the vfs layer exists to surface exactly these storage failures; check it (or allow with a reason on read-only paths)", recv, name, how)
+		return
+	}
 	if name, ok := crcResult(pass, call); ok {
 		pass.Reportf(call.Pos(),
 			"%s result %s: a checksum that is computed but never compared protects nothing", name, how)
@@ -87,6 +92,55 @@ func osFileSyncOrClose(pass *Pass, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return name, true
+}
+
+// vfsDurabilityCall reports whether call invokes Sync or Close on a
+// vfs.File (or any type the vfs package declares), or SyncDir on a
+// vfs.FS. The injectable filesystem is the journal's durability seam:
+// a dropped error there is a dropped EIO/ENOSPC/lying-fsync, the exact
+// failures the layer is built to make visible.
+func vfsDurabilityCall(pass *Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	name = sel.Sel.Name
+	if name != "Sync" && name != "Close" && name != "SyncDir" {
+		return "", "", false
+	}
+	fn, fnOK := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !fnOK {
+		return "", "", false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return "", "", false
+	}
+	if r := vfsTypeName(sig.Recv().Type()); r != "" {
+		return "vfs." + r, name, true
+	}
+	if r := vfsTypeName(pass.TypeOf(sel.X)); r != "" {
+		return "vfs." + r, name, true
+	}
+	return "", "", false
+}
+
+// vfsTypeName returns the named type's name when it is declared in a
+// package whose final path segment is vfs (the interface or any
+// implementation it owns), else "".
+func vfsTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || lastSegment(obj.Pkg().Path()) != "vfs" {
+		return ""
+	}
+	return obj.Name()
 }
 
 func isOSFilePtr(t types.Type) bool {

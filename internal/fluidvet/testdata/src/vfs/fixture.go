@@ -1,0 +1,55 @@
+// Package vfs is a fluidvet fixture for the syncerr analyzer's vfs
+// coverage: the injectable filesystem is the journal's durability seam,
+// so a discarded File.Sync/Close or FS.SyncDir result is a discarded
+// EIO/ENOSPC/lying-fsync — flagged exactly like the *os.File cases.
+package vfs
+
+// File mirrors the real vfs.File surface the analyzer keys on.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS mirrors the real vfs.FS surface.
+type FS interface {
+	Create(name string) (File, error)
+	SyncDir(dir string) error
+}
+
+// Disk is a concrete implementation: methods on types the vfs package
+// declares are covered too, not just the interfaces.
+type Disk struct{}
+
+func (Disk) Create(name string) (File, error) { return nil, nil }
+func (Disk) SyncDir(dir string) error         { return nil }
+
+// AppendUnchecked drops every durability result on the write path.
+func AppendUnchecked(fsys FS, f File, payload []byte) {
+	f.Write(payload)
+	f.Sync()          // want `syncerr: vfs\.File\.Sync result discarded`
+	fsys.SyncDir(".") // want `syncerr: vfs\.FS\.SyncDir result discarded`
+	defer f.Close()   // want `syncerr: vfs\.File\.Close result deferred without checking`
+	_ = f.Sync()      // want `syncerr: vfs\.File\.Sync result explicitly discarded`
+	var d Disk
+	d.SyncDir(".") // want `syncerr: vfs\.Disk\.SyncDir result discarded`
+}
+
+// AppendChecked propagates everything: no findings.
+func AppendChecked(fsys FS, f File, payload []byte) error {
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir("."); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOnlyClose documents the read-path exception: suppressed.
+func ReadOnlyClose(f File) {
+	f.Close() //fluidvet:allow syncerr read-only open; nothing written, nothing to lose
+}

@@ -260,6 +260,13 @@ func TestSyncErrFixture(t *testing.T) {
 	runFixture(t, "journal", SyncErr)
 }
 
+// TestSyncErrVFSFixture pins the vfs extension: Sync/Close on vfs.File
+// (interface or implementation) and SyncDir on vfs.FS are check-required
+// in replay-critical packages, with the same allow escape hatch.
+func TestSyncErrVFSFixture(t *testing.T) {
+	runFixture(t, "vfs", SyncErr)
+}
+
 func TestEnumSwitchJournalKindFixture(t *testing.T) {
 	runFixture(t, "journal", EnumSwitch)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"aquavol/internal/aquacore"
 	"aquavol/internal/journal"
 )
 
@@ -27,6 +28,17 @@ func FuzzDecode(f *testing.F) {
 				Boundary: 1, PC: 1, Source: "s1", Need: 3, Have: 2,
 				Method: "dagsolve", Scale: 0.5, Patches: map[int]float64{1: 1.5},
 			}},
+			{Kind: journal.KindSnapshot, Snapshot: &journal.Snapshot{
+				Boundary: 2, PC: 2,
+				Machine: &aquacore.Snapshot{
+					Vessels: map[string]aquacore.VesselState{
+						"s1": {Volume: 12.5, Composition: map[string]float64{"stock": 12.5}},
+					},
+					Steps: 2, Budget: 100,
+					Faults: &aquacore.FaultState{Seed: 7, Draws: 4},
+				},
+				Recovery: &journal.RecoveryState{Retries: 1},
+			}},
 			{Kind: journal.KindOutcome, Outcome: &journal.Outcome{Status: "completed"}},
 		} {
 			if err := jw.Append(rec); err != nil {
@@ -43,6 +55,15 @@ func FuzzDecode(f *testing.F) {
 	flipped[12] ^= 0xff
 	f.Add(flipped)
 	f.Add([]byte("AQJRNL1\n\xff\xff\xff\xff\x00\x00\x00\x00"))
+	// Mutated-snapshot seeds: cuts and flips landing inside the snapshot
+	// record's machine payload, steering the fuzzer toward the
+	// Restore-facing decode surface.
+	f.Add(valid[:len(valid)*3/4])
+	for _, off := range []int{len(valid) / 2, len(valid)*2/3 + 1, len(valid) - 20} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x20
+		f.Add(mut)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := journal.ReadAll(bytes.NewReader(data))

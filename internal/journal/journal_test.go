@@ -11,6 +11,7 @@ import (
 	"aquavol/internal/aquacore"
 	"aquavol/internal/faults"
 	"aquavol/internal/journal"
+	"aquavol/internal/vfs"
 )
 
 // sampleRecords builds a representative record sequence: begin, a few
@@ -169,7 +170,7 @@ func TestRecoverAndOpenAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	recs, tail, err := journal.Recover(path)
+	recs, tail, err := journal.Recover(vfs.OS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestRecoverAndOpenAppend(t *testing.T) {
 	}
 
 	// OpenAppend truncates the tail and appends cleanly.
-	recs2, _, jw, f, err := journal.OpenAppend(path)
+	recs2, _, jw, f, err := journal.OpenAppend(vfs.OS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestRecoverAndOpenAppend(t *testing.T) {
 	}
 	f.Close()
 
-	final, tail, err := journal.Recover(path)
+	final, tail, err := journal.Recover(vfs.OS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestOpenAppendRejectsEmpty(t *testing.T) {
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, _, err := journal.OpenAppend(path); err == nil {
+	if _, _, _, _, err := journal.OpenAppend(vfs.OS{}, path); err == nil {
 		t.Fatal("OpenAppend accepted an empty file")
 	}
 }
@@ -234,7 +235,7 @@ func TestAppendValidates(t *testing.T) {
 
 func TestCreateWritesHeader(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "new.jrnl")
-	jw, f, err := journal.Create(path)
+	jw, f, err := journal.Create(vfs.OS{}, path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,8 +243,109 @@ func TestCreateWritesHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	recs, tail, err := journal.Recover(path)
+	recs, tail, err := journal.Recover(vfs.OS{}, path)
 	if err != nil || tail.Truncated || len(recs) != 1 {
 		t.Fatalf("recover: recs=%d tail=%+v err=%v", len(recs), tail, err)
+	}
+}
+
+// Create must refuse to clobber an existing non-empty journal (it may be
+// the only crash evidence of a previous run) unless forced; an empty
+// leftover file is always replaceable.
+func TestCreateNoClobber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jrnl")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := journal.Create(vfs.OS{}, path, false); !errors.Is(err, journal.ErrExists) {
+		t.Fatalf("Create over non-empty file: %v, want ErrExists", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "precious" {
+		t.Fatalf("refused Create still modified the file: %q", b)
+	}
+	// force overrides.
+	jw, f, err := journal.Create(vfs.OS{}, path, true)
+	if err != nil {
+		t.Fatalf("forced Create: %v", err)
+	}
+	if err := jw.Append(&journal.Record{Kind: journal.KindBegin, Begin: &journal.Begin{Program: "p"}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// An empty file (a create that died between rename and first append)
+	// is replaceable without force.
+	empty := filepath.Join(dir, "empty.jrnl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, f2, err := journal.Create(vfs.OS{}, empty, false); err != nil {
+		t.Fatalf("Create over empty file: %v", err)
+	} else {
+		f2.Close()
+	}
+}
+
+// Create is atomic: a failure at any site before rename leaves neither
+// the target nor the temp file behind.
+func TestCreateAtomic(t *testing.T) {
+	for _, strike := range []vfs.Strike{
+		{Op: vfs.OpWrite, N: 0},                  // header write fails
+		{Op: vfs.OpSync, N: 0},                   // header sync fails
+		{Op: vfs.OpRename, N: 0, Err: vfs.ErrIO}, // rename fails
+		{Op: vfs.OpCreate, N: 0, Err: vfs.ErrNoSpace},
+	} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "run.jrnl")
+		fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{strike}, nil)
+		if _, _, err := journal.Create(fsys, path, false); err == nil {
+			t.Fatalf("strike %s: Create succeeded", strike)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("strike %s: failed Create left %q behind", strike, ents[0].Name())
+		}
+	}
+}
+
+// After the first fsync failure the writer is poisoned: no further bytes
+// reach the sink, and every Append reports the original failure. This is
+// the fail-stop rule — a post-fsync-failure retry can persist a journal
+// with a silent hole.
+func TestFailStopAfterSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jrnl")
+	// Sync #0 covers the header inside Create; sync #1 (first Append) lies.
+	fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{{Op: vfs.OpSync, N: 1, Lying: true}}, nil)
+	jw, f, err := journal.Create(fsys, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &journal.Record{Kind: journal.KindBegin, Begin: &journal.Begin{Program: "p"}}
+	first := jw.Append(rec)
+	if !errors.Is(first, vfs.ErrIO) {
+		t.Fatalf("append over lying fsync: %v, want ErrIO", first)
+	}
+	writesBefore := fsys.Count(vfs.OpWrite)
+	for i := 0; i < 3; i++ {
+		if err := jw.Append(rec); !errors.Is(err, vfs.ErrIO) || err.Error() != first.Error() {
+			t.Fatalf("poisoned append %d: %v, want the original sticky %v", i, err, first)
+		}
+	}
+	if got := fsys.Count(vfs.OpWrite); got != writesBefore {
+		t.Fatalf("poisoned writer still wrote to the sink (%d -> %d writes)", writesBefore, got)
+	}
+	f.Close()
+	// The on-disk journal holds only what was synced: the header. The
+	// salvaged prefix is exactly zero records, not a torn half-record.
+	recs, _, err := journal.Recover(vfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records from a journal whose every append failed", len(recs))
 	}
 }

@@ -7,7 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+
+	"aquavol/internal/vfs"
 )
 
 // Reader decodes a journal stream, stopping at the first bad frame. It
@@ -138,8 +139,8 @@ type Tail struct {
 // ReadAll's error, a bad tail is not an error here — it is the expected
 // state of a crashed run's journal — so err is non-nil only when the
 // file cannot be read at all.
-func Recover(path string) ([]*Record, Tail, error) {
-	f, err := os.Open(path)
+func Recover(fsys vfs.FS, path string) ([]*Record, Tail, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, Tail{}, fmt.Errorf("journal: %w", err)
 	}
@@ -168,8 +169,8 @@ func recoverFrom(r io.Reader) ([]*Record, Tail, error) {
 // OpenAppend reopens a journal for resumption: it salvages the good
 // prefix, truncates any bad tail, and returns a Writer positioned to
 // append after the last good record. The caller owns closing the file.
-func OpenAppend(path string) ([]*Record, Tail, *Writer, *os.File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func OpenAppend(fsys vfs.FS, path string) ([]*Record, Tail, *Writer, vfs.File, error) {
+	f, err := fsys.OpenReadWrite(path)
 	if err != nil {
 		return nil, Tail{}, nil, nil, fmt.Errorf("journal: %w", err)
 	}

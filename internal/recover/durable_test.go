@@ -12,6 +12,7 @@ import (
 	"aquavol/internal/faults"
 	"aquavol/internal/journal"
 	recovery "aquavol/internal/recover"
+	"aquavol/internal/vfs"
 )
 
 // machineFingerprint marshals the machine's snapshot: deterministic
@@ -49,7 +50,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 	// Reference: uninterrupted journaled run.
 	dir := t.TempDir()
 	refPath := filepath.Join(dir, "ref.aqj")
-	jw, f, err := journal.Create(refPath)
+	jw, f, err := journal.Create(vfs.OS{}, refPath, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 	}
 	want := machineFingerprint(t, ref)
 
-	refRecs, tail, err := journal.Recover(refPath)
+	refRecs, tail, err := journal.Recover(vfs.OS{}, refPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 
 	for k := 0; k < boundaries; k++ {
 		path := filepath.Join(dir, fmt.Sprintf("crash%d.aqj", k))
-		jw, f, err := journal.Create(path)
+		jw, f, err := journal.Create(vfs.OS{}, path, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 			t.Fatalf("crash at %d: error %v must wrap ErrAborted and ErrCrash", k, out1.Err)
 		}
 
-		recs, tail, w2, f2, err := journal.OpenAppend(path)
+		recs, tail, w2, f2, err := journal.OpenAppend(vfs.OS{}, path)
 		if err != nil {
 			t.Fatalf("crash at %d: reopening journal: %v", k, err)
 		}
@@ -142,7 +143,7 @@ func TestCrashAtEveryBoundaryResumesBitIdentical(t *testing.T) {
 		}
 
 		// The continued journal must now close cleanly.
-		final, tail, err := journal.Recover(path)
+		final, tail, err := journal.Recover(vfs.OS{}, path)
 		if err != nil || tail.Truncated {
 			t.Fatalf("crash at %d: resumed journal unreadable: %v (%s)", k, err, tail.Reason)
 		}

@@ -1,0 +1,135 @@
+package recovery_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aquacore"
+	"aquavol/internal/faults"
+	"aquavol/internal/journal"
+	recovery "aquavol/internal/recover"
+	"aquavol/internal/vfs"
+)
+
+// ladderFixture is a crashed journaled run with several snapshot rungs,
+// plus everything a resume needs and the uninterrupted run's reference
+// fingerprint.
+type ladderFixture struct {
+	prog  *ais.Program
+	comp  *recovery.Compiled
+	mk    func() *aquacore.Machine
+	snaps []*journal.Snapshot
+	want  string
+}
+
+// newLadderFixture kills a journaled glucose run late under a tight
+// snapshot cadence, leaving at least three rungs to fall back across.
+func newLadderFixture(t *testing.T) *ladderFixture {
+	t.Helper()
+	ep, plan, cg := compileGlucose(t)
+	profile, _ := faults.Preset("moderate")
+	const seed = 42
+	fx := &ladderFixture{
+		prog: cg.Prog,
+		comp: &recovery.Compiled{Graph: ep.Graph, Clusters: cg.Clusters, VesselOf: cg.VesselOf},
+		mk:   func() *aquacore.Machine { return newMachine(ep, plan, profile, seed, nil) },
+	}
+
+	ref := fx.mk()
+	refOut := recovery.Run(ref, fx.prog, fx.comp, recovery.Options{})
+	if refOut.Status == recovery.Aborted {
+		t.Fatalf("reference run aborted: %v", refOut.Err)
+	}
+	fx.want = machineFingerprint(t, ref)
+
+	path := filepath.Join(t.TempDir(), "crash.aqj")
+	jw, f, err := journal.Create(vfs.OS{}, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := recovery.Run(fx.mk(), fx.prog, fx.comp,
+		recovery.Options{SnapshotEvery: 2, Journal: jw, Crash: faults.CrashAt(9)})
+	f.Close()
+	if out.Status != recovery.Aborted {
+		t.Fatalf("crash run status %s, want aborted", out.Status)
+	}
+	recs, _, err := journal.Recover(vfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.snaps = recovery.Snapshots(recs)
+	if len(fx.snaps) < 3 {
+		t.Fatalf("need at least 3 snapshot rungs for the ladder, got %d", len(fx.snaps))
+	}
+	return fx
+}
+
+// The ladder: when the newest snapshots are unrestorable (CRC-valid
+// frames, poisoned machine state), resume falls back to the first usable
+// one and — by determinism — still finishes bit-identical to the
+// uninterrupted run.
+func TestResumeFallbackLadder(t *testing.T) {
+	fx := newLadderFixture(t)
+
+	// Poison the two newest rungs in distinct ways.
+	fx.snaps[len(fx.snaps)-1].Machine.Vessels = nil
+	fx.snaps[len(fx.snaps)-2].PC = len(fx.prog.Instrs) + 7
+
+	var notes []string
+	var m *aquacore.Machine
+	out, used, err := recovery.ResumeFallback(
+		func() (*aquacore.Machine, error) { m = fx.mk(); return m, nil },
+		fx.prog, fx.comp, recovery.Options{SnapshotEvery: 2}, fx.snaps,
+		func(s string) { notes = append(notes, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used == nil {
+		t.Fatal("ladder restarted from scratch though a good rung existed")
+	}
+	if used != fx.snaps[len(fx.snaps)-3] {
+		t.Errorf("ladder resumed from boundary %d, want the third-newest snapshot (boundary %d)",
+			used.Boundary, fx.snaps[len(fx.snaps)-3].Boundary)
+	}
+	if len(notes) < 3 || !strings.Contains(notes[0], "unusable") || !strings.Contains(notes[1], "unusable") {
+		t.Errorf("ladder notes missing rejected-rung diagnostics: %q", notes)
+	}
+	if out.Status == recovery.Aborted {
+		t.Fatalf("ladder resume aborted: %v", out.Err)
+	}
+	if got := machineFingerprint(t, m); got != fx.want {
+		t.Errorf("ladder resume diverged from uninterrupted run\n got: %s\nwant: %s", got, fx.want)
+	}
+}
+
+// With every snapshot poisoned, the bottom rung restarts from the
+// beginning — and determinism still lands the identical final state.
+func TestResumeFallbackRestartsWhenAllRungsFail(t *testing.T) {
+	fx := newLadderFixture(t)
+	for _, s := range fx.snaps {
+		s.Machine = nil
+	}
+	var m *aquacore.Machine
+	var notes []string
+	out, used, err := recovery.ResumeFallback(
+		func() (*aquacore.Machine, error) { m = fx.mk(); return m, nil },
+		fx.prog, fx.comp, recovery.Options{}, fx.snaps,
+		func(s string) { notes = append(notes, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != nil {
+		t.Fatalf("ladder claims it resumed from boundary %d with every rung poisoned", used.Boundary)
+	}
+	if len(notes) == 0 || !strings.Contains(notes[len(notes)-1], "restarting from the beginning") {
+		t.Errorf("restart note missing: %q", notes)
+	}
+	if out.Status == recovery.Aborted {
+		t.Fatalf("restart rung aborted: %v", out.Err)
+	}
+	if got := machineFingerprint(t, m); got != fx.want {
+		t.Errorf("restarted run diverged from reference\n got: %s\nwant: %s", got, fx.want)
+	}
+}

@@ -259,11 +259,27 @@ func Run(m *aquacore.Machine, prog *ais.Program, c *Compiled, opts Options) *Out
 // recovered journal (journal.OpenAppend).
 func Resume(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 	opts Options, snap *journal.Snapshot) (*Outcome, error) {
+	out, err := prepareResume(m, prog, snap)
+	if err != nil {
+		return nil, err
+	}
+	return run(m, prog, c, opts.withDefaults(), snap.PC, snap.Boundary, out), nil
+}
+
+// prepareResume validates a snapshot, restores it onto the fresh machine
+// m, and reconstructs the accumulated recovery counters — everything
+// Resume does short of executing. Split out so the fallback ladder can
+// probe a snapshot's usability (and announce the chosen rung) before
+// committing to the run.
+func prepareResume(m *aquacore.Machine, prog *ais.Program, snap *journal.Snapshot) (*Outcome, error) {
 	if snap == nil || snap.Machine == nil {
 		return nil, fmt.Errorf("recovery: resume needs a snapshot with machine state")
 	}
 	if snap.PC < 0 || snap.PC > len(prog.Instrs) {
 		return nil, fmt.Errorf("recovery: snapshot pc %d out of range [0,%d]", snap.PC, len(prog.Instrs))
+	}
+	if snap.Boundary < 0 {
+		return nil, fmt.Errorf("recovery: snapshot boundary %d is negative: corrupt", snap.Boundary)
 	}
 	if err := m.Restore(snap.Machine); err != nil {
 		return nil, fmt.Errorf("recovery: restoring machine state: %w", err)
@@ -287,7 +303,7 @@ func Resume(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 			})
 		}
 	}
-	return run(m, prog, c, opts.withDefaults(), snap.PC, snap.Boundary, out), nil
+	return out, nil
 }
 
 // recoveryState flattens the outcome counters for a journal snapshot.

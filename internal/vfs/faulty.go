@@ -1,0 +1,388 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strconv"
+	"strings"
+
+	"aquavol/internal/faults"
+)
+
+// Modeled storage errnos. Sentinels rather than raw syscall errors so
+// tests and chaos harnesses match them with errors.Is portably.
+var (
+	// ErrIO is an injected I/O failure (EIO): the device refused the
+	// operation and nothing can be assumed about the affected bytes.
+	ErrIO = errors.New("vfs: injected I/O error (EIO)")
+	// ErrNoSpace is an injected device-full failure (ENOSPC).
+	ErrNoSpace = errors.New("vfs: injected device-full error (ENOSPC)")
+)
+
+// Op classifies the operations Faulty can strike.
+type Op string
+
+const (
+	OpCreate   Op = "create"
+	OpOpen     Op = "open" // Open and OpenReadWrite
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+	OpSyncDir  Op = "syncdir"
+)
+
+// Ops lists every op class in a fixed order; chaos sweeps iterate it so
+// their site enumeration is deterministic.
+func Ops() []Op {
+	return []Op{OpCreate, OpOpen, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpTruncate, OpSyncDir}
+}
+
+// Strike is one deterministically scheduled fault: the N-th operation of
+// class Op (0-based, counted across the whole FS) fails. The zero Err is
+// ErrIO (ErrNoSpace for short writes).
+type Strike struct {
+	Op Op
+	N  uint64
+	// Err is the error returned; nil selects ErrIO, or ErrNoSpace when
+	// Short is set.
+	Err error
+	// Short makes a struck write deliver half its bytes before failing —
+	// the torn-frame producer.
+	Short bool
+	// Lying makes a struck sync also drop the bytes buffered since the
+	// last successful sync, mirroring kernels that discard dirty pages
+	// after a failed fsync ("fsyncgate"): the data is gone exactly as
+	// after a crash, and a writer that retries the fsync and carries on
+	// silently loses records.
+	Lying bool
+	// Sticky makes the fault persist: every operation of this class from
+	// the N-th on fails (a disk that stays full).
+	Sticky bool
+}
+
+// errOf resolves the strike's error.
+func (s *Strike) errOf() error {
+	if s.Err != nil {
+		return s.Err
+	}
+	if s.Short {
+		return ErrNoSpace
+	}
+	return ErrIO
+}
+
+// String renders the strike in the form ParseStrikes accepts.
+func (s Strike) String() string {
+	out := fmt.Sprintf("%s@%d", s.Op, s.N)
+	if errors.Is(s.errOf(), ErrNoSpace) && !s.Short {
+		out += ":enospc"
+	}
+	if s.Short {
+		out += ":short"
+	}
+	if s.Lying {
+		out += ":lying"
+	}
+	if s.Sticky {
+		out += ":sticky"
+	}
+	return out
+}
+
+// ParseStrikes parses a comma-separated strike list. Each strike is
+// op@N with optional :modifiers — eio (default), enospc, short, lying,
+// sticky — e.g. "sync@3:lying" or "write@5:enospc:sticky,rename@0".
+func ParseStrikes(s string) ([]Strike, error) {
+	var out []Strike
+	valid := map[Op]bool{}
+	for _, op := range Ops() {
+		valid[op] = true
+	}
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		parts := strings.Split(term, ":")
+		opAt, mods := parts[0], parts[1:]
+		opStr, nStr, ok := strings.Cut(opAt, "@")
+		if !ok {
+			return nil, fmt.Errorf("vfs: bad strike %q (want op@N[:modifier...])", term)
+		}
+		st := Strike{Op: Op(strings.TrimSpace(opStr))}
+		if !valid[st.Op] {
+			return nil, fmt.Errorf("vfs: unknown op %q in strike %q", opStr, term)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(nStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vfs: bad site ordinal in strike %q: %w", term, err)
+		}
+		st.N = n
+		for _, mod := range mods {
+			switch strings.TrimSpace(mod) {
+			case "eio":
+				st.Err = ErrIO
+			case "enospc":
+				st.Err = ErrNoSpace
+			case "short":
+				st.Short = true
+			case "lying":
+				st.Lying = true
+			case "sticky":
+				st.Sticky = true
+			default:
+				return nil, fmt.Errorf("vfs: unknown modifier %q in strike %q (have eio, enospc, short, lying, sticky)", mod, term)
+			}
+		}
+		if st.Short && st.Op != OpWrite {
+			return nil, fmt.Errorf("vfs: :short applies only to write strikes (%q)", term)
+		}
+		if st.Lying && st.Op != OpSync {
+			return nil, fmt.Errorf("vfs: :lying applies only to sync strikes (%q)", term)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Faulty wraps an FS with reproducible fault injection: deterministic
+// per-site strikes (chaos matrices sweep one strike over every site) and
+// rate-based faults drawn from a seeded faults.DiskInjector stream. With
+// neither configured it is a pure pass-through that still counts
+// operations — the site enumerator for the sweeps.
+//
+// It is not safe for concurrent use; one run owns its filesystem, as it
+// owns its journal.
+type Faulty struct {
+	inner   FS
+	strikes []Strike
+	disk    *faults.DiskInjector
+	counts  map[Op]uint64
+}
+
+// NewFaulty wraps inner. strikes and disk may be nil/empty.
+func NewFaulty(inner FS, strikes []Strike, disk *faults.DiskInjector) *Faulty {
+	return &Faulty{inner: inner, strikes: append([]Strike(nil), strikes...), disk: disk, counts: map[Op]uint64{}}
+}
+
+// Count returns how many operations of class op have been performed.
+func (f *Faulty) Count(op Op) uint64 { return f.counts[op] }
+
+// Counts returns a copy of the per-class operation counters.
+func (f *Faulty) Counts() map[Op]uint64 {
+	out := make(map[Op]uint64, len(f.counts))
+	for op, n := range f.counts {
+		out[op] = n
+	}
+	return out
+}
+
+// strike advances op's counter and returns the strike scheduled for this
+// site, if any.
+func (f *Faulty) strike(op Op) (*Strike, uint64) {
+	n := f.counts[op]
+	f.counts[op] = n + 1
+	for i := range f.strikes {
+		s := &f.strikes[i]
+		if s.Op == op && (n == s.N || (s.Sticky && n > s.N)) {
+			return s, n
+		}
+	}
+	return nil, n
+}
+
+// injected wraps a strike's error with the site it hit.
+func injected(op Op, n uint64, s *Strike) error {
+	return fmt.Errorf("vfs: injected fault at %s #%d: %w", op, n, s.errOf())
+}
+
+// Create implements FS.
+func (f *Faulty) Create(name string) (File, error) {
+	if s, n := f.strike(OpCreate); s != nil {
+		return nil, injected(OpCreate, n, s)
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fsys: f, inner: inner}, nil
+}
+
+// OpenReadWrite implements FS.
+func (f *Faulty) OpenReadWrite(name string) (File, error) { return f.open(name, f.inner.OpenReadWrite) }
+
+// Open implements FS.
+func (f *Faulty) Open(name string) (File, error) { return f.open(name, f.inner.Open) }
+
+func (f *Faulty) open(name string, via func(string) (File, error)) (File, error) {
+	if s, n := f.strike(OpOpen); s != nil {
+		return nil, injected(OpOpen, n, s)
+	}
+	inner, err := via(name)
+	if err != nil {
+		return nil, err
+	}
+	// Everything already on disk survived whatever came before: it is
+	// durable, so a later lying fsync cannot take it back.
+	durable := int64(0)
+	if st, serr := f.inner.Stat(name); serr == nil {
+		durable = st.Size()
+	}
+	return &faultyFile{fsys: f, inner: inner, durable: durable}, nil
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldname, newname string) error {
+	if s, n := f.strike(OpRename); s != nil {
+		return injected(OpRename, n, s)
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(name string) error {
+	if s, n := f.strike(OpRemove); s != nil {
+		return injected(OpRemove, n, s)
+	}
+	return f.inner.Remove(name)
+}
+
+// Stat implements FS. Metadata reads are not a fault site: no real
+// journal failure mode hinges on stat.
+func (f *Faulty) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(dir string) error {
+	if s, n := f.strike(OpSyncDir); s != nil {
+		return injected(OpSyncDir, n, s)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile wraps an open file, tracking enough position state to model
+// the lying fsync: pos is the write cursor, durable the length known to
+// have reached stable storage (everything up to the last successful sync,
+// or the size at open). The model is append-oriented — exactly the
+// journal's access pattern.
+type faultyFile struct {
+	fsys    *Faulty
+	inner   File
+	pos     int64
+	durable int64
+}
+
+func (f *faultyFile) Read(p []byte) (int, error) {
+	n, err := f.inner.Read(p)
+	f.pos += int64(n)
+	return n, err
+}
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	if s, n := f.fsys.strike(OpWrite); s != nil {
+		if s.Short && len(p) > 1 {
+			k := len(p) / 2
+			wn, werr := f.inner.Write(p[:k])
+			f.pos += int64(wn)
+			if werr != nil {
+				return wn, werr
+			}
+			return wn, injected(OpWrite, n, s)
+		}
+		return 0, injected(OpWrite, n, s)
+	}
+	if d := f.fsys.disk; d.Enabled() {
+		fail, short := d.WriteFault()
+		if fail {
+			return 0, fmt.Errorf("vfs: random write fault: %w", ErrIO)
+		}
+		if short && len(p) > 1 {
+			k := len(p) / 2
+			wn, werr := f.inner.Write(p[:k])
+			f.pos += int64(wn)
+			if werr != nil {
+				return wn, werr
+			}
+			return wn, fmt.Errorf("vfs: random short write (%d of %d bytes): %w", wn, len(p), ErrNoSpace)
+		}
+	}
+	n, err := f.inner.Write(p)
+	f.pos += int64(n)
+	return n, err
+}
+
+func (f *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := f.inner.Seek(offset, whence)
+	if err == nil {
+		f.pos = pos
+	}
+	return pos, err
+}
+
+func (f *faultyFile) Truncate(size int64) error {
+	if s, n := f.fsys.strike(OpTruncate); s != nil {
+		return injected(OpTruncate, n, s)
+	}
+	if err := f.inner.Truncate(size); err != nil {
+		return err
+	}
+	if f.durable > size {
+		f.durable = size
+	}
+	return nil
+}
+
+func (f *faultyFile) Sync() error {
+	if s, n := f.fsys.strike(OpSync); s != nil {
+		if s.Lying {
+			f.dropUnsynced()
+		}
+		return injected(OpSync, n, s)
+	}
+	if d := f.fsys.disk; d.Enabled() {
+		fail, lying := d.SyncFault()
+		if lying {
+			f.dropUnsynced()
+			return fmt.Errorf("vfs: random lying fsync (unsynced bytes dropped): %w", ErrIO)
+		}
+		if fail {
+			return fmt.Errorf("vfs: random fsync failure: %w", ErrIO)
+		}
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.durable = f.pos
+	return nil
+}
+
+// dropUnsynced models the kernel discarding dirty pages after a failed
+// fsync: everything written since the last successful sync vanishes, as
+// it would across a crash. Best-effort — this IS the crash model, so a
+// failure to truncate just leaves more bytes behind, which a real crash
+// may do too.
+func (f *faultyFile) dropUnsynced() {
+	if f.pos > f.durable {
+		if err := f.inner.Truncate(f.durable); err == nil {
+			f.pos = f.durable
+		}
+	}
+}
+
+func (f *faultyFile) Close() error {
+	if s, n := f.fsys.strike(OpClose); s != nil {
+		err := injected(OpClose, n, s)
+		if cerr := f.inner.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and the real close failed: %w)", err, cerr)
+		}
+		return err
+	}
+	return f.inner.Close()
+}
+
+func (f *faultyFile) Name() string { return f.inner.Name() }
+
+var _ FS = (*Faulty)(nil)

@@ -1,0 +1,108 @@
+// Package vfs is the filesystem seam under the durability layer: the
+// journal and snapshot paths perform every storage operation through the
+// FS/File interfaces instead of calling package os directly, so storage
+// faults — EIO, ENOSPC, short writes, a lying fsync — can be injected
+// deterministically (Faulty) and the failure behavior of the write-ahead
+// log can be exercised and gated in CI rather than assumed away.
+//
+// The interface is deliberately small: exactly the operations the
+// durability contract depends on. Create/Rename/SyncDir exist because
+// atomic-and-durable file creation is temp file + rename + parent
+// directory fsync; OpenReadWrite and Truncate because crash recovery
+// salvages a journal's good prefix in place; Sync because a write-ahead
+// log that lingers in page cache does not survive the crashes it exists
+// for.
+//
+// OS is the pass-through production implementation. Faulty (faulty.go)
+// wraps any FS with seeded, reproducible fault injection.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is one open file on an FS: the journal's view of its backing
+// store. Every mutating result must be checked by callers — the fluidvet
+// syncerr analyzer enforces this for Sync, Close, and FS.SyncDir on
+// journal/snapshot write paths.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	// Truncate cuts the file to size bytes (crash recovery drops a
+	// journal's torn tail this way).
+	Truncate(size int64) error
+	// Sync flushes the file's written bytes to stable storage. A Sync
+	// error means the bytes since the last successful Sync may or may not
+	// be durable — and, on a fault model mirroring real page-cache
+	// semantics, may already be gone. Writers must treat the first Sync
+	// failure as fatal for the file (fail-stop), never retry-and-carry-on.
+	Sync() error
+	// Close releases the file. The result matters: a failed Close can
+	// swallow a final flush.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS abstracts the filesystem operations the durability layer performs.
+type FS interface {
+	// Create creates (or truncates) the named file for read/write.
+	Create(name string) (File, error)
+	// OpenReadWrite opens an existing file for read/write (no create).
+	OpenReadWrite(name string) (File, error)
+	// Open opens the named file read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir flushes a directory's entries to stable storage: after a
+	// Create or Rename inside dir, the new name is durable only once the
+	// directory itself has been synced.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a pass-through to package os.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenReadWrite implements FS.
+func (OS) OpenReadWrite(name string) (File, error) { return os.OpenFile(name, os.O_RDWR, 0) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS: fsync the directory so renames and creates
+// within it survive a crash.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ensure *os.File satisfies File (compile-time only).
+var _ File = (*os.File)(nil)
+var _ FS = OS{}

@@ -1,0 +1,269 @@
+package vfs_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aquavol/internal/faults"
+	"aquavol/internal/vfs"
+)
+
+// The OS implementation is a faithful pass-through: create, write, sync,
+// reopen, truncate, rename, syncdir all reach the real filesystem.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.OS{}
+	path := filepath.Join(dir, "a.dat")
+
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	renamed := filepath.Join(dir, "b.dat")
+	if err := fsys.Rename(path, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fsys.Stat(renamed)
+	if err != nil || st.Size() != 11 {
+		t.Fatalf("stat after rename: %v size %d", err, st.Size())
+	}
+
+	rw, err := fsys.OpenReadWrite(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(rw)
+	if err != nil || string(b) != "hello world" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	if err := rw.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Seek(5, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(renamed); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}
+
+// A strike fires at exactly its site and nowhere else, and the error
+// chain exposes the modeled errno.
+func TestStrikeSiteExact(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{{Op: vfs.OpWrite, N: 2}}, nil)
+	f, err := fsys.Create(filepath.Join(dir, "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("write 2 error %v, want ErrIO", err)
+	}
+	// Non-sticky: the next site succeeds again.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsys.Count(vfs.OpWrite); got != 4 {
+		t.Fatalf("write count %d, want 4", got)
+	}
+}
+
+// A sticky ENOSPC models a disk that fills and stays full.
+func TestStickyENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{{Op: vfs.OpWrite, N: 1, Err: vfs.ErrNoSpace, Sticky: true}}, nil)
+	f, err := fsys.Create(filepath.Join(dir, "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, vfs.ErrNoSpace) {
+			t.Fatalf("sticky write %d error %v, want ErrNoSpace", i, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A short write delivers a prefix of the bytes before failing — the
+// canonical torn-frame producer.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{{Op: vfs.OpWrite, N: 0, Short: true}}, nil)
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("short write error %v, want ErrNoSpace", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "01234" {
+		t.Fatalf("on disk %q, %v", b, err)
+	}
+}
+
+// The lying fsync reports failure AND drops everything buffered since
+// the last successful sync, exactly as a crash after a kernel page-cache
+// drop would.
+func TestLyingSyncDropsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{{Op: vfs.OpSync, N: 1, Lying: true}}, nil)
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // sync #0 succeeds: "durable" is safe
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, vfs.ErrIO) { // sync #1 lies
+		t.Fatalf("lying sync error %v, want ErrIO", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "durable" {
+		t.Fatalf("after lying fsync the file holds %q, want only the synced prefix %q (%v)", b, "durable", err)
+	}
+}
+
+// Bytes that were on disk when the file was opened are already durable:
+// a lying fsync on a reopened file cannot take them back.
+func TestLyingSyncSparesPreexistingBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	if err := os.WriteFile(path, []byte("olddata"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := vfs.NewFaulty(vfs.OS{}, []vfs.Strike{{Op: vfs.OpSync, N: 0, Lying: true}}, nil)
+	f, err := fsys.OpenReadWrite(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(7, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("lying sync error %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "olddata" {
+		t.Fatalf("pre-existing bytes damaged: %q", b)
+	}
+}
+
+// Rate-based faults are reproducible: the same (profile, seed, op
+// sequence) realizes the same faults, and a fresh injector replays them.
+func TestRateFaultsDeterministic(t *testing.T) {
+	run := func() []bool {
+		dir := t.TempDir()
+		fsys := vfs.NewFaulty(vfs.OS{}, nil, faults.NewDisk(faults.DiskProfile{WriteErr: 0.3, SyncErr: 0.2}, 7))
+		f, err := fsys.Create(filepath.Join(dir, "j"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fates []bool
+		for i := 0; i < 64; i++ {
+			_, werr := f.Write([]byte("x"))
+			fates = append(fates, werr != nil)
+			fates = append(fates, f.Sync() != nil)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return fates
+	}
+	a, b := run(), run()
+	hit := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fate %d differs between identical runs", i)
+		}
+		hit = hit || a[i]
+	}
+	if !hit {
+		t.Fatal("no fault realized at 30%/20% over 64 ops: injector inert")
+	}
+}
+
+// ParseStrikes round-trips the spec grammar and rejects malformed terms.
+func TestParseStrikes(t *testing.T) {
+	got, err := vfs.ParseStrikes("sync@3:lying, write@5:enospc:sticky,rename@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []vfs.Strike{
+		{Op: vfs.OpSync, N: 3, Lying: true},
+		{Op: vfs.OpWrite, N: 5, Err: vfs.ErrNoSpace, Sticky: true},
+		{Op: vfs.OpRename, N: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d strikes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Errorf("strike %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"write", "write@x", "frob@1", "write@1:frob", "close@0:short", "write@0:lying"} {
+		if _, err := vfs.ParseStrikes(bad); err == nil {
+			t.Errorf("ParseStrikes(%q) accepted", bad)
+		}
+	}
+}
