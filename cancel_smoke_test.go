@@ -1,0 +1,187 @@
+// Cancellation smoke tests for the budget layer: every certified entry
+// point runs on N goroutines while a sibling goroutine cancels their
+// shared meter, under `go test -race` (ci.sh runs the race tier). The
+// cancellable entry points must all come back with the typed
+// caller-cancelled cause — no deadlock, no torn state, no race report.
+// The two certified entry points without a budget channel
+// ((*dag.Graph).Validate and aisverify.Verify) are the controls: they
+// take no meter, so they must complete normally while the cancel storm
+// rages around them.
+package aquavol
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"aquavol/internal/ais"
+	"aquavol/internal/aisverify"
+	"aquavol/internal/analysis"
+	"aquavol/internal/assays"
+	"aquavol/internal/budget"
+	"aquavol/internal/core"
+	"aquavol/internal/dag"
+	"aquavol/internal/fluidvet"
+	"aquavol/internal/ilp"
+	"aquavol/internal/lang"
+	"aquavol/internal/lp"
+)
+
+// cancelSmokeMaxIters bounds each worker's solve loop: cancellation
+// detection is stride-bounded, so the typed stop must arrive within a
+// few iterations; thousands means the cancel was lost.
+const cancelSmokeMaxIters = 10000
+
+// runUntilCancelled hammers run on N goroutines against a shared meter,
+// cancels from this (sibling) goroutine, and requires every worker to
+// come back with the typed caller-cancelled cause.
+func runUntilCancelled(t *testing.T, run func(m *budget.Meter) error) {
+	t.Helper()
+	meter := budget.New(0)
+	errc := make(chan error, smokeGoroutines)
+	for i := 0; i < smokeGoroutines; i++ {
+		go func() {
+			for n := 0; n < cancelSmokeMaxIters; n++ {
+				if err := run(meter); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- fmt.Errorf("no cancellation observed in %d solves", cancelSmokeMaxIters)
+		}()
+	}
+	meter.Cancel()
+	for i := 0; i < smokeGoroutines; i++ {
+		if err := <-errc; !errors.Is(err, budget.ErrCancelled) {
+			t.Errorf("worker %d: %v, want the typed caller-cancelled cause", i, err)
+		}
+	}
+}
+
+// cancelExercises maps each certified entry point to its cancellation
+// smoke; TestCancelSmoke walks fluidvet.CertifiedEntryPoints, so a
+// newly certified function without a cancellation story fails the
+// suite (explicitly marked controls included).
+var cancelExercises = map[string]func(t *testing.T){
+	"aquavol/internal/core.DAGSolve":         cancelSmokeDAGSolve,
+	"aquavol/internal/core.SolveResidual":    cancelSmokeSolveResidual,
+	"(*aquavol/internal/lp.Problem).Solve":   cancelSmokeLPSolve,
+	"aquavol/internal/ilp.Solve":             cancelSmokeILPSolve,
+	"aquavol/internal/analysis.Analyze":      cancelSmokeAnalyze,
+	"(*aquavol/internal/dag.Graph).Validate": cancelControlValidate,
+	"aquavol/internal/aisverify.Verify":      cancelControlVerify,
+}
+
+func TestCancelSmoke(t *testing.T) {
+	for _, name := range fluidvet.CertifiedEntryPoints {
+		fn, ok := cancelExercises[name]
+		if !ok {
+			t.Errorf("certified entry point %s has no cancellation smoke exercise", name)
+			continue
+		}
+		t.Run(name, fn)
+	}
+	if len(cancelExercises) != len(fluidvet.CertifiedEntryPoints) {
+		t.Errorf("cancellation exercises cover %d entry points, certificate lists %d",
+			len(cancelExercises), len(fluidvet.CertifiedEntryPoints))
+	}
+}
+
+func cancelSmokeDAGSolve(t *testing.T) {
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		c := cfg()
+		c.Budget = m
+		_, err := core.DAGSolve(assays.GlucoseDAG(), c, nil)
+		return err
+	})
+}
+
+func cancelSmokeSolveResidual(t *testing.T) {
+	g := dag.New()
+	in1 := g.AddInput("in1")
+	in2 := g.AddInput("in2")
+	mx := g.AddMix("M", dag.Part{Source: in1, Ratio: 1}, dag.Part{Source: in2, Ratio: 3})
+	h := g.AddUnary(dag.Incubate, "H", mx)
+	g.AddUnary(dag.Sense, "end", h)
+	done := map[int]bool{in1.ID(): true, in2.ID(): true, mx.ID(): true}
+	r, err := dag.ExtractResidual(g, func(n *dag.Node) bool { return done[n.ID()] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := func(sourceID int, port string) (float64, bool) { return 37.5, true }
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		c := cfg()
+		c.Budget = m
+		_, err := core.SolveResidual(r, c, live)
+		return err
+	})
+}
+
+func cancelSmokeLPSolve(t *testing.T) {
+	g := assays.GlucoseDAG()
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		f, err := core.Formulate(g, cfg(), core.FormulateOptions{}, nil)
+		if err != nil {
+			return err
+		}
+		_, err = f.Prob.Solve(lp.Options{Budget: m})
+		return err
+	})
+}
+
+func cancelSmokeILPSolve(t *testing.T) {
+	c := cfg()
+	unitCfg := core.Config{
+		MaxCapacity: c.MaxCapacity / c.LeastCount,
+		LeastCount:  1,
+		OutputSkew:  c.OutputSkew,
+	}
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		f, err := core.Formulate(assays.GlucoseDAG(), unitCfg, core.FormulateOptions{}, nil)
+		if err != nil {
+			return err
+		}
+		_, err = ilp.Solve(f.Prob, ilp.Options{MaxNodes: 20000, Budget: m})
+		return err
+	})
+}
+
+func cancelSmokeAnalyze(t *testing.T) {
+	prog, err := lang.Compile(assays.GlucoseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		c := cfg()
+		c.Budget = m
+		_, err := analysis.Analyze(prog, c, analysis.Options{})
+		return err
+	})
+}
+
+// cancelControlValidate: no budget channel — must complete normally on
+// every goroutine while a sibling cancels an (unrelated) meter.
+func cancelControlValidate(t *testing.T) {
+	g := assays.GlycomicsDAG()
+	meter := budget.New(0)
+	meter.Cancel()
+	hammer(t, smokeGoroutines, func(worker int) error {
+		return g.Validate()
+	})
+}
+
+// cancelControlVerify: no budget channel — same control contract.
+func cancelControlVerify(t *testing.T) {
+	prog, err := ais.Assemble("input s1, ip1\nmove-abs mixer1, s1, 0.5\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := budget.New(0)
+	meter.Cancel()
+	hammer(t, smokeGoroutines, func(worker int) error {
+		if got := aisverify.Verify(prog, aisverify.Options{}); len(got) == 0 {
+			return fmt.Errorf("witness program produced no findings")
+		}
+		return nil
+	})
+}

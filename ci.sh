@@ -124,4 +124,32 @@ status=0
 "$tmp/fluidvm" -fsfaults sync@2:lying -journal "$tmp/lying.aqj" -force-journal testdata/glucose.asy >/dev/null 2>&1 || status=$?
 [ "$status" -eq 3 ] # exit 3 = fail-stop abort on the first failed fsync
 
+echo "== bounded execution (E15) =="
+# The cancel-at-every-boundary matrix cancels every certified solver
+# path and every shipped assay at a sweep of charge/instruction
+# boundaries, asserting the trichotomy: completed, clean typed cancel
+# after exactly k work units, or a fail-stopped journal whose salvaged
+# prefix resumes bit-identical. The table is seeded and timing-free, so
+# two runs must agree byte for byte (cancellation latency and polling
+# overhead are wall-clock and live in the JSON report only).
+"$tmp/volbench" -experiment bounded >"$tmp/bounded1.out"
+"$tmp/volbench" -experiment bounded >"$tmp/bounded2.out"
+cmp "$tmp/bounded1.out" "$tmp/bounded2.out"
+! grep -qw 'NO' "$tmp/bounded1.out" # every row completes at exactly its budget
+# fluidvm smoke: a work budget that runs out mid-execution fail-stops
+# the journaled run with exit 5 (cancelled/deadline/budget), and the
+# salvaged journal resumes to output byte-identical to the
+# uninterrupted reference run from the durable-execution gate above.
+status=0
+"$tmp/fluidvm" -budget 60 -faults moderate -seed 42 -journal "$tmp/cancel.aqj" testdata/glucose.asy >/dev/null 2>&1 || status=$?
+[ "$status" -eq 5 ] # exit 5 = budget exhausted mid-run
+"$tmp/fluidvm" -resume "$tmp/cancel.aqj" testdata/glucose.asy >"$tmp/cancel-resume.out" 2>/dev/null
+cmp "$tmp/ref.out" "$tmp/cancel-resume.out"
+# A budget that runs out during planning trips before the journal is
+# ever created: exit 5, no journal, nothing to clobber or salvage.
+status=0
+"$tmp/fluidvm" -budget 20 -faults moderate -seed 42 -journal "$tmp/plantrip.aqj" testdata/glucose.asy >/dev/null 2>&1 || status=$?
+[ "$status" -eq 5 ]
+[ ! -f "$tmp/plantrip.aqj" ]
+
 echo "CI OK"

@@ -8,7 +8,8 @@
 //
 //	fluidvm [-yield F] [-trace] [-faults PROFILE] [-seed N] [-margin F]
 //	        [-recover] [-replan] [-retries N] [-journal PATH]
-//	        [-snapshot-every N] [-crash-at N] assay.asy
+//	        [-snapshot-every N] [-crash-at N] [-budget N] [-deadline D]
+//	        assay.asy
 //	fluidvm -ais prog.ais -voltab prog.vol       # run a shipped listing
 //	fluidvm -resume run.aqj assay.asy            # continue a crashed run
 //
@@ -50,8 +51,18 @@
 // -fsfault-seed PRNG. The fluidic machine is untouched — only the
 // journal's filesystem misbehaves.
 //
+// -budget N bounds the run to N work units (planning charges solver
+// pivots and DAG node visits, execution one unit per instruction);
+// -deadline D adds a wall-clock bound. Either trip stops the run
+// cooperatively with a typed cause and exit code 5. Under -journal a
+// cancelled run fail-stops exactly like a crash — the journal keeps no
+// outcome record and -resume completes it bit-identically (budgets are
+// resource guards, never replayed state). Both flags also bound a
+// -resume itself.
+//
 // Exit codes: 0 completed, 1 error, 2 completed-degraded (unrepaired
-// faults), 3 aborted, 4 resume failure, 64 usage.
+// faults), 3 aborted, 4 resume failure, 5 cancelled/deadline/budget
+// exceeded, 64 usage.
 package main
 
 import (
@@ -65,6 +76,7 @@ import (
 
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
+	"aquavol/internal/budget"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
 	"aquavol/internal/faults"
@@ -83,6 +95,7 @@ const (
 	exitDegraded     = 2
 	exitAborted      = 3
 	exitResumeFailed = 4
+	exitCancelled    = 5
 	exitUsage        = 64
 )
 
@@ -108,8 +121,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	forceJournal := fs.Bool("force-journal", false, "overwrite an existing non-empty journal at -journal PATH")
 	fsFaults := fs.String("fsfaults", "", "inject storage faults under the journal: strike list (op@N[:mod]) or rate profile (k=v)")
 	fsFaultSeed := fs.Int64("fsfault-seed", 0, "PRNG seed for rate-based -fsfaults profiles")
+	budgetN := fs.Int64("budget", 0, "bound the run to N work units (0 = unlimited); tripping exits 5")
+	deadline := fs.Duration("deadline", 0, "wall-clock deadline for the whole run (0 = none); tripping exits 5")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	// One meter bounds the whole invocation — planning, execution, and
+	// resume alike. Nil when unbounded, so the default path charges nothing.
+	var meter *budget.Meter
+	if *budgetN > 0 || *deadline > 0 {
+		meter = budget.New(*budgetN).WithDeadline(*deadline)
 	}
 	fsys, err := buildFS(*fsFaults, *fsFaultSeed)
 	if err != nil {
@@ -123,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *resumePath != "" {
-		return doResume(fsys, *resumePath, fs.Args(), *aisFile, *volFile, traceFn, eventFn, stdout, stderr)
+		return doResume(fsys, *resumePath, fs.Args(), *aisFile, *volFile, meter, traceFn, eventFn, stdout, stderr)
 	}
 
 	prof, err := faults.ParseProfile(*faultSpec)
@@ -135,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inj = faults.New(prof, *seed)
 	}
 	doRecover := *rec || *replan || *journalPath != "" || *crashAt >= 0
-	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery, EnableReplan: *replan}
+	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery, EnableReplan: *replan, Budget: meter}
 	if *crashAt >= 0 {
 		ropts.Crash = faults.CrashAt(*crashAt)
 	}
@@ -149,7 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if *aisFile != "" {
 		name = *aisFile
-		prog, m, err = buildShipped(*aisFile, *volFile, *yield, traceFn, eventFn, inj)
+		prog, m, err = buildShipped(*aisFile, *volFile, *yield, meter, traceFn, eventFn, inj)
 	} else {
 		if fs.NArg() != 1 {
 			fmt.Fprintln(stderr, "usage: fluidvm [flags] assay.asy")
@@ -158,10 +179,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		name = fs.Arg(0)
 		var src []byte
 		if src, err = os.ReadFile(name); err == nil {
-			prog, comp, m, err = buildAssay(string(src), *yield, *margin, traceFn, eventFn, inj)
+			prog, comp, m, err = buildAssay(string(src), *yield, *margin, meter, traceFn, eventFn, inj)
 		}
 	}
 	if err != nil {
+		// A budget/deadline trip during planning (vnorm sweeps, LP pivots,
+		// ILP nodes) is a bounded stop, not a compile error.
+		if budget.IsStop(err) {
+			fmt.Fprintln(stderr, "fluidvm:", err)
+			return exitCancelled
+		}
 		return fail(stderr, err)
 	}
 
@@ -190,6 +217,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	res, err := m.Run(prog)
 	if err != nil {
+		if budget.IsStop(err) {
+			fmt.Fprintln(stderr, "fluidvm:", err)
+			return exitCancelled
+		}
 		return fail(stderr, err)
 	}
 	report(stdout, res)
@@ -239,7 +270,7 @@ func buildFS(spec string, seed int64) (vfs.FS, error) {
 // valid CRC) the resume falls back to earlier ones, and ultimately to a
 // deterministic restart. Notices go to stderr so stdout stays
 // byte-identical to the uninterrupted run's.
-func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string,
+func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, meter *budget.Meter,
 	traceFn func(aquacore.TraceEntry), eventFn func(aquacore.Event), stdout, stderr io.Writer) int {
 	resumeFail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "fluidvm: resume: "+format+"\n", a...)
@@ -277,7 +308,7 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string,
 			inj = faults.New(begin.Profile, begin.Seed)
 		}
 		if aisFile != "" {
-			p, m, err := buildShipped(aisFile, volFile, begin.Yield, traceFn, eventFn, inj)
+			p, m, err := buildShipped(aisFile, volFile, begin.Yield, meter, traceFn, eventFn, inj)
 			prog = p
 			return m, err
 		}
@@ -285,7 +316,7 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string,
 		if err != nil {
 			return nil, err
 		}
-		p, c, m, err := buildAssay(string(src), begin.Yield, begin.Margin, traceFn, eventFn, inj)
+		p, c, m, err := buildAssay(string(src), begin.Yield, begin.Margin, meter, traceFn, eventFn, inj)
 		prog, comp = p, c
 		return m, err
 	}
@@ -302,11 +333,14 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string,
 			begin.Hash, begin.Instrs, h, len(prog.Instrs))
 	}
 
+	// The budget meter is per-invocation configuration, never journaled
+	// state: a resume is bounded only by the flags of THIS invocation.
 	ropts := recovery.Options{
 		RetriesPerInstr: begin.Retries,
 		SnapshotEvery:   begin.SnapshotEvery,
 		EnableReplan:    begin.Replan,
 		Journal:         w,
+		Budget:          meter,
 	}
 	snaps := recovery.Snapshots(recs)
 	if len(snaps) == 0 {
@@ -326,7 +360,7 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string,
 // buildAssay compiles assay source and constructs its machine, mirroring
 // the planner/codegen decisions of a direct run so a resume rebuilds the
 // identical program.
-func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEntry),
+func buildAssay(src string, yield, margin float64, meter *budget.Meter, traceFn func(aquacore.TraceEntry),
 	eventFn func(aquacore.Event), inj *faults.Injector) (*ais.Program, *recovery.Compiled, *aquacore.Machine, error) {
 	ep, err := lang.Compile(src)
 	if err != nil {
@@ -334,6 +368,7 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 	}
 	cfg := core.DefaultConfig()
 	cfg.SafetyMargin = margin
+	cfg.Budget = meter
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -376,7 +411,7 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj}, g, source)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj, Budget: meter}, g, source)
 	m.SetDry(codegen.DryInit(ep))
 	comp := &recovery.Compiled{Graph: g, Clusters: cg.Clusters, VesselOf: cg.VesselOf}
 	return cg.Prog, comp, m, nil
@@ -386,7 +421,7 @@ func buildAssay(src string, yield, margin float64, traceFn func(aquacore.TraceEn
 // artifact fluidc -o/-voltab produces — with no source or DAG available.
 // Recovery is retry-only here: regeneration needs the DAG and cluster map
 // that only a fresh compile carries.
-func buildShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.TraceEntry),
+func buildShipped(aisFile, volFile string, yield float64, meter *budget.Meter, traceFn func(aquacore.TraceEntry),
 	eventFn func(aquacore.Event), inj *faults.Injector) (*ais.Program, *aquacore.Machine, error) {
 	src, err := os.ReadFile(aisFile)
 	if err != nil {
@@ -396,7 +431,7 @@ func buildShipped(aisFile, volFile string, yield float64, traceFn func(aquacore.
 	if err != nil {
 		return nil, nil, err
 	}
-	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj}, nil, nil)
+	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj, Budget: meter}, nil, nil)
 	if volFile != "" {
 		vsrc, err := os.ReadFile(volFile)
 		if err != nil {
@@ -422,6 +457,12 @@ func finish(out *recovery.Outcome, stdout, stderr io.Writer) int {
 		return exitDegraded
 	default:
 		fmt.Fprintln(stderr, "fluidvm:", out.Err)
+		// Budget/deadline/cancellation stops get their own exit code so
+		// scripts can tell a bounded stop from a genuine abort. errors.Is
+		// sees the typed cause through the ErrAborted wrap.
+		if budget.IsStop(out.Err) {
+			return exitCancelled
+		}
 		return exitAborted
 	}
 }

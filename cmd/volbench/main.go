@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver|storage-chaos]
-//	         [-full] [-sweep N] [-seeds N] [-json FILE]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver|storage-chaos|bounded]
+//	         [-full] [-sweep N] [-seeds N] [-json FILE] [-ilp-nodes N] [-ilp-time D]
 //
 // -experiment solver measures the raw planning throughput/latency
 // baseline (plans/sec, p50/p99 per shipped assay and solver); with
@@ -15,6 +15,15 @@
 // injected fault at every journal I/O site, asserting the trichotomy
 // (clean / refused journal / bit-identical resume). Its table is
 // deterministic; -json adds the journaling-overhead timing.
+//
+// -experiment bounded runs the E15 cancel-at-every-boundary matrix for
+// the work-budget layer: every certified solver path and every shipped
+// assay is cancelled at a sweep of charge/instruction boundaries,
+// asserting the trichotomy (completed / clean typed cancel within
+// bounded work / salvaged journal resumes bit-identically). The table
+// is deterministic; -json adds cancellation-latency percentiles and the
+// budget-polling overhead (BENCH_bounded.json at the repository root is
+// the recorded trajectory).
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
 // roughly a gigabyte of tableau, which is the paper's point).
@@ -35,7 +44,10 @@ func main() {
 	sweep := flag.Int("sweep", 5, "max N for the EnzymeN scaling sweep")
 	seeds := flag.Int("seeds", 5, "seeds per cell in the robustness Monte-Carlo sweep")
 	jsonOut := flag.String("json", "", "write the solver experiment's machine-readable report to this file")
+	ilpNodes := flag.Int("ilp-nodes", 0, "B&B node budget for the ilp experiment (0 = default 20000)")
+	ilpTime := flag.Duration("ilp-time", 0, "wall-clock guard per ilp solve (0 = default 15s)")
 	flag.Parse()
+	ilpBounds := bench.ILPBounds{Nodes: *ilpNodes, Time: *ilpTime}
 
 	var tables []*bench.Table
 	switch *experiment {
@@ -75,6 +87,24 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "bounded":
+		t, report, err := bench.Bounded()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bounded execution: %v\n", err)
+			os.Exit(1)
+		}
+		tables = []*bench.Table{t}
+		if *jsonOut != "" {
+			blob, err := bench.WriteBoundedReport(report)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
 	case "all":
 		tables = bench.All(*full, *sweep)
 	case "fig5":
@@ -94,7 +124,7 @@ func main() {
 	case "lpablation":
 		tables = []*bench.Table{bench.LPAblation()}
 	case "ilp":
-		tables = []*bench.Table{bench.ILP(0)}
+		tables = []*bench.Table{bench.ILP(ilpBounds)}
 	case "regen":
 		tables = []*bench.Table{bench.Regen()}
 	case "ablations":

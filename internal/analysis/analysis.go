@@ -243,6 +243,11 @@ func run(ctx *Context) (diag.List, error) {
 	}
 	var out diag.List
 	for _, p := range passes {
+		// Cooperative cancellation at the pass boundary: a tripped
+		// cfg.Budget stops the lint with its typed cause.
+		if err := ctx.Cfg.Budget.Err(); err != nil {
+			return nil, err
+		}
 		out = append(out, runPass(p, ctx)...)
 	}
 	out.Sort()

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"aquavol/internal/ais"
+	"aquavol/internal/budget"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
 	"aquavol/internal/faults"
@@ -63,6 +64,14 @@ type Config struct {
 	// bit-identical to the ideal-physics machine. One injector serves
 	// exactly one run; its PRNG stream position is machine state.
 	Faults *faults.Injector
+	// Budget, when non-nil, is charged one work unit per executed
+	// instruction, BEFORE the instruction runs: a tripped meter stops
+	// execution exactly at an instruction boundary with the machine state
+	// untouched by the unexecuted instruction. The meter is config, not
+	// machine state — it is never snapshotted, so a journaled run
+	// cancelled mid-flight resumes under a fresh meter and completes
+	// bit-identically to an uninterrupted run.
+	Budget *budget.Meter
 }
 
 // TraceEntry reports one executed instruction to Config.Trace.
@@ -460,6 +469,13 @@ func (m *Machine) ExecOne(prog *ais.Program, pc int) (next int, halted bool, err
 	}
 	if m.steps > m.budget {
 		return 0, false, fmt.Errorf("aquacore: instruction budget exhausted (dry-code loop?)")
+	}
+	// Charge the cooperative budget before executing: a trip leaves the
+	// machine exactly at this instruction boundary, the instruction at pc
+	// unexecuted. (Distinct from m.budget above, the anti-runaway step
+	// counter, which IS machine state and is snapshotted.)
+	if err := m.cfg.Budget.Charge(1); err != nil {
+		return 0, false, err
 	}
 	if pc < 0 || pc >= len(prog.Instrs) {
 		return 0, false, fmt.Errorf("aquacore: pc %d out of range [0,%d)", pc, len(prog.Instrs))

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"aquavol/internal/assays"
+	"aquavol/internal/budget"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
 	"aquavol/internal/ilp"
@@ -532,13 +533,35 @@ func LPAblation() *Table {
 	return t
 }
 
+// ILPBounds bounds the E8 branch-and-bound comparison. The zero value
+// selects the defaults: 20000 nodes and a 15 s wall-clock guard — the
+// bounds are experiment configuration now, not constants buried in the
+// harness, so callers (volbench flags, tests) can tighten or relax them.
+type ILPBounds struct {
+	// Nodes caps explored B&B nodes; 0 selects 20000.
+	Nodes int
+	// Time is the wall-clock guard on each ilp.Solve; 0 selects 15 s.
+	Time time.Duration
+	// Budget optionally bounds the whole experiment with a caller meter
+	// (cooperative cancellation; charged per node and per LP pivot).
+	Budget *budget.Meter
+}
+
+func (b ILPBounds) withDefaults() ILPBounds {
+	if b.Nodes == 0 {
+		b.Nodes = 20000
+	}
+	if b.Time == 0 {
+		b.Time = 15 * time.Second
+	}
+	return b
+}
+
 // ILP reproduces the §4.3 ILP-vs-LP comparison: comparable on glucose,
 // intractable on enzyme (node budget exhausted, the analogue of the
 // paper's 'ran for hours').
-func ILP(nodeBudget int) *Table {
-	if nodeBudget == 0 {
-		nodeBudget = 20000
-	}
+func ILP(b ILPBounds) *Table {
+	b = b.withDefaults()
 	c := cfg()
 	t := &Table{
 		ID:     "E8/ilp",
@@ -577,7 +600,7 @@ func ILP(nodeBudget int) *Table {
 			}
 		})
 		start := time.Now() //fluidvet:allow determinism wall-clock timing is the benchmark's measurement, reported not replayed
-		res, err := ilp.Solve(f.Prob, ilp.Options{MaxNodes: nodeBudget, MaxTime: 15 * time.Second})
+		res, err := ilp.Solve(f.Prob, ilp.Options{MaxNodes: b.Nodes, MaxTime: b.Time, Budget: b.Budget})
 		if err != nil {
 			panic(err)
 		}
@@ -650,7 +673,7 @@ func All(full bool, sweepN int) []*Table {
 		Table2(full),
 		ScalingTable(sweepN),
 		LPAblation(),
-		ILP(0),
+		ILP(ILPBounds{}),
 		Regen(),
 		CascadeDepth(),
 		ReplicaSweep(),

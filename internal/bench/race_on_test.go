@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-free assertions (the chaos matrices) run under both tiers;
+// throughput comparisons against recorded wall-clock trajectories are
+// meaningless under the detector's several-fold slowdown and skip.
+const raceEnabled = true

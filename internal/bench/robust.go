@@ -5,6 +5,7 @@ import (
 
 	"aquavol/internal/aquacore"
 	"aquavol/internal/assays"
+	"aquavol/internal/budget"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
@@ -69,6 +70,12 @@ func compileForRun(name, src string, margin float64) (*compiledAssay, error) {
 
 // newMachine builds a fresh machine for one run under profile p and seed.
 func (ca *compiledAssay) newMachine(p faults.Profile, seed int64) (*aquacore.Machine, error) {
+	return ca.newBudgetedMachine(p, seed, nil)
+}
+
+// newBudgetedMachine is newMachine with a work-budget meter wired into
+// the machine config — the bench side of the E15 cancellation matrix.
+func (ca *compiledAssay) newBudgetedMachine(p faults.Profile, seed int64, meter *budget.Meter) (*aquacore.Machine, error) {
 	var src aquacore.VolumeSource
 	g := ca.ep.Graph
 	if ca.staged {
@@ -85,7 +92,7 @@ func (ca *compiledAssay) newMachine(p faults.Profile, seed int64) (*aquacore.Mac
 		src = aquacore.PlanSource{Plan: ca.plan}
 		g = ca.plan.Graph
 	}
-	acfg := aquacore.Config{}
+	acfg := aquacore.Config{Budget: meter}
 	if p.Enabled() {
 		acfg.Faults = faults.New(p, seed)
 	}

@@ -135,6 +135,10 @@ func SolverBaseline() (*Table, *SolverReport, error) {
 			_, err = ilp.Solve(f.Prob, ilp.Options{MaxNodes: 20000})
 			return err
 		}},
+		// The frozen CPU-speed reference (see canary.go): records the
+		// recording host's speed so cross-recording comparisons can
+		// separate host drift from solver changes.
+		{"canary", "kernel", canaryKernel},
 	}
 
 	report := &SolverReport{Schema: "aquavol/bench-solver/v1"}
@@ -145,6 +149,7 @@ func SolverBaseline() (*Table, *SolverReport, error) {
 		Notes: []string{
 			"solve time only: graph/formulation construction included, IO excluded",
 			"recorded to BENCH_solver.json so later solver PRs can show their speedup",
+			"canary/kernel is the frozen CPU-speed reference: it dates each recording's host speed so trajectory jumps can be told apart from solver changes",
 		},
 	}
 	for _, cse := range cases {

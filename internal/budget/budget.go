@@ -1,0 +1,258 @@
+// Package budget provides deterministic work budgets and cooperative
+// cancellation for the planning/execution pipeline.
+//
+// A Meter counts abstract work units — simplex pivots, branch-and-bound
+// nodes, simulated instructions — and trips with a typed, errors.Is-
+// matchable cause when a bound is crossed:
+//
+//   - ErrCancelled: the caller (or a chaos harness) asked to stop;
+//   - ErrDeadline:  an optional wall-clock deadline expired;
+//   - ErrExhausted: the work-unit budget ran out.
+//
+// Work-unit budgets are deterministic: the same program charged the
+// same way trips at the same unit on every run, so budget-truncated
+// results are replayable and can be asserted byte-for-byte in benches.
+// Wall-clock deadlines are resource guards only — they depend on host
+// speed, are never recorded in journals or snapshots, and truncation
+// by deadline is reported, never replayed (the //fluidvet:allow
+// determinism convention marks the two clock reads below).
+//
+// A Meter is config, not state: it is never snapshotted, so a journal
+// salvaged from a cancelled run resumes under a fresh (or absent)
+// meter and completes bit-identically to an uninterrupted run.
+//
+// All methods are safe for concurrent use and nil-receiver safe: a nil
+// *Meter is an unlimited, uncancellable budget, so call sites charge
+// unconditionally without guarding.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// The cause taxonomy. Every error returned by Charge/Err wraps exactly
+// one of these sentinels; match with errors.Is or classify with IsStop.
+var (
+	// ErrCancelled reports a caller-initiated stop (Cancel or a
+	// deterministic CancelAfter trip).
+	ErrCancelled = errors.New("budget: cancelled")
+	// ErrDeadline reports an expired wall-clock deadline.
+	ErrDeadline = errors.New("budget: deadline exceeded")
+	// ErrExhausted reports a spent work-unit budget.
+	ErrExhausted = errors.New("budget: work budget exhausted")
+)
+
+// IsStop reports whether err carries any budget stop cause. Call sites
+// that must distinguish truncation from corruption (e.g. SolveResidual's
+// infeasible-fallback path) use this to let stops propagate untouched.
+func IsStop(err error) bool {
+	return errors.Is(err, ErrCancelled) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrExhausted)
+}
+
+// Meter states. The first cause to trip is sticky: once stopped, every
+// subsequent Charge/Err reports the same cause, so a run cancelled
+// during budget-exhaustion cleanup still reports exhaustion.
+const (
+	stRunning int32 = iota
+	stCancelled
+	stDeadline
+	stExhausted
+)
+
+// defaultPollEvery is the deadline-poll stride: Charge reads the clock
+// only every N charges (and on the first), keeping per-pivot overhead
+// at an atomic add + compare in the common case. Err always polls.
+const defaultPollEvery = 64
+
+// A Meter is a shared work budget. Construct with New (or new(Meter)
+// for an unlimited, cancellable meter), then chain WithDeadline /
+// CancelAfter / DeadlineEvery as needed. The zero Meter is unlimited.
+type Meter struct {
+	work      int64     // max work units; 0 = unlimited
+	cancelAt  int64     // deterministic cancel trip point; 0 = none
+	deadline  time.Time // wall-clock deadline; zero = none
+	pollEvery int64     // deadline poll stride; 0 = defaultPollEvery
+
+	used  atomic.Int64
+	state atomic.Int32
+}
+
+// New returns a Meter limited to work units; work <= 0 means unlimited.
+func New(work int64) *Meter {
+	m := &Meter{}
+	if work > 0 {
+		m.work = work
+	}
+	return m
+}
+
+// WithDeadline arms a wall-clock deadline d from now; d <= 0 leaves the
+// meter deadline-free. Deadlines are resource guards, not replayable
+// bounds — see the package comment. Returns m for chaining.
+func (m *Meter) WithDeadline(d time.Duration) *Meter {
+	if d > 0 {
+		//fluidvet:allow determinism deadline is a resource guard; truncation is reported, never replayed
+		m.deadline = time.Now().Add(d)
+	}
+	return m
+}
+
+// DeadlineEvery sets the deadline-poll stride to every n charges
+// (n >= 1). Coarse-grained loops (one charge per branch-and-bound
+// node) poll every charge; fine-grained loops (one per pivot) keep the
+// default stride. Returns m for chaining.
+func (m *Meter) DeadlineEvery(n int64) *Meter {
+	if n >= 1 {
+		m.pollEvery = n
+	}
+	return m
+}
+
+// CancelAfter arms a deterministic cancellation: the charge that makes
+// the used count reach n trips ErrCancelled. This is the chaos-matrix
+// hook — it lands the cancel at an exact work-unit boundary, the same
+// one on every run. n <= 0 disarms. Returns m for chaining.
+func (m *Meter) CancelAfter(n int64) *Meter {
+	if n > 0 {
+		m.cancelAt = n
+	} else {
+		m.cancelAt = 0
+	}
+	return m
+}
+
+// Cancel requests a stop. Safe to call from any goroutine, any number
+// of times; the first cause to land wins.
+func (m *Meter) Cancel() {
+	if m == nil {
+		return
+	}
+	m.state.CompareAndSwap(stRunning, stCancelled)
+}
+
+// stop trips the meter to cause (if still running) and returns the
+// error for the cause that actually holds — the sticky first one.
+func (m *Meter) stop(cause int32) error {
+	m.state.CompareAndSwap(stRunning, cause)
+	return m.cause()
+}
+
+// cause maps the current state to its error, nil while running.
+func (m *Meter) cause() error {
+	switch m.state.Load() {
+	case stCancelled:
+		return fmt.Errorf("%w after %d work units", ErrCancelled, m.used.Load())
+	case stDeadline:
+		return fmt.Errorf("%w after %d work units", ErrDeadline, m.used.Load())
+	case stExhausted:
+		return fmt.Errorf("%w after %d work units", ErrExhausted, m.used.Load())
+	}
+	return nil
+}
+
+// overDeadline reports whether the armed deadline has passed.
+func (m *Meter) overDeadline() bool {
+	if m.deadline.IsZero() {
+		return false
+	}
+	//fluidvet:allow determinism deadline is a resource guard; truncation is reported, never replayed
+	return time.Now().After(m.deadline)
+}
+
+// Charge consumes n work units and returns the stop cause if the meter
+// has tripped (now or earlier). The charge is counted even when it
+// trips, so Used reports where the stop landed. A nil Meter charges
+// nothing and never stops.
+//
+// The deterministic bounds (work exhaustion, CancelAfter) are exact:
+// they trip on the precise charge that crosses them, every run. The
+// asynchronous signals (Cancel from another goroutine, the wall-clock
+// deadline) are polled on the first charge and at every stride boundary
+// (DeadlineEvery), keeping the common case to one atomic add plus
+// register compares; detection latency is bounded by the stride.
+//
+// Charge is a thin inlinable wrapper over the out-of-line charge slow
+// path: unbudgeted callers sit in the solvers' hottest loops (one
+// charge per simplex pivot, per B&B node, per DAG node walked), and an
+// un-inlined call there — spilling the loop's registers at every
+// iteration — costs the nil path double-digit percent of planning
+// throughput. Keep this wrapper small enough to inline.
+func (m *Meter) Charge(n int64) error {
+	if m == nil {
+		return nil
+	}
+	return m.charge(n)
+}
+
+func (m *Meter) charge(n int64) error {
+	used := m.used.Add(n)
+	if m.cancelAt > 0 && used >= m.cancelAt {
+		return m.stop(stCancelled)
+	}
+	if m.work > 0 && used > m.work {
+		return m.stop(stExhausted)
+	}
+	stride := m.pollEvery
+	if stride <= 0 {
+		stride = defaultPollEvery
+	}
+	// Poll on the first charge and whenever a stride boundary is
+	// crossed; n > 1 charges cross at most one boundary short of n.
+	if used-n < 1 || (used-n)/stride != used/stride {
+		if err := m.cause(); err != nil {
+			return err
+		}
+		if m.overDeadline() {
+			return m.stop(stDeadline)
+		}
+	}
+	return nil
+}
+
+// Err polls the meter without charging: it returns the stop cause if
+// tripped, checking the deadline unconditionally. Loops that do no
+// countable work (recovery's instruction loop charges through the
+// machine's meter, not its own) poll with Err at their boundaries.
+// Like Charge, the nil check inlines and the poll stays out of line.
+func (m *Meter) Err() error {
+	if m == nil {
+		return nil
+	}
+	return m.err()
+}
+
+func (m *Meter) err() error {
+	if err := m.cause(); err != nil {
+		return err
+	}
+	if m.cancelAt > 0 && m.used.Load() >= m.cancelAt {
+		return m.stop(stCancelled)
+	}
+	if m.overDeadline() {
+		return m.stop(stDeadline)
+	}
+	return nil
+}
+
+// Used returns the work units charged so far (0 for a nil Meter).
+func (m *Meter) Used() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.used.Load()
+}
+
+// Remaining returns the work units left before exhaustion, or -1 when
+// the meter is unlimited (or nil).
+func (m *Meter) Remaining() int64 {
+	if m == nil || m.work <= 0 {
+		return -1
+	}
+	if r := m.work - m.used.Load(); r > 0 {
+		return r
+	}
+	return 0
+}

@@ -1,0 +1,219 @@
+package budget
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil meter is an unlimited, uncancellable budget: every operation
+// is a no-op, so call sites charge unconditionally.
+func TestNilMeterIsUnlimited(t *testing.T) {
+	var m *Meter
+	if err := m.Charge(1 << 40); err != nil {
+		t.Fatalf("nil meter charged: %v", err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("nil meter tripped: %v", err)
+	}
+	m.Cancel() // must not panic
+	if m.Used() != 0 || m.Remaining() != -1 {
+		t.Fatalf("nil meter: Used=%d Remaining=%d", m.Used(), m.Remaining())
+	}
+}
+
+func TestZeroMeterIsUnlimitedButCancellable(t *testing.T) {
+	m := new(Meter)
+	for i := 0; i < 1000; i++ {
+		if err := m.Charge(1); err != nil {
+			t.Fatalf("unlimited meter tripped at %d: %v", i, err)
+		}
+	}
+	if m.Remaining() != -1 {
+		t.Fatalf("Remaining = %d, want -1 (unlimited)", m.Remaining())
+	}
+	m.Cancel()
+	// Err polls the shared state directly: immediate detection.
+	if err := m.Err(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("post-cancel Err: %v, want ErrCancelled", err)
+	}
+	// Charge polls it at stride boundaries: detection within one stride.
+	var err error
+	for i := 0; i < 64 && err == nil; i++ {
+		err = m.Charge(1)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("post-cancel charges: %v, want ErrCancelled within one poll stride", err)
+	}
+}
+
+// Exhaustion trips on the charge that exceeds the budget: a meter of N
+// admits exactly N units, so truncated searches report Used == N.
+func TestExhaustionBoundary(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 3; i++ {
+		if err := m.Charge(1); err != nil {
+			t.Fatalf("charge %d within budget tripped: %v", i+1, err)
+		}
+	}
+	err := m.Charge(1)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("charge past budget: %v, want ErrExhausted", err)
+	}
+	if !IsStop(err) {
+		t.Fatal("IsStop must classify ErrExhausted")
+	}
+	if m.Used() != 4 {
+		t.Fatalf("Used = %d, want 4 (tripping charge is counted)", m.Used())
+	}
+	if m.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", m.Remaining())
+	}
+}
+
+// CancelAfter trips deterministically on the charge that reaches n —
+// the chaos-matrix contract: same charge pattern, same trip point.
+func TestCancelAfterDeterministic(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		m := New(0).CancelAfter(5)
+		var tripped int64
+		for i := int64(1); i <= 10; i++ {
+			if err := m.Charge(1); err != nil {
+				if !errors.Is(err, ErrCancelled) {
+					t.Fatalf("trip cause: %v, want ErrCancelled", err)
+				}
+				tripped = i
+				break
+			}
+		}
+		if tripped != 5 {
+			t.Fatalf("trial %d: tripped at charge %d, want 5", trial, tripped)
+		}
+	}
+}
+
+// The first cause is sticky: a meter that exhausted its budget keeps
+// reporting exhaustion even after a later Cancel.
+func TestFirstCauseSticky(t *testing.T) {
+	m := New(1)
+	if err := m.Charge(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Charge(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	m.Cancel()
+	if err := m.Err(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("cause not sticky: %v, want ErrExhausted", err)
+	}
+	if err := m.Charge(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("cause not sticky on charge: %v, want ErrExhausted", err)
+	}
+}
+
+// An already-expired deadline trips on the first charge regardless of
+// the poll stride, and Err always polls the clock.
+func TestDeadlineExpired(t *testing.T) {
+	m := New(0).WithDeadline(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if err := m.Charge(1); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("first charge past deadline: %v, want ErrDeadline", err)
+	}
+
+	m2 := New(0).WithDeadline(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if err := m2.Err(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Err past deadline: %v, want ErrDeadline", err)
+	}
+}
+
+// DeadlineEvery(1) polls every charge, so the trip lands within one
+// charge of expiry even off the default stride.
+func TestDeadlineEveryCharge(t *testing.T) {
+	m := New(0).WithDeadline(time.Nanosecond).DeadlineEvery(1)
+	time.Sleep(time.Millisecond)
+	// Land mid-stride relative to the default 64.
+	for i := 0; i < 3; i++ {
+		if err := m.Charge(1); err != nil {
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("cause: %v, want ErrDeadline", err)
+			}
+			if i != 0 {
+				t.Fatalf("tripped at charge %d, want first", i+1)
+			}
+			return
+		}
+	}
+	t.Fatal("expired deadline never tripped with per-charge polling")
+}
+
+// WithDeadline(0) and negative durations leave the meter deadline-free.
+func TestNoDeadline(t *testing.T) {
+	m := New(0).WithDeadline(0)
+	if err := m.Charge(1); err != nil {
+		t.Fatalf("deadline-free meter tripped: %v", err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("deadline-free Err tripped: %v", err)
+	}
+}
+
+// Concurrent chargers racing a sibling Cancel: every goroutine
+// eventually observes ErrCancelled, exactly once each, with no torn
+// state (run under -race in CI).
+func TestConcurrentCancel(t *testing.T) {
+	m := New(0)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if err := m.Charge(1); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	m.Cancel()
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("worker %d: %v, want ErrCancelled", w, err)
+		}
+	}
+}
+
+// IsStop classifies exactly the three causes.
+func TestIsStop(t *testing.T) {
+	for _, err := range []error{ErrCancelled, ErrDeadline, ErrExhausted} {
+		if !IsStop(err) {
+			t.Errorf("IsStop(%v) = false", err)
+		}
+	}
+	if IsStop(errors.New("unrelated")) {
+		t.Error("IsStop(unrelated) = true")
+	}
+	if IsStop(nil) {
+		t.Error("IsStop(nil) = true")
+	}
+}
+
+// Errors carry the work-unit count at the stop for diagnostics.
+func TestErrorMessageCarriesUsed(t *testing.T) {
+	m := New(2)
+	m.Charge(1)
+	m.Charge(1)
+	err := m.Charge(1)
+	if err == nil || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("got %v", err)
+	}
+	if want := "after 3 work units"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}

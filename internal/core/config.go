@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"aquavol/internal/budget"
 	"aquavol/internal/dag"
 )
 
@@ -56,6 +57,14 @@ type Config struct {
 	// be in [0, 1); 0 (the default) reproduces the paper's exact-flow
 	// plans.
 	SafetyMargin float64
+	// Budget, when non-nil, bounds and cancels planning cooperatively:
+	// DAGSolve charges a work unit per node visit and per dispensed
+	// edge, the LP path charges one per simplex pivot, and every entry
+	// point polls it at its boundaries. A tripped budget surfaces as a
+	// typed error (budget.ErrCancelled / ErrDeadline / ErrExhausted).
+	// The meter is config, not plan state: it is never recorded in
+	// plans, journals, or snapshots.
+	Budget *budget.Meter
 }
 
 // DefaultConfig returns the paper's evaluation parameters: 100 nl maximum

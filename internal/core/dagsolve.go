@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"aquavol/internal/budget"
 	"aquavol/internal/dag"
 )
 
@@ -48,7 +49,7 @@ func (v *Vnorms) MaxNode() (*dag.Node, float64) {
 // The graph must validate and must not contain unknown-volume nodes with
 // consumers (partition first, see Partition/NewStagedPlan).
 func ComputeVnorms(g *dag.Graph) (*Vnorms, error) {
-	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 }, 0)
+	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 }, 0, nil)
 }
 
 // ComputeVnormsMargin is ComputeVnorms with Config.SafetyMargin applied:
@@ -56,10 +57,16 @@ func ComputeVnorms(g *dag.Graph) (*Vnorms, error) {
 // level ε slack against metering jitter, dead volume, and evaporation.
 // Margin 0 is exactly ComputeVnorms.
 func ComputeVnormsMargin(g *dag.Graph, margin float64) (*Vnorms, error) {
+	return computeVnormsBudgeted(g, margin, nil)
+}
+
+// computeVnormsBudgeted is the budget-aware backward pass behind
+// ComputeVnormsMargin: bud (may be nil) is charged a work unit per node.
+func computeVnormsBudgeted(g *dag.Graph, margin float64, bud *budget.Meter) (*Vnorms, error) {
 	if margin < 0 || margin >= 1 || math.IsNaN(margin) {
 		return nil, fmt.Errorf("core: safety margin must be in [0, 1), got %v", margin)
 	}
-	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 }, margin)
+	return computeVnormsSeeded(g, func(*dag.Node) float64 { return 1 }, margin, bud)
 }
 
 // Availability reports the absolute volume available at a constrained
@@ -124,6 +131,9 @@ func Dispense(v *Vnorms, cfg Config, avail Availability) (*Plan, error) {
 		if n == nil {
 			continue
 		}
+		if err := cfg.Budget.Charge(1); err != nil {
+			return nil, err
+		}
 		id := n.ID()
 		p.NodeVolume[id] = v.Node[id] * scale
 		prod := v.Node[id]
@@ -136,6 +146,9 @@ func Dispense(v *Vnorms, cfg Config, avail Availability) (*Plan, error) {
 	for _, e := range g.Edges() {
 		if e == nil {
 			continue
+		}
+		if err := cfg.Budget.Charge(1); err != nil {
+			return nil, err
 		}
 		p.EdgeVolume[e.ID()] = v.Edge[e.ID()] * scale
 	}
@@ -150,11 +163,13 @@ func Dispense(v *Vnorms, cfg Config, avail Availability) (*Plan, error) {
 //
 // DAGSolve is certified reentrant: it writes no package-level state and
 // performs no IO, so concurrent calls — even over a shared, unmutated
-// graph — are race-free.
+// graph — are race-free. A non-nil cfg.Budget is charged a work unit per
+// node visit and per dispensed node/edge; a tripped budget aborts with
+// its typed cause.
 //
 //fluidvet:parallelsafe
 func DAGSolve(g *dag.Graph, cfg Config, avail Availability) (*Plan, error) {
-	v, err := ComputeVnormsMargin(g, cfg.SafetyMargin)
+	v, err := computeVnormsBudgeted(g, cfg.SafetyMargin, cfg.Budget)
 	if err != nil {
 		return nil, err
 	}

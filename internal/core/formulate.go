@@ -335,11 +335,12 @@ func (f *Formulation) Solve(opts lp.Options) (*Plan, error) {
 	return p, nil
 }
 
-// SolveLP formulates and solves the RVol LP in one step.
+// SolveLP formulates and solves the RVol LP in one step. A non-nil
+// cfg.Budget is charged one work unit per simplex pivot.
 func SolveLP(g *dag.Graph, cfg Config, opts FormulateOptions, avail Availability) (*Plan, error) {
 	f, err := Formulate(g, cfg, opts, avail)
 	if err != nil {
 		return nil, err
 	}
-	return f.Solve(lp.Options{})
+	return f.Solve(lp.Options{Budget: cfg.Budget})
 }

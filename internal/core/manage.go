@@ -110,6 +110,11 @@ func Manage(g *dag.Graph, cfg Config, opts ManageOptions) (*ManageResult, error)
 	}
 
 	for attempt := 0; attempt < cfg.maxAttempts(); attempt++ {
+		// Poll at the attempt boundary: transform replay and diagnosis are
+		// cheap, but a cancelled caller must not enter another round.
+		if err := cfg.Budget.Err(); err != nil {
+			return nil, err
+		}
 		res.Attempts = attempt + 1
 		cur, err := replay(g, res.Transforms)
 		if err != nil {
@@ -121,7 +126,7 @@ func Manage(g *dag.Graph, cfg Config, opts ManageOptions) (*ManageResult, error)
 			return res, ErrResourceLimit
 		}
 
-		vn, err := ComputeVnormsMargin(cur, cfg.SafetyMargin)
+		vn, err := computeVnormsBudgeted(cur, cfg.SafetyMargin, cfg.Budget)
 		if err != nil {
 			return nil, err
 		}

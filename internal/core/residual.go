@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"aquavol/internal/budget"
 	"aquavol/internal/dag"
 )
 
@@ -85,6 +86,12 @@ func SolveResidual(r *dag.Residual, cfg Config, live LiveVolume) (*ResidualPlan,
 	}
 	plan, err := DAGSolve(r.Graph, cfg, avail)
 	if err != nil {
+		// A tripped budget is a stop, not infeasibility: wrap nothing, so
+		// the cause reaches the caller instead of triggering the
+		// regeneration fallback replan callers apply to infeasible errors.
+		if budget.IsStop(err) {
+			return nil, err
+		}
 		// Unknown interior nodes (ErrNeedsPartition), unknown availability,
 		// degenerate residuals: all mean "cannot replan", not "cannot run".
 		return nil, fmt.Errorf("%w: %w", ErrResidualInfeasible, err)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"aquavol/internal/budget"
 	"aquavol/internal/dag"
 )
 
@@ -60,8 +61,11 @@ func NewStagedPlan(g *dag.Graph, cfg Config) (*StagedPlan, error) {
 		produced:  map[int]float64{},
 	}
 	for i, pg := range part.Parts {
-		vn, err := ComputeVnormsMargin(pg, cfg.SafetyMargin)
+		vn, err := computeVnormsBudgeted(pg, cfg.SafetyMargin, cfg.Budget)
 		if err != nil {
+			if budget.IsStop(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: part %d: %w", i, err)
 		}
 		sp.Vnorms[i] = vn
@@ -115,6 +119,10 @@ func (sp *StagedPlan) bindingFor(part, nodeID int) (dag.Binding, bool) {
 func (sp *StagedPlan) SolvePart(i int, measure Measure) (*Plan, error) {
 	if i < 0 || i >= sp.NumParts() {
 		return nil, fmt.Errorf("core: part %d out of range [0,%d)", i, sp.NumParts())
+	}
+	// Poll at the part boundary; Dispense/SolveLP below charge the meter.
+	if err := sp.cfg.Budget.Err(); err != nil {
+		return nil, err
 	}
 	avail := func(ci *dag.Node) (float64, bool) {
 		b, ok := sp.bindingFor(i, ci.ID())

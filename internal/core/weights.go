@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"aquavol/internal/budget"
 	"aquavol/internal/dag"
 )
 
@@ -47,7 +48,7 @@ func ComputeVnormsWeighted(g *dag.Graph, weight map[int]float64) (*Vnorms, error
 			return w
 		}
 		return 1
-	}, 0)
+	}, 0, nil)
 	return v, err
 }
 
@@ -132,8 +133,9 @@ func DispenseForMinOutputs(v *Vnorms, cfg Config, minVol map[int]float64) (*Plan
 // by (1+margin) before computing its production, so each level of the
 // plan carries ε slack against fluid loss. Margins scale a node's
 // in-edges uniformly, preserving mix ratios, and the maximum node still
-// defines the dispensing scale, so capacity is never exceeded.
-func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64, margin float64) (*Vnorms, error) {
+// defines the dispensing scale, so capacity is never exceeded. bud (may
+// be nil) is charged one work unit per node visited.
+func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64, margin float64, bud *budget.Meter) (*Vnorms, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,6 +151,9 @@ func computeVnormsSeeded(g *dag.Graph, seed func(*dag.Node) float64, margin floa
 		Edge:  make([]float64, len(g.Edges())),
 	}
 	for i := len(order) - 1; i >= 0; i-- {
+		if err := bud.Charge(1); err != nil {
+			return nil, err
+		}
 		n := order[i]
 		id := n.ID()
 		var used float64

@@ -211,8 +211,9 @@ func lastSegment(path string) string {
 // replayCritical is the set of package directory names whose state can
 // reach journal records, snapshots, listings, or event streams. A
 // determinism violation in any of them breaks bit-identical replay.
-// ilp and bench are included although their wall-clock uses are
-// legitimate (a solver deadline, benchmark timers): those sites carry
+// ilp, bench, and budget are included although their wall-clock uses
+// are legitimate (a solver deadline, benchmark timers, the budget
+// layer's deadline-as-resource-guard): those sites carry
 // //fluidvet:allow comments so the exceptions are visible and audited.
 var replayCritical = map[string]bool{
 	"aquacore": true,
@@ -224,6 +225,7 @@ var replayCritical = map[string]bool{
 	"dag":      true,
 	"ilp":      true,
 	"bench":    true,
+	"budget":   true,
 	"vfs":      true,
 }
 

@@ -196,13 +196,24 @@ func (e *Effects) OfName(full string) (*Summary, bool) {
 	return s, ok
 }
 
-// Facts renders the package's own summaries for serialization into the
+// Facts renders the package's summaries for serialization into the
 // .vetx facts file consumed by dependent packages. Only exported-ish
 // reachability matters, but unexported functions are included too: a
 // dependent package never names them, and the size cost is small
 // compared to re-deriving paths.
+//
+// Imported dep facts are re-exported alongside the package's own
+// summaries, so the facts channel carries the transitive module
+// closure even though the go command only hands each vet invocation
+// the .vetx files of its direct imports. Without this, a method
+// reached through a re-exported type — core.Config's *budget.Meter
+// field called from a package that never imports budget itself — would
+// fall off the facts channel and classify worst-case.
 func (e *Effects) Facts() EffectFacts {
-	out := make(EffectFacts, len(e.summaries))
+	out := make(EffectFacts, len(e.summaries)+len(e.deps))
+	for name, s := range e.deps {
+		out[name] = s
+	}
 	for fn, s := range e.summaries {
 		out[fn.FullName()] = s
 	}

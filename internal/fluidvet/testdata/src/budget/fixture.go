@@ -1,0 +1,39 @@
+// Package budget is a fluidvet fixture: its directory name puts it in
+// the replay-critical set (mirroring the real work-budget layer), so
+// the determinism analyzer polices its clock reads. The real package's
+// deadline support is the sanctioned exception — deadlines are resource
+// guards, never replayed state — and must carry the allow directive;
+// this fixture pins both the trigger and the escape hatch.
+package budget
+
+import "time"
+
+// NakedDeadline arms a deadline without the allow directive: flagged.
+func NakedDeadline(d time.Duration) time.Time {
+	return time.Now().Add(d) // want `determinism: call to time\.Now reads the wall clock`
+}
+
+// GuardedDeadline is the real meter's idiom: the clock read is audited
+// by an allow directive carrying the reason.
+func GuardedDeadline(d time.Duration) time.Time {
+	//fluidvet:allow determinism deadline is a resource guard; truncation is reported, never replayed
+	return time.Now().Add(d)
+}
+
+// Poll checks an armed deadline: the expiry read needs the same audit.
+func Poll(deadline time.Time) bool {
+	if deadline.IsZero() {
+		return false
+	}
+	//fluidvet:allow determinism deadline is a resource guard; truncation is reported, never replayed
+	return time.Now().After(deadline)
+}
+
+// Used counts work units with no clock involvement: nothing to flag.
+func Used(charges []int64) int64 {
+	var total int64
+	for _, n := range charges {
+		total += n
+	}
+	return total
+}

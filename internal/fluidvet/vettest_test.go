@@ -248,6 +248,14 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	runFixture(t, "clerk", Determinism)
 }
 
+// TestDeterminismBudgetFixture pins the budget package's scoping: the
+// work-budget layer is replay-critical, its deadline clock reads are
+// the audited exception (//fluidvet:allow determinism with a reason),
+// and a naked clock read there is flagged.
+func TestDeterminismBudgetFixture(t *testing.T) {
+	runFixture(t, "budget", Determinism)
+}
+
 func TestDiagCodeFixture(t *testing.T) {
 	runFixture(t, "diagcode", DiagCode)
 }

@@ -10,10 +10,12 @@
 package ilp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"aquavol/internal/budget"
 	"aquavol/internal/lp"
 )
 
@@ -57,8 +59,17 @@ type Options struct {
 	MaxNodes int
 	// MaxTime bounds the wall-clock search time (each node costs one LP
 	// solve, which can be expensive on large formulations). 0 means no
-	// time bound.
+	// time bound. MaxNodes and MaxTime are implemented as an internal
+	// budget.Meter charged one unit per node; hitting either truncates
+	// the search (Status NodeLimit) and records the typed cause in
+	// Result.Stop.
 	MaxTime time.Duration
+	// Budget, when non-nil, is the caller's shared budget: charged one
+	// work unit per node and routed into every node's LP solve (unless
+	// LP.Budget is already set). Exhaustion or deadline on this meter
+	// truncates the search like MaxNodes/MaxTime; caller cancellation
+	// (budget.ErrCancelled) aborts Solve with that error.
+	Budget *budget.Meter
 	// IntTol is how close to an integer a value must be to count as
 	// integral. 0 selects 1e-6.
 	IntTol float64
@@ -85,13 +96,28 @@ type Result struct {
 	HasIncumbent bool
 	Objective    float64
 	X            []float64
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored. When the
+	// node budget truncates the search, Nodes == MaxNodes exactly: the
+	// node that would have exceeded the budget is never explored.
 	Nodes int
+	// Stop records why a NodeLimit truncation happened, as a typed
+	// budget cause: budget.ErrExhausted for MaxNodes (or an exhausted
+	// Options.Budget), budget.ErrDeadline for MaxTime (or a Budget
+	// deadline). Nil for every other status, and nil when NodeLimit
+	// arose from an inner LP iteration limit. Truncation is reported,
+	// never silent: callers inspect Stop (or Status) before trusting
+	// Objective/X as anything more than an incumbent.
+	Stop error
 }
 
 // Solve runs branch and bound on p. The problem's variable bounds are
 // temporarily tightened during the search and restored before returning, so
 // p may be reused afterwards.
+//
+// Truncation by MaxNodes, MaxTime, or an exhausted Options.Budget returns a
+// partial Result (Status NodeLimit, typed cause in Result.Stop, incumbent if
+// one was found). Caller cancellation through Options.Budget returns a nil
+// Result and an error wrapping budget.ErrCancelled.
 //
 // Solve is certified parallel-safe over distinct Problems; the bound
 // tightening mutates p, so concurrent solves of one Problem race on the
@@ -137,21 +163,44 @@ func Solve(p *lp.Problem, opts Options) (*Result, error) {
 
 	var search func(depth int) error
 	sawNodeLimit := false
-	deadline := time.Time{}
-	if opt.MaxTime > 0 {
-		// The MaxTime budget is a resource guard, not replayed state: a
-		// truncated search reports Status=NodeLimit either way, and no
-		// journal or snapshot records the wall time.
-		deadline = time.Now().Add(opt.MaxTime) //fluidvet:allow determinism MaxTime is a resource guard; truncation is reported, never replayed
+	// MaxNodes and MaxTime are one internal meter, charged a unit per
+	// node and polled for the deadline on every charge (the per-node LP
+	// solve dwarfs a clock read). The node budget is deterministic; the
+	// MaxTime deadline is a resource guard, not replayed state — a
+	// truncated search reports Status=NodeLimit either way, and no
+	// journal or snapshot records the wall time.
+	bound := budget.New(int64(opt.MaxNodes)).WithDeadline(opt.MaxTime).DeadlineEvery(1)
+	truncate := func(cause error) {
+		sawNodeLimit = true
+		if res.Stop == nil {
+			res.Stop = cause
+		}
+	}
+	lpOpts := opt.LP
+	if lpOpts.Budget == nil {
+		lpOpts.Budget = opt.Budget
 	}
 	search = func(depth int) error {
-		if res.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) { //fluidvet:allow determinism MaxTime is a resource guard; truncation is reported, never replayed
-			sawNodeLimit = true
+		if err := bound.Charge(1); err != nil {
+			truncate(err)
+			return nil
+		}
+		if err := opt.Budget.Charge(1); err != nil {
+			if errors.Is(err, budget.ErrCancelled) {
+				return err
+			}
+			truncate(err)
 			return nil
 		}
 		res.Nodes++
-		sol, err := p.Solve(opt.LP)
+		sol, err := p.Solve(lpOpts)
 		if err != nil {
+			// A budget stop mid-LP truncates like a node bound — unless
+			// the caller cancelled, which aborts the whole search.
+			if budget.IsStop(err) && !errors.Is(err, budget.ErrCancelled) {
+				truncate(err)
+				return nil
+			}
 			return err
 		}
 		switch sol.Status {

@@ -1,0 +1,165 @@
+package ilp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aquavol/internal/budget"
+	"aquavol/internal/lp"
+)
+
+// knapsack builds a small binary knapsack whose branch-and-bound tree
+// needs more than one node, so truncation points are reachable.
+func knapsack(t *testing.T) *lp.Problem {
+	t.Helper()
+	p := lp.NewProblem(lp.Maximize)
+	vals := []float64{8, 11, 6, 4}
+	wts := []float64{5, 7, 4, 3}
+	terms := make([]lp.Term, 4)
+	for i := range vals {
+		v := p.AddVariable("")
+		p.SetBounds(v, 0, 1)
+		p.SetObjective(v, vals[i])
+		terms[i] = lp.Term{Var: v, Coef: wts[i]}
+	}
+	p.AddConstraint("cap", terms, lp.LE, 14)
+	return p
+}
+
+// fullTreeNodes runs the search to completion and returns its size.
+func fullTreeNodes(t *testing.T, p *lp.Problem) int {
+	t.Helper()
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("unbounded solve: %v", r.Status)
+	}
+	return r.Nodes
+}
+
+// MaxNodes truncation is exact and reported: Status NodeLimit, Stop
+// wrapping budget.ErrExhausted, and res.Nodes == MaxNodes — the node
+// that would exceed the budget is never explored (the historical
+// off-by-one boundary).
+func TestMaxNodesTruncationBoundary(t *testing.T) {
+	p := knapsack(t)
+	full := fullTreeNodes(t, p)
+	if full < 3 {
+		t.Fatalf("tree too small (%d nodes) to exercise truncation", full)
+	}
+	for _, maxNodes := range []int{1, 2, full - 1} {
+		r, err := Solve(p, Options{MaxNodes: maxNodes})
+		if err != nil {
+			t.Fatalf("MaxNodes=%d: %v", maxNodes, err)
+		}
+		if r.Status != NodeLimit {
+			t.Fatalf("MaxNodes=%d: status %v, want node-limit", maxNodes, r.Status)
+		}
+		if r.Nodes != maxNodes {
+			t.Errorf("MaxNodes=%d: explored %d nodes, want exactly %d", maxNodes, r.Nodes, maxNodes)
+		}
+		if !errors.Is(r.Stop, budget.ErrExhausted) {
+			t.Errorf("MaxNodes=%d: Stop = %v, want budget.ErrExhausted", maxNodes, r.Stop)
+		}
+	}
+	// At the full tree size the search completes: no truncation report.
+	r, err := Solve(p, Options{MaxNodes: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Stop != nil {
+		t.Fatalf("MaxNodes=%d (full tree): status %v stop %v, want optimal/nil", full, r.Status, r.Stop)
+	}
+}
+
+// An expired MaxTime deadline truncates before the first node with the
+// deadline cause; the pre-expired deadline keeps the test deterministic.
+func TestMaxTimeTruncation(t *testing.T) {
+	p := knapsack(t)
+	r, err := Solve(p, Options{MaxTime: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != NodeLimit {
+		t.Fatalf("status %v, want node-limit", r.Status)
+	}
+	if !errors.Is(r.Stop, budget.ErrDeadline) {
+		t.Fatalf("Stop = %v, want budget.ErrDeadline", r.Stop)
+	}
+	if r.Nodes != 0 {
+		t.Fatalf("explored %d nodes past an expired deadline, want 0", r.Nodes)
+	}
+	if r.HasIncumbent {
+		t.Fatal("no node was explored, so no incumbent can exist")
+	}
+}
+
+// An exhausted caller budget truncates with the typed cause and keeps
+// the incumbent found so far — partial-result reporting, not silence.
+func TestCallerBudgetExhaustionTruncates(t *testing.T) {
+	p := knapsack(t)
+	// Generous enough to find an incumbent (depth-first dives to a leaf
+	// fast), tight enough to stop before the tree is exhausted. The
+	// budget is charged per node AND per simplex pivot.
+	r, err := Solve(p, Options{Budget: budget.New(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != NodeLimit {
+		t.Fatalf("status %v, want node-limit", r.Status)
+	}
+	if !errors.Is(r.Stop, budget.ErrExhausted) {
+		t.Fatalf("Stop = %v, want budget.ErrExhausted", r.Stop)
+	}
+	if !r.HasIncumbent {
+		t.Fatal("40 work units reach several leaves; an incumbent must survive truncation")
+	}
+}
+
+// Caller cancellation is not truncation: Solve aborts with a typed
+// error and no Result.
+func TestCallerCancellationAborts(t *testing.T) {
+	p := knapsack(t)
+	m := budget.New(0)
+	m.Cancel()
+	r, err := Solve(p, Options{Budget: m})
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want budget.ErrCancelled", err)
+	}
+	if r != nil {
+		t.Fatalf("cancelled solve returned a result: %+v", r)
+	}
+}
+
+// A deterministic mid-search cancel (CancelAfter) lands within one
+// charge of the requested trip point.
+func TestCancelAfterMidSearch(t *testing.T) {
+	p := knapsack(t)
+	m := budget.New(0).CancelAfter(10)
+	_, err := Solve(p, Options{Budget: m})
+	if !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want budget.ErrCancelled", err)
+	}
+	if m.Used() != 10 {
+		t.Fatalf("cancel landed at %d work units, want exactly 10", m.Used())
+	}
+}
+
+// Completing under budget leaves Stop nil and the meter partially spent.
+func TestBudgetCompletesUnderLimit(t *testing.T) {
+	p := knapsack(t)
+	m := budget.New(1 << 20)
+	r, err := Solve(p, Options{Budget: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Stop != nil {
+		t.Fatalf("status %v stop %v, want optimal/nil", r.Status, r.Stop)
+	}
+	if m.Used() == 0 {
+		t.Fatal("solve must charge the caller budget")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"aquavol/internal/budget"
 )
 
 // Status is the outcome of a solve.
@@ -45,6 +47,12 @@ type Options struct {
 	Tol float64
 	// FeasTol is the phase-1 feasibility tolerance. 0 selects 1e-7.
 	FeasTol float64
+	// Budget, when non-nil, is charged one work unit per simplex pivot
+	// and can stop the solve cooperatively. Unlike MaxIterations (which
+	// terminates with Status IterationLimit), a budget stop is returned
+	// as a typed error wrapping one of the budget sentinels, so callers
+	// can tell bounded truncation from caller cancellation.
+	Budget *budget.Meter
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -87,8 +95,9 @@ type column struct {
 }
 
 // Solve runs two-phase primal simplex and returns the solution. An error is
-// returned only for structurally invalid problems; infeasibility and
-// unboundedness are reported through Solution.Status.
+// returned only for structurally invalid problems or a tripped
+// Options.Budget (a typed budget stop; match with budget.IsStop);
+// infeasibility and unboundedness are reported through Solution.Status.
 //
 // Solve is certified parallel-safe: distinct Problems may be solved
 // concurrently. (Solving one Problem from two goroutines still races on
@@ -247,7 +256,10 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		for j := t.artLo; j < n; j++ {
 			t.cost[j] += 1
 		}
-		st := t.iterate(&sol.Iterations, opt.MaxIterations, true)
+		st, err := t.iterate(&sol.Iterations, opt, true)
+		if err != nil {
+			return nil, err
+		}
 		if st == IterationLimit {
 			sol.Status = IterationLimit
 			return sol, nil
@@ -284,7 +296,10 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		t.cost[j] = c
 	}
 
-	st := t.iterate(&sol.Iterations, opt.MaxIterations, false)
+	st, err := t.iterate(&sol.Iterations, opt, false)
+	if err != nil {
+		return nil, err
+	}
 	switch st {
 	case IterationLimit, Unbounded:
 		sol.Status = st
@@ -332,13 +347,13 @@ type tableau struct {
 	tol    float64
 }
 
-// iterate pivots until optimality, unboundedness, or the iteration budget is
-// exhausted. phase1 permits artificial columns to enter (they never improve
-// phase-1 cost, but keeping the rule uniform is harmless); in phase 2 they
-// are barred. Dantzig's rule is used until the objective stalls for
-// 2*(m+n)+20 consecutive pivots, after which Bland's rule guarantees
-// termination.
-func (t *tableau) iterate(iters *int, maxIters int, phase1 bool) Status {
+// iterate pivots until optimality, unboundedness, the iteration budget is
+// exhausted, or opt.Budget trips (returned as the error). phase1 permits
+// artificial columns to enter (they never improve phase-1 cost, but keeping
+// the rule uniform is harmless); in phase 2 they are barred. Dantzig's rule
+// is used until the objective stalls for 2*(m+n)+20 consecutive pivots,
+// after which Bland's rule guarantees termination.
+func (t *tableau) iterate(iters *int, opt Options, phase1 bool) (Status, error) {
 	stallLimit := 2*(t.m+t.n) + 20
 	stall := 0
 	lastObj := math.Inf(1)
@@ -348,8 +363,11 @@ func (t *tableau) iterate(iters *int, maxIters int, phase1 bool) Status {
 		enterLimit = t.artLo
 	}
 	for {
-		if *iters >= maxIters {
-			return IterationLimit
+		if *iters >= opt.MaxIterations {
+			return IterationLimit, nil
+		}
+		if err := opt.Budget.Charge(1); err != nil {
+			return IterationLimit, err
 		}
 		// Entering column.
 		enter := -1
@@ -370,7 +388,7 @@ func (t *tableau) iterate(iters *int, maxIters int, phase1 bool) Status {
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		// Ratio test; ties broken by smallest basis index (lexicographic-ish
 		// anti-cycling helper).
@@ -389,7 +407,7 @@ func (t *tableau) iterate(iters *int, maxIters int, phase1 bool) Status {
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		t.pivot(leave, enter)
 		*iters++

@@ -37,6 +37,7 @@ import (
 
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
+	"aquavol/internal/budget"
 	"aquavol/internal/dag"
 	"aquavol/internal/faults"
 	"aquavol/internal/journal"
@@ -103,6 +104,20 @@ type Options struct {
 	// BackoffSeconds is the simulated idle before the first retry of an
 	// instruction; attempt k waits k×BackoffSeconds (default 1).
 	BackoffSeconds float64
+	// MaxBackoffSeconds caps the TOTAL simulated backoff across the run
+	// (default 4096): a retry whose wait would push the accumulated
+	// backoff past the cap is not viable, so the run degrades instead of
+	// idling unboundedly. Simulated time makes the cap deterministic.
+	MaxBackoffSeconds float64
+	// Budget, when non-nil, is polled at every instruction boundary and
+	// between retry-backoff idles: a tripped meter fail-stops the run
+	// exactly like a crash — Aborted outcome, typed cause in Outcome.Err,
+	// and (under Journal) NO outcome record, leaving the journal
+	// resumable so the salvaged prefix completes bit-identically later.
+	// The meter is polled, never charged, here: the machine charges per
+	// executed instruction through its own aquacore.Config.Budget (wire
+	// the same meter into both for whole-run bounds).
+	Budget *budget.Meter
 	// DisableRetry turns off in-place retries.
 	DisableRetry bool
 	// DisableRegen turns off shortfall regeneration.
@@ -155,6 +170,9 @@ func (o Options) withDefaults() Options {
 	o.Cost = o.Cost.withDefaults()
 	if o.BackoffSeconds == 0 {
 		o.BackoffSeconds = 1
+	}
+	if o.MaxBackoffSeconds == 0 {
+		o.MaxBackoffSeconds = 4096
 	}
 	if o.SnapshotEvery <= 0 {
 		o.SnapshotEvery = 8
@@ -337,8 +355,11 @@ func run(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 		out.Status = Aborted
 		out.Result = m.Finalize()
 		// A real abort is a terminal state the process lived to record —
-		// unlike a crash, which by nature journals nothing.
-		if jw != nil && !errors.Is(err, faults.ErrCrash) {
+		// unlike a crash, which by nature journals nothing. A budget stop
+		// fail-stops the same way a crash does: no outcome record, so the
+		// journal stays resumable and the salvaged prefix completes
+		// bit-identically under a fresh (or absent) meter.
+		if jw != nil && !errors.Is(err, faults.ErrCrash) && !budget.IsStop(err) {
 			jw.Append(&journal.Record{Kind: journal.KindOutcome, Outcome: &journal.Outcome{
 				Status: Aborted.String(), Err: err.Error(), Boundaries: boundary,
 			}})
@@ -363,6 +384,12 @@ func run(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 	}
 
 	for pc < len(prog.Instrs) {
+		// Poll for cancellation/deadline at the instruction boundary —
+		// before the snapshot, so a tripped budget stops without another
+		// record and the journal's last frame stays the resume point.
+		if err := opt.Budget.Err(); err != nil {
+			return abort(err)
+		}
 		in := prog.Instrs[pc]
 
 		// Snapshot BEFORE executing the boundary: the record's (pc,
@@ -466,12 +493,19 @@ func run(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 		}
 		attempts := 0
 		for fail := lastFUFailure(m.Events()[mark:]); fail != nil; fail = lastFUFailure(m.Events()[mark:]) {
+			// Cancellation between backoff sleeps: a cancel that lands
+			// during one idle is observed before the next, never swallowed
+			// by an uncancellable sleep chain.
+			if err := opt.Budget.Err(); err != nil {
+				return abort(err)
+			}
 			wait := float64(attempts+1) * opt.BackoffSeconds
 			choice, _ := opt.Cost.Choose(
 				Candidate{
 					Kind: RepairRetry, Seconds: wait,
-					Viable: !opt.DisableRetry && attempts < opt.RetriesPerInstr && out.Retries < opt.TotalRetries,
-					Why:    "re-execute the failed instruction after backoff",
+					Viable: !opt.DisableRetry && attempts < opt.RetriesPerInstr && out.Retries < opt.TotalRetries &&
+						out.BackoffSeconds+wait <= opt.MaxBackoffSeconds,
+					Why: "re-execute the failed instruction after backoff",
 				},
 				Candidate{Kind: RepairDegrade, Viable: true, Why: "record the failure as an incident"},
 			)
