@@ -19,6 +19,7 @@ import (
 	"aquavol/internal/analysis"
 	"aquavol/internal/assays"
 	"aquavol/internal/budget"
+	"aquavol/internal/certify"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
 	"aquavol/internal/fluidvet"
@@ -70,6 +71,8 @@ var cancelExercises = map[string]func(t *testing.T){
 	"aquavol/internal/analysis.Analyze":      cancelSmokeAnalyze,
 	"(*aquavol/internal/dag.Graph).Validate": cancelControlValidate,
 	"aquavol/internal/aisverify.Verify":      cancelControlVerify,
+	"aquavol/internal/certify.CheckPlan":     cancelSmokeCertifyPlan,
+	"aquavol/internal/certify.CheckResidual": cancelSmokeCertifyResidual,
 }
 
 func TestCancelSmoke(t *testing.T) {
@@ -156,6 +159,45 @@ func cancelSmokeAnalyze(t *testing.T) {
 		c.Budget = m
 		_, err := analysis.Analyze(prog, c, analysis.Options{})
 		return err
+	})
+}
+
+// cancelSmokeCertifyPlan: the checker charges cfg.Budget per node,
+// edge, constraint, and variable, so a cancelled meter must surface the
+// typed cause, never a certification error.
+func cancelSmokeCertifyPlan(t *testing.T) {
+	plan, err := core.DAGSolve(assays.GlucoseDAG(), cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		c := cfg()
+		c.Budget = m
+		return certify.CheckPlan(plan, c, nil)
+	})
+}
+
+func cancelSmokeCertifyResidual(t *testing.T) {
+	g := dag.New()
+	in1 := g.AddInput("in1")
+	in2 := g.AddInput("in2")
+	mx := g.AddMix("M", dag.Part{Source: in1, Ratio: 1}, dag.Part{Source: in2, Ratio: 3})
+	h := g.AddUnary(dag.Incubate, "H", mx)
+	g.AddUnary(dag.Sense, "end", h)
+	done := map[int]bool{in1.ID(): true, in2.ID(): true, mx.ID(): true}
+	r, err := dag.ExtractResidual(g, func(n *dag.Node) bool { return done[n.ID()] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := func(sourceID int, port string) (float64, bool) { return 37.5, true }
+	rp, err := core.SolveResidual(r, cfg(), live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntilCancelled(t, func(m *budget.Meter) error {
+		c := cfg()
+		c.Budget = m
+		return certify.CheckResidual(rp, c, live)
 	})
 }
 

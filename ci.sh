@@ -140,8 +140,11 @@ cmp "$tmp/bounded1.out" "$tmp/bounded2.out"
 # the journaled run with exit 5 (cancelled/deadline/budget), and the
 # salvaged journal resumes to output byte-identical to the
 # uninterrupted reference run from the durable-execution gate above.
+# (Planning for this assay now costs ~60 units with certification
+# charging the meter, so 80 is the smallest round budget that gets
+# past planning and trips mid-execution with a journal to salvage.)
 status=0
-"$tmp/fluidvm" -budget 60 -faults moderate -seed 42 -journal "$tmp/cancel.aqj" testdata/glucose.asy >/dev/null 2>&1 || status=$?
+"$tmp/fluidvm" -budget 80 -faults moderate -seed 42 -journal "$tmp/cancel.aqj" testdata/glucose.asy >/dev/null 2>&1 || status=$?
 [ "$status" -eq 5 ] # exit 5 = budget exhausted mid-run
 "$tmp/fluidvm" -resume "$tmp/cancel.aqj" testdata/glucose.asy >"$tmp/cancel-resume.out" 2>/dev/null
 cmp "$tmp/ref.out" "$tmp/cancel-resume.out"
@@ -151,5 +154,24 @@ status=0
 "$tmp/fluidvm" -budget 20 -faults moderate -seed 42 -journal "$tmp/plantrip.aqj" testdata/glucose.asy >/dev/null 2>&1 || status=$?
 [ "$status" -eq 5 ]
 [ ! -f "$tmp/plantrip.aqj" ]
+
+echo "== proof-carrying plans (E16) =="
+# The mutation kill matrix perturbs every field of every shipped plan
+# and errors out unless the certification layer kills 100% of mutants
+# with exactly one typed cause each. The kill table is timing-free and
+# deterministic, so two runs must agree byte for byte; the per-assay
+# certify-vs-solve overhead is wall-clock and lives in the JSON report
+# (BENCH_certify.json, uploaded as a CI artifact).
+"$tmp/volbench" -experiment certify -json BENCH_certify.json >"$tmp/certify1.out"
+"$tmp/volbench" -experiment certify >"$tmp/certify2.out"
+cmp "$tmp/certify1.out" "$tmp/certify2.out"
+# The gate itself must be live, not just the library: a compile whose
+# solved plan is corrupted before certification must fail with a
+# certification diagnostic and generate no code.
+status=0
+go run ./cmd/fluidc -mutate-plan -o "$tmp/mutated.ais" testdata/glucose.asy 2>"$tmp/mutate.err" || status=$?
+[ "$status" -ne 0 ]
+grep -q 'failed certification' "$tmp/mutate.err"
+[ ! -s "$tmp/mutated.ais" ]
 
 echo "CI OK"

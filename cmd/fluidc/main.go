@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fluidc [-plan] [-dot] [-lint] [-Werror] [-no-manage] [-no-verify] assay.asy
+//	fluidc [-plan] [-dot] [-lint] [-Werror] [-no-manage] [-no-verify] [-no-certify] assay.asy
 //
 // -plan prints the volume plan alongside the listing, -dot emits the
 // (transformed) assay DAG in Graphviz format, -lint runs the compile-time
@@ -13,6 +13,13 @@
 // fails on error findings, -Werror additionally promotes lint warnings to
 // errors, -no-manage skips the cascading/replication hierarchy (plain
 // DAGSolve only).
+//
+// Every solved plan (including each statically-solved partition of a
+// staged assay) is certified by the independent checker
+// (internal/certify) before code generation; a certification failure
+// fails the compile. -no-certify skips this pass. -mutate-plan perturbs
+// the solved plan before certification, to prove the gate fires (used by
+// CI; a mutated compile must exit non-zero).
 //
 // After code generation the emitted listing is checked by the
 // instruction-level verifier (internal/aisverify) against the volume plan;
@@ -29,6 +36,7 @@ import (
 	"aquavol/internal/aisverify"
 	"aquavol/internal/analysis"
 	"aquavol/internal/aquacore"
+	"aquavol/internal/certify"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
 	"aquavol/internal/diag"
@@ -42,6 +50,8 @@ func main() {
 	wError := flag.Bool("Werror", false, "treat lint warnings as errors (implies -lint)")
 	noManage := flag.Bool("no-manage", false, "skip the cascading/replication hierarchy")
 	noVerify := flag.Bool("no-verify", false, "skip the post-codegen instruction-level verifier")
+	noCertify := flag.Bool("no-certify", false, "skip the independent plan-certification pass")
+	mutatePlan := flag.Bool("mutate-plan", false, "perturb the solved plan before certification (CI gate check)")
 	outFile := flag.String("o", "", "write the AIS listing to this file instead of stdout")
 	volFile := flag.String("voltab", "", "write the per-instruction volume table to this file (static assays only)")
 	flag.Parse()
@@ -89,6 +99,26 @@ func main() {
 			hasUnknown = true
 		}
 	}
+	// certifyPlan gates a solved plan behind the independent checker
+	// (proof-carrying plans: the solver's output never reaches codegen
+	// unverified). -mutate-plan seeds a perturbation first so CI can
+	// prove the gate fires.
+	certifyPlan := func(what string, p *core.Plan, avail core.Availability) {
+		if *mutatePlan {
+			for i, v := range p.EdgeVolume {
+				if v > 0 {
+					p.EdgeVolume[i] += 0.5
+					break
+				}
+			}
+		}
+		if *noCertify {
+			return
+		}
+		if err := certify.CheckPlan(p, cfg, avail); err != nil {
+			fatal(fmt.Errorf("%s plan rejected: %w", what, err))
+		}
+	}
 	switch {
 	case hasUnknown:
 		sp, err := core.NewStagedPlan(g, cfg)
@@ -99,6 +129,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		for _, i := range done {
+			if sp.Plans[i] != nil && sp.Plans[i].Feasible() {
+				certifyPlan(fmt.Sprintf("partition %d", i), sp.Plans[i], sp.PartAvailability(i, nil))
+			}
+		}
 		fmt.Fprintf(os.Stderr, "assay has statically-unknown volumes: %d partitions, %d solvable at compile time\n",
 			sp.NumParts(), len(done))
 	case *noManage:
@@ -108,6 +143,8 @@ func main() {
 		}
 		if !plan.Feasible() {
 			fmt.Fprintf(os.Stderr, "warning: DAGSolve underflows (%d); rerun without -no-manage\n", len(plan.Underflows))
+		} else {
+			certifyPlan("unmanaged", plan, nil)
 		}
 	default:
 		res, err := core.Manage(g, cfg, core.ManageOptions{})
@@ -119,6 +156,7 @@ func main() {
 		g = res.Graph
 		plan = res.Plan
 		usedLP = res.UsedLP
+		certifyPlan("managed", plan, core.StaticAvailability(cfg))
 		for _, tr := range res.Transforms {
 			fmt.Fprintf(os.Stderr, "applied %s\n", tr)
 		}

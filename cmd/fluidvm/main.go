@@ -60,12 +60,25 @@
 // resource guards, never replayed state). Both flags also bound a
 // -resume itself.
 //
+// Every solved plan is certified by the independent checker
+// (internal/certify) before a single instruction executes: the static
+// plan at build time, each staged partition as it is solved (including
+// at run time, from measurements), and every residual replan before its
+// patches apply. A certification failure refuses to run with exit code
+// 6 and, under -journal, leaves no outcome record. Journaled runs
+// record the plan's certificate hash in the begin record; -resume
+// recomputes the hash from the re-derived plan and refuses a mismatch
+// with the same exit code — the journal's plan is not the plan that
+// was certified. -no-certify skips all certification (and the resume
+// hash check).
+//
 // Exit codes: 0 completed, 1 error, 2 completed-degraded (unrepaired
 // faults), 3 aborted, 4 resume failure, 5 cancelled/deadline/budget
-// exceeded, 64 usage.
+// exceeded, 6 plan certification failure, 64 usage.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"hash/crc32"
@@ -77,6 +90,7 @@ import (
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
 	"aquavol/internal/budget"
+	"aquavol/internal/certify"
 	"aquavol/internal/codegen"
 	"aquavol/internal/core"
 	"aquavol/internal/faults"
@@ -96,6 +110,7 @@ const (
 	exitAborted      = 3
 	exitResumeFailed = 4
 	exitCancelled    = 5
+	exitCertFailed   = 6
 	exitUsage        = 64
 )
 
@@ -123,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fsFaultSeed := fs.Int64("fsfault-seed", 0, "PRNG seed for rate-based -fsfaults profiles")
 	budgetN := fs.Int64("budget", 0, "bound the run to N work units (0 = unlimited); tripping exits 5")
 	deadline := fs.Duration("deadline", 0, "wall-clock deadline for the whole run (0 = none); tripping exits 5")
+	noCertify := fs.Bool("no-certify", false, "skip independent plan certification (and the resume hash check)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -144,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *resumePath != "" {
-		return doResume(fsys, *resumePath, fs.Args(), *aisFile, *volFile, meter, traceFn, eventFn, stdout, stderr)
+		return doResume(fsys, *resumePath, fs.Args(), *aisFile, *volFile, *noCertify, meter, traceFn, eventFn, stdout, stderr)
 	}
 
 	prof, err := faults.ParseProfile(*faultSpec)
@@ -156,17 +172,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inj = faults.New(prof, *seed)
 	}
 	doRecover := *rec || *replan || *journalPath != "" || *crashAt >= 0
-	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery, EnableReplan: *replan, Budget: meter}
+	ropts := recovery.Options{RetriesPerInstr: *retries, SnapshotEvery: *snapEvery, EnableReplan: *replan, Budget: meter, NoCertify: *noCertify}
 	if *crashAt >= 0 {
 		ropts.Crash = faults.CrashAt(*crashAt)
 	}
 
 	// Build the program and machine.
 	var (
-		prog *ais.Program
-		comp *recovery.Compiled
-		m    *aquacore.Machine
-		name string
+		prog     *ais.Program
+		comp     *recovery.Compiled
+		m        *aquacore.Machine
+		name     string
+		certHash uint32
 	)
 	if *aisFile != "" {
 		name = *aisFile
@@ -179,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		name = fs.Arg(0)
 		var src []byte
 		if src, err = os.ReadFile(name); err == nil {
-			prog, comp, m, err = buildAssay(string(src), *yield, *margin, meter, traceFn, eventFn, inj)
+			prog, comp, m, certHash, err = buildAssay(string(src), *yield, *margin, *noCertify, meter, traceFn, eventFn, inj)
 		}
 	}
 	if err != nil {
@@ -188,6 +205,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if budget.IsStop(err) {
 			fmt.Fprintln(stderr, "fluidvm:", err)
 			return exitCancelled
+		}
+		// A certification failure is a refused plan, not a broken build:
+		// its own exit code so scripts can tell "the checker said no"
+		// from a compile error.
+		if errors.Is(err, certify.ErrCertificate) {
+			fmt.Fprintln(stderr, "fluidvm:", err)
+			return exitCertFailed
 		}
 		return fail(stderr, err)
 	}
@@ -205,7 +229,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Profile: prof, Seed: *seed,
 			Margin: *margin, Yield: *yield,
 			Retries: *retries, SnapshotEvery: *snapEvery,
-			Replan: *replan,
+			Replan:   *replan,
+			CertHash: certHash,
 		}}); jerr != nil {
 			return fail(stderr, jerr)
 		}
@@ -270,7 +295,7 @@ func buildFS(spec string, seed int64) (vfs.FS, error) {
 // valid CRC) the resume falls back to earlier ones, and ultimately to a
 // deterministic restart. Notices go to stderr so stdout stays
 // byte-identical to the uninterrupted run's.
-func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, meter *budget.Meter,
+func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, noCertify bool, meter *budget.Meter,
 	traceFn func(aquacore.TraceEntry), eventFn func(aquacore.Event), stdout, stderr io.Writer) int {
 	resumeFail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "fluidvm: resume: "+format+"\n", a...)
@@ -299,8 +324,9 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, 
 	// so construction is a closure; the program and compile artifacts are
 	// deterministic and come from the first build.
 	var (
-		prog *ais.Program
-		comp *recovery.Compiled
+		prog     *ais.Program
+		comp     *recovery.Compiled
+		certHash uint32
 	)
 	newMachine := func() (*aquacore.Machine, error) {
 		var inj *faults.Injector
@@ -316,8 +342,8 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, 
 		if err != nil {
 			return nil, err
 		}
-		p, c, m, err := buildAssay(string(src), begin.Yield, begin.Margin, meter, traceFn, eventFn, inj)
-		prog, comp = p, c
+		p, c, m, h, err := buildAssay(string(src), begin.Yield, begin.Margin, noCertify, meter, traceFn, eventFn, inj)
+		prog, comp, certHash = p, c, h
 		return m, err
 	}
 	if aisFile == "" && len(args) != 1 {
@@ -326,11 +352,26 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, 
 	}
 	firstMachine, err := newMachine()
 	if err != nil {
+		if errors.Is(err, certify.ErrCertificate) {
+			fmt.Fprintln(stderr, "fluidvm: resume:", err)
+			return exitCertFailed
+		}
 		return fail(stderr, err)
 	}
 	if h := crc32.ChecksumIEEE([]byte(prog.String())); h != begin.Hash || len(prog.Instrs) != begin.Instrs {
 		return resumeFail("journal was recorded for a different program (journaled %08x/%d instrs, recompiled %08x/%d)",
 			begin.Hash, begin.Instrs, h, len(prog.Instrs))
+	}
+	// Re-verify the certificate: the re-derived (and freshly re-certified)
+	// plan must hash to exactly what the original run certified and
+	// journaled. A mismatch means the journal would replay volumes from a
+	// plan nobody certified — refuse before touching the machine, leaving
+	// no outcome record so the journal stays crash-evidence.
+	if !noCertify && begin.CertHash != 0 {
+		if err := certify.VerifyHash(certHash, begin.CertHash); err != nil {
+			fmt.Fprintln(stderr, "fluidvm: resume:", err)
+			return exitCertFailed
+		}
 	}
 
 	// The budget meter is per-invocation configuration, never journaled
@@ -341,6 +382,7 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, 
 		EnableReplan:    begin.Replan,
 		Journal:         w,
 		Budget:          meter,
+		NoCertify:       noCertify,
 	}
 	snaps := recovery.Snapshots(recs)
 	if len(snaps) == 0 {
@@ -359,18 +401,23 @@ func doResume(fsys vfs.FS, path string, args []string, aisFile, volFile string, 
 
 // buildAssay compiles assay source and constructs its machine, mirroring
 // the planner/codegen decisions of a direct run so a resume rebuilds the
-// identical program.
-func buildAssay(src string, yield, margin float64, meter *budget.Meter, traceFn func(aquacore.TraceEntry),
-	eventFn func(aquacore.Event), inj *faults.Injector) (*ais.Program, *recovery.Compiled, *aquacore.Machine, error) {
+// identical program. Unless noCertify, every solved plan passes the
+// independent checker before the machine is built — static plans here,
+// staged partitions through the source's certification hook (including
+// those solved later from measurements) — and the returned certHash
+// pins the certified static plan (0 for staged assays, which have no
+// single static plan to pin).
+func buildAssay(src string, yield, margin float64, noCertify bool, meter *budget.Meter, traceFn func(aquacore.TraceEntry),
+	eventFn func(aquacore.Event), inj *faults.Injector) (*ais.Program, *recovery.Compiled, *aquacore.Machine, uint32, error) {
 	ep, err := lang.Compile(src)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, err
 	}
 	cfg := core.DefaultConfig()
 	cfg.SafetyMargin = margin
 	cfg.Budget = meter
 	if err := cfg.Validate(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, err
 	}
 
 	g := ep.Graph
@@ -382,14 +429,21 @@ func buildAssay(src string, yield, margin float64, meter *budget.Meter, traceFn 
 	}
 	var source aquacore.VolumeSource
 	usedLP := false
+	var certHash uint32
 	if hasUnknown {
 		sp, err := core.NewStagedPlan(g, cfg)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, 0, err
 		}
-		ss, err := aquacore.NewStagedSource(sp)
+		var hook aquacore.CertifyPart
+		if !noCertify {
+			hook = func(part int, plan *core.Plan, avail core.Availability) error {
+				return certify.CheckPlan(plan, cfg, avail)
+			}
+		}
+		ss, err := aquacore.NewStagedSource(sp, hook)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, 0, err
 		}
 		source = ss
 		// Per-part solves may fall back to LP at run time; be
@@ -398,7 +452,13 @@ func buildAssay(src string, yield, margin float64, meter *budget.Meter, traceFn 
 	} else {
 		res, err := core.Manage(g, cfg, core.ManageOptions{})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, 0, err
+		}
+		if !noCertify {
+			if err := certify.CheckPlan(res.Plan, cfg, core.StaticAvailability(cfg)); err != nil {
+				return nil, nil, nil, 0, fmt.Errorf("managed plan rejected: %w", err)
+			}
+			certHash = certify.PlanHash(res.Plan)
 		}
 		g = res.Graph
 		source = aquacore.PlanSource{Plan: res.Plan}
@@ -409,12 +469,12 @@ func buildAssay(src string, yield, margin float64, meter *budget.Meter, traceFn 
 	// LP plans (no flow conservation) and any positive safety margin.
 	cg, err := codegen.Generate(ep, g, codegen.Config{NoForwarding: usedLP || margin > 0})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, err
 	}
 	m := aquacore.New(aquacore.Config{SeparationYield: yield, Trace: traceFn, EventTrace: eventFn, Faults: inj, Budget: meter}, g, source)
 	m.SetDry(codegen.DryInit(ep))
 	comp := &recovery.Compiled{Graph: g, Clusters: cg.Clusters, VesselOf: cg.VesselOf}
-	return cg.Prog, comp, m, nil
+	return cg.Prog, comp, m, certHash, nil
 }
 
 // buildShipped assembles a compiled (listing, volume table) pair — the

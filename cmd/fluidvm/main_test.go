@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"aquavol/internal/journal"
+	"aquavol/internal/vfs"
 )
 
 const glucose = "../../testdata/glucose.asy"
@@ -103,6 +106,84 @@ func TestResumeRejectsDifferentProgram(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "-resume", filepath.Join(dir, "missing.aqj"), glucose); code != exitResumeFailed {
 		t.Fatalf("missing journal resume exit %d, want %d", code, exitResumeFailed)
+	}
+}
+
+// Exit code 6 is the proof-carrying-plans contract: a resume whose
+// journal carries a certificate hash that does not match the re-derived
+// (and freshly re-certified) plan refuses to execute a single
+// instruction and appends no outcome record — the journal stays intact
+// as crash evidence. -no-certify is the documented escape hatch.
+func TestResumeRejectsCorruptedCertificate(t *testing.T) {
+	dir := t.TempDir()
+	crashPath := filepath.Join(dir, "crash.aqj")
+	if code, _, _ := runCLI(t, "-faults", "moderate", "-seed", "42",
+		"-journal", crashPath, "-crash-at", "5", glucose); code != exitAborted {
+		t.Fatal("setup crash run did not abort")
+	}
+
+	// Forge a journal identical to the crashed one except for the begin
+	// record's certificate hash (the frame CRCs protect against bit rot,
+	// so the corruption must be re-encoded like an attacker or a buggy
+	// tool would).
+	f, err := os.Open(crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := journal.ReadAll(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Kind != journal.KindBegin || recs[0].Begin.CertHash == 0 {
+		t.Fatalf("crashed journal has no certificate hash in its begin record: %+v", recs[0])
+	}
+	recs[0].Begin.CertHash ^= 0xdeadbeef
+	forgedPath := filepath.Join(dir, "forged.aqj")
+	w, ff, err := journal.Create(vfs.OS{}, forgedPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ff.Close()
+
+	code, out, errw := runCLI(t, "-resume", forgedPath, glucose)
+	if code != exitCertFailed {
+		t.Fatalf("corrupted-certificate resume exit %d, want %d (stderr: %s)", code, exitCertFailed, errw)
+	}
+	if out != "" {
+		t.Errorf("refused resume produced stdout: %q", out)
+	}
+	if !strings.Contains(errw, "certificate hash mismatch") {
+		t.Errorf("certificate diagnostic missing from stderr: %s", errw)
+	}
+	// No outcome record: the journal is still open, exactly as the crash
+	// left it, so a corrected binary (or -no-certify) can still resume it.
+	f, err = os.Open(forgedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := journal.ReadAll(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(recs) {
+		t.Errorf("refused resume changed the journal: %d records, want %d", len(after), len(recs))
+	}
+	for _, r := range after {
+		if r.Kind == journal.KindOutcome {
+			t.Errorf("refused resume left an outcome record: %+v", r.Outcome)
+		}
+	}
+
+	// The escape hatch skips the hash check and completes the run.
+	if code, _, errw := runCLI(t, "-no-certify", "-resume", forgedPath, glucose); code != exitCompleted {
+		t.Fatalf("-no-certify resume exit %d, want %d (stderr: %s)", code, exitCompleted, errw)
 	}
 }
 

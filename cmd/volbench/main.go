@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver|storage-chaos|bounded]
+//	volbench [-experiment all|fig5|glucose|glycomics|enzyme|rounding|table2|scaling|lpablation|ilp|regen|robustness|margin-sweep|durability|replan|solver|storage-chaos|bounded|certify]
 //	         [-full] [-sweep N] [-seeds N] [-json FILE] [-ilp-nodes N] [-ilp-time D]
 //
 // -experiment solver measures the raw planning throughput/latency
@@ -24,6 +24,14 @@
 // is deterministic; -json adds cancellation-latency percentiles and the
 // budget-polling overhead (BENCH_bounded.json at the repository root is
 // the recorded trajectory).
+//
+// -experiment certify runs the E16 proof-carrying-plans mutation
+// matrix: every single-field perturbation of every shipped plan (and of
+// the replan fixture's live readings and instruction patches) must be
+// killed by the certification layer with exactly one typed cause — a
+// surviving mutant fails the run. The kill table is deterministic;
+// -json adds the certify-vs-pipeline overhead (BENCH_certify.json at
+// the repository root is the recorded trajectory).
 //
 // -full enables the long-running Enzyme10 LP solve in table2 (minutes and
 // roughly a gigabyte of tableau, which is the paper's point).
@@ -83,6 +91,24 @@ func main() {
 				os.Exit(1)
 			}
 			if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
+	case "certify":
+		t, report, err := bench.Certify()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certify matrix: %v\n", err)
+			os.Exit(1)
+		}
+		tables = []*bench.Table{t}
+		if *jsonOut != "" {
+			blob, err := bench.WriteCertifyReport(report)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
 				os.Exit(1)
 			}

@@ -57,7 +57,7 @@ func main() {
 
 	// Execute: the machine measures each separation (yield 50% here) and
 	// the StagedSource solves the next partition on the fly.
-	src, err := aquacore.NewStagedSource(sp)
+	src, err := aquacore.NewStagedSource(sp, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -272,6 +272,11 @@ func (p *Program) String() string {
 		}
 		fmt.Fprintf(&b, "  %s\n", in)
 	}
+	// Labels bound one past the last instruction (end-of-program jump
+	// targets) are legal and must survive the round trip.
+	for _, l := range byIndex[len(p.Instrs)] {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
 	b.WriteString("}\n")
 	return b.String()
 }

@@ -53,7 +53,7 @@ func TestVerifierCleanProgramsSimulateClean(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				source, err = aquacore.NewStagedSource(sp)
+				source, err = aquacore.NewStagedSource(sp, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -28,7 +28,7 @@ func stagedGlycomics(t *testing.T) (*elab.Program, *core.StagedPlan, *aquacore.S
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := aquacore.NewStagedSource(sp)
+	src, err := aquacore.NewStagedSource(sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,7 +144,7 @@ func TestGlycomicsStagedEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := aquacore.NewStagedSource(sp)
+	src, err := aquacore.NewStagedSource(sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,27 +70,59 @@ type StagedSource struct {
 	// surfaces them as EventSolveFailed events and appends the latest to
 	// any "missing volume" error, so the root cause is never masked.
 	solveErrs []error
+	// check, when non-nil, certifies every feasible partition plan
+	// before its volumes are served (see CertifyPart). condemned marks
+	// partitions whose plan failed certification: their volumes are
+	// withheld, so execution fail-stops at the first draw instead of
+	// running an uncertified plan.
+	check     CertifyPart
+	condemned map[int]bool
 }
+
+// CertifyPart is the per-partition certification hook of a
+// StagedSource: it receives each newly-solved feasible partition plan
+// together with the availability limits the solve ran against, and a
+// non-nil return condemns the partition. Wired to
+// certify.CheckPlan by fluidvm (defense-in-depth: solved-at-runtime
+// plans get the same independent check as compile-time ones); nil
+// skips certification.
+type CertifyPart func(part int, plan *core.Plan, avail core.Availability) error
 
 // SolveErrors returns the runtime solve errors recorded so far, oldest
 // first.
 func (s *StagedSource) SolveErrors() []error { return s.solveErrs }
 
 // NewStagedSource wraps sp, solving every measurement-independent
-// partition up front (the compile-time share of the work).
-func NewStagedSource(sp *core.StagedPlan) (*StagedSource, error) {
+// partition up front (the compile-time share of the work). A non-nil
+// check certifies each feasible plan as it is solved: a static
+// partition failing certification fails construction outright, and a
+// runtime-solved one is condemned (its volumes withheld) so the run
+// fail-stops before executing it.
+func NewStagedSource(sp *core.StagedPlan, check CertifyPart) (*StagedSource, error) {
 	s := &StagedSource{
-		sp:       sp,
-		measured: map[[2]any]float64{},
-		localOf:  map[int][2]int{},
+		sp:        sp,
+		measured:  map[[2]any]float64{},
+		localOf:   map[int][2]int{},
+		check:     check,
+		condemned: map[int]bool{},
 	}
 	for pi, m := range sp.Partition.OrigOf {
 		for local, orig := range m {
 			s.localOf[orig] = [2]int{pi, local}
 		}
 	}
-	if _, err := sp.SolveStatic(); err != nil {
+	done, err := sp.SolveStatic()
+	if err != nil {
 		return nil, err
+	}
+	if check != nil {
+		for _, i := range done {
+			if p := sp.Plans[i]; p != nil && p.Feasible() {
+				if err := check(i, p, sp.PartAvailability(i, nil)); err != nil {
+					return nil, fmt.Errorf("partition %d plan rejected: %w", i, err)
+				}
+			}
+		}
 	}
 	return s, nil
 }
@@ -101,7 +133,7 @@ func (s *StagedSource) Plans() []*core.Plan { return s.sp.Plans }
 // EdgeVolume implements VolumeSource.
 func (s *StagedSource) EdgeVolume(edgeID int) (float64, bool) {
 	loc, ok := s.sp.Partition.EdgeOf[edgeID]
-	if !ok {
+	if !ok || s.condemned[loc[0]] {
 		return 0, false
 	}
 	plan := s.sp.Plans[loc[0]]
@@ -114,7 +146,7 @@ func (s *StagedSource) EdgeVolume(edgeID int) (float64, bool) {
 // NodeVolume implements VolumeSource.
 func (s *StagedSource) NodeVolume(nodeID int) (float64, bool) {
 	loc, ok := s.localOf[nodeID]
-	if !ok {
+	if !ok || s.condemned[loc[0]] {
 		return 0, false // e.g. a split natural input: load full capacity
 	}
 	plan := s.sp.Plans[loc[0]]
@@ -159,10 +191,21 @@ func (s *StagedSource) Measured(nodeID int, port string, volume float64) {
 		if !ready {
 			continue
 		}
-		if _, err := s.sp.SolvePart(i, measure); err != nil {
+		plan, err := s.sp.SolvePart(i, measure)
+		if err != nil {
 			// Record the failure instead of silently leaving the part
 			// pending: a later "missing volume" would mask the root cause.
 			s.solveErrs = append(s.solveErrs, fmt.Errorf("part %d: %w", i, err))
+			continue
+		}
+		if s.check != nil && plan != nil && plan.Feasible() {
+			if cerr := s.check(i, plan, s.sp.PartAvailability(i, measure)); cerr != nil {
+				// Condemn the partition: withholding its volumes makes the
+				// first draw fail-stop with this root cause attached, which
+				// beats executing a plan the checker rejected.
+				s.condemned[i] = true
+				s.solveErrs = append(s.solveErrs, fmt.Errorf("part %d plan rejected: %w", i, cerr))
+			}
 		}
 	}
 }

@@ -83,7 +83,7 @@ func (ca *compiledAssay) newBudgetedMachine(p faults.Profile, seed int64, meter 
 		if err != nil {
 			return nil, err
 		}
-		ss, err := aquacore.NewStagedSource(sp)
+		ss, err := aquacore.NewStagedSource(sp, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,133 @@
+package certify
+
+import (
+	"math"
+	"math/big"
+)
+
+// exact is an exact binary rational m·2^e. Every number the checker
+// handles originates as a float64 — a dyadic rational — and the checks
+// only ever add, subtract, multiply, and compare, all of which dyadic
+// rationals are closed under. Staying dyadic is what makes exact
+// certification affordable: big.Rat normalizes through a GCD on every
+// operation (it dominated the checker's profile at >70% of CPU), while
+// these operations are a shift, an integer add or mul, and nothing
+// else. Division is never needed, so the representation never leaves
+// this form.
+//
+// The zero value is the number 0. Methods follow math/big conventions:
+// z.Op(x, y) stores x∘y into z and returns z; receivers may alias
+// arguments.
+type exact struct {
+	m big.Int
+	e int
+}
+
+// rat converts a float64 to an exact rational. Callers must have
+// rejected NaN and ±Inf already.
+func rat(v float64) *exact { return new(exact).SetFloat64(v) }
+
+// SetFloat64 sets z to the exact value of v (which must be finite):
+// frac·2^exp with the 53-bit mantissa made integral.
+func (z *exact) SetFloat64(v float64) *exact {
+	if v == 0 {
+		z.m.SetInt64(0)
+		z.e = 0
+		return z
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, 0.5 ≤ |frac| < 1
+	z.m.SetInt64(int64(frac * (1 << 53)))
+	z.e = exp - 53
+	return z
+}
+
+// SetInt64 sets z to n.
+func (z *exact) SetInt64(n int64) *exact {
+	z.m.SetInt64(n)
+	z.e = 0
+	return z
+}
+
+// Set sets z to x.
+func (z *exact) Set(x *exact) *exact {
+	z.m.Set(&x.m)
+	z.e = x.e
+	return z
+}
+
+// aligned returns the two mantissas on their common (smaller)
+// exponent, shifting only the wider-exponent operand (none when the
+// exponents already match — t is scratch for the shifted copy).
+func aligned(x, y *exact, t *big.Int) (xm, ym *big.Int, e int) {
+	switch {
+	case x.e == y.e:
+		return &x.m, &y.m, x.e
+	case x.e > y.e:
+		t.Lsh(&x.m, uint(x.e-y.e))
+		return t, &y.m, y.e
+	default:
+		t.Lsh(&y.m, uint(y.e-x.e))
+		return &x.m, t, x.e
+	}
+}
+
+// Add sets z = x + y.
+func (z *exact) Add(x, y *exact) *exact {
+	var t big.Int
+	xm, ym, e := aligned(x, y, &t)
+	z.m.Add(xm, ym)
+	z.e = e
+	return z
+}
+
+// Sub sets z = x − y.
+func (z *exact) Sub(x, y *exact) *exact {
+	var t big.Int
+	xm, ym, e := aligned(x, y, &t)
+	z.m.Sub(xm, ym)
+	z.e = e
+	return z
+}
+
+// Mul sets z = x · y.
+func (z *exact) Mul(x, y *exact) *exact {
+	z.m.Mul(&x.m, &y.m)
+	z.e = x.e + y.e
+	return z
+}
+
+// Abs sets z = |x|.
+func (z *exact) Abs(x *exact) *exact {
+	z.m.Abs(&x.m)
+	z.e = x.e
+	return z
+}
+
+// Sign returns −1, 0, or +1.
+func (x *exact) Sign() int { return x.m.Sign() }
+
+// Cmp compares x and y, returning −1, 0, or +1.
+func (x *exact) Cmp(y *exact) int {
+	if xs, ys := x.m.Sign(), y.m.Sign(); xs != ys {
+		if xs < ys {
+			return -1
+		}
+		return 1
+	}
+	var t big.Int
+	xm, ym, _ := aligned(x, y, &t)
+	return xm.Cmp(ym)
+}
+
+// Rat returns the value as a big.Rat, for diagnostics.
+func (x *exact) Rat() *big.Rat {
+	r := new(big.Rat).SetInt(&x.m)
+	if x.e >= 0 {
+		return r.Mul(r, new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), uint(x.e))))
+	}
+	return r.Quo(r, new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), uint(-x.e))))
+}
+
+// FloatString renders the value with prec decimal digits, for
+// violation messages (cold path only).
+func (x *exact) FloatString(prec int) string { return x.Rat().FloatString(prec) }

@@ -1,0 +1,82 @@
+package certify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"aquavol/internal/core"
+)
+
+// Certificate hashes pin a certified plan to the journal records that
+// carry it: fluidvm stores PlanHash in the journal's begin record (and
+// ReplanHash in each replan record), and resume recomputes the hash from
+// the re-derived plan before touching the machine — a mismatch means the
+// journal's plan is not the plan that was certified, and the run
+// fail-stops with ErrHash.
+//
+// The hash is CRC32 (IEEE) over a canonical little-endian encoding of
+// the plan: method, slice lengths, then the raw IEEE-754 bits of every
+// node volume, production, edge volume, dual, and reduced cost in id
+// order. Bit-identical plans — the determinism contract the replay
+// gates already enforce — therefore hash identically across runs and
+// resumes.
+
+// PlanHash returns the certificate hash of a plan.
+func PlanHash(p *core.Plan) uint32 {
+	h := crc32.NewIEEE()
+	writePlan(h, p)
+	return h.Sum32()
+}
+
+// VerifyHash compares a recomputed certificate hash against the
+// journaled one and returns an ErrHash violation on mismatch: the plan
+// the resume path re-derived is not the plan the original run
+// certified, so replaying its volumes would execute an uncertified
+// plan.
+func VerifyHash(recomputed, journaled uint32) error {
+	if recomputed == journaled {
+		return nil
+	}
+	return &Violation{
+		Cause: ErrHash, Check: "hash/plan", Where: "journal begin record",
+		Detail: fmt.Sprintf("journaled certificate %08x, recomputed %08x", journaled, recomputed),
+	}
+}
+
+// ReplanHash returns the certificate hash of a residual replan together
+// with its instruction patch map (pc → volume, encoded in pc order).
+func ReplanHash(rp *core.ResidualPlan, patches map[int]float64) uint32 {
+	h := crc32.NewIEEE()
+	writePlan(h, rp.Plan)
+	pcs := make([]int, 0, len(patches))
+	for pc := range patches {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	writeU64(h, uint64(len(pcs)))
+	for _, pc := range pcs {
+		writeU64(h, uint64(int64(pc)))
+		writeU64(h, math.Float64bits(patches[pc]))
+	}
+	return h.Sum32()
+}
+
+func writePlan(w io.Writer, p *core.Plan) {
+	io.WriteString(w, p.Method)
+	for _, s := range [][]float64{p.NodeVolume, p.Production, p.EdgeVolume, p.Duals, p.ReducedCosts} {
+		writeU64(w, uint64(len(s)))
+		for _, v := range s {
+			writeU64(w, math.Float64bits(v))
+		}
+	}
+}
+
+func writeU64(w io.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}

@@ -112,6 +112,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// MinFor reports the minimum total-input volume required at node n: the
+// configured per-kind FFU minimum when it exceeds the least count, else
+// the least count itself. Exported so the independent certificate
+// checker (internal/certify) enforces exactly the thresholds the
+// solvers planned against.
+func (c Config) MinFor(n *dag.Node) float64 { return c.minForNode(n) }
+
 // minForNode is the minimum total-input volume required at node n.
 func (c Config) minForNode(n *dag.Node) float64 {
 	if m, ok := c.MinNodeVolume[n.Kind]; ok && m > c.LeastCount {

@@ -331,6 +331,10 @@ func (f *Formulation) Solve(opts lp.Options) (*Plan, error) {
 			p.Production[id] = in
 		}
 	}
+	// Carry the solver's optimality certificate so internal/certify can
+	// verify the KKT conditions without re-solving.
+	p.Duals = sol.Y
+	p.ReducedCosts = sol.ReducedCost
 	p.checkMinimums(f.cfg)
 	return p, nil
 }

@@ -56,6 +56,14 @@ type Plan struct {
 	// Scale is the factor that converted Vnorms to volumes (DAGSolve
 	// only).
 	Scale float64
+	// Duals and ReducedCosts carry the LP optimality certificate when
+	// Method is "lp": one dual per formulation constraint (lp.ConID
+	// order) and one reduced cost per formulation variable (lp.VarID
+	// order), straight from lp.Solution. internal/certify re-derives the
+	// formulation and verifies the KKT conditions against them. Nil for
+	// dagsolve plans (whose certificate is the conservation identity
+	// itself).
+	Duals, ReducedCosts []float64
 	// Underflows lists hardware-minimum violations; a plan is feasible
 	// iff it is empty.
 	Underflows []Underflow

@@ -107,24 +107,15 @@ func (sp *StagedPlan) bindingFor(part, nodeID int) (dag.Binding, bool) {
 	return dag.Binding{}, false
 }
 
-// SolvePart assigns absolute volumes for part i. Availability of each
-// constrained input is share × (MaxCapacity | planned production |
-// measured volume) depending on whether its source is a natural input, a
-// cut known-volume node from an earlier part, or an unknown-volume node
-// (in which case measure must report it).
-//
-// DAGSolve is attempted first; on underflow the LP formulation of the part
-// is tried before giving up (mirroring the hierarchy; DAG transforms are
-// not attempted inside partitions).
-func (sp *StagedPlan) SolvePart(i int, measure Measure) (*Plan, error) {
-	if i < 0 || i >= sp.NumParts() {
-		return nil, fmt.Errorf("core: part %d out of range [0,%d)", i, sp.NumParts())
-	}
-	// Poll at the part boundary; Dispense/SolveLP below charge the meter.
-	if err := sp.cfg.Budget.Err(); err != nil {
-		return nil, err
-	}
-	avail := func(ci *dag.Node) (float64, bool) {
+// PartAvailability returns the Availability function SolvePart uses for
+// part i: each constrained input gets share × (MaxCapacity | planned
+// production | measured volume) depending on whether its source is a
+// natural input, a cut known-volume node from an earlier part, or an
+// unknown-volume node resolved through measure. It is exported so an
+// independent checker (internal/certify) can re-derive the exact
+// availability limits a part was solved under.
+func (sp *StagedPlan) PartAvailability(i int, measure Measure) Availability {
+	return func(ci *dag.Node) (float64, bool) {
 		b, ok := sp.bindingFor(i, ci.ID())
 		if !ok {
 			return 0, false
@@ -149,6 +140,31 @@ func (sp *StagedPlan) SolvePart(i int, measure Measure) (*Plan, error) {
 			return b.Share * v, true
 		}
 	}
+}
+
+// Config reports the configuration the staged plan was built with, so
+// downstream consumers (certification, diagnostics) see the same limits
+// the solver used.
+func (sp *StagedPlan) Config() Config { return sp.cfg }
+
+// SolvePart assigns absolute volumes for part i. Availability of each
+// constrained input is share × (MaxCapacity | planned production |
+// measured volume) depending on whether its source is a natural input, a
+// cut known-volume node from an earlier part, or an unknown-volume node
+// (in which case measure must report it).
+//
+// DAGSolve is attempted first; on underflow the LP formulation of the part
+// is tried before giving up (mirroring the hierarchy; DAG transforms are
+// not attempted inside partitions).
+func (sp *StagedPlan) SolvePart(i int, measure Measure) (*Plan, error) {
+	if i < 0 || i >= sp.NumParts() {
+		return nil, fmt.Errorf("core: part %d out of range [0,%d)", i, sp.NumParts())
+	}
+	// Poll at the part boundary; Dispense/SolveLP below charge the meter.
+	if err := sp.cfg.Budget.Err(); err != nil {
+		return nil, err
+	}
+	avail := sp.PartAvailability(i, measure)
 	// Pre-validate ordering: every non-static source must be resolvable.
 	for _, b := range sp.Partition.Bindings {
 		if b.Part != i || b.SourcePart == -1 || b.SourceUnknown {

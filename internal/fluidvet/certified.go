@@ -25,4 +25,6 @@ var CertifiedEntryPoints = []string{
 	"(*aquavol/internal/dag.Graph).Validate",
 	"aquavol/internal/analysis.Analyze",
 	"aquavol/internal/aisverify.Verify",
+	"aquavol/internal/certify.CheckPlan",
+	"aquavol/internal/certify.CheckResidual",
 }

@@ -222,6 +222,7 @@ var replayCritical = map[string]bool{
 	"faults":   true,
 	"codegen":  true,
 	"core":     true,
+	"certify":  true,
 	"dag":      true,
 	"ilp":      true,
 	"bench":    true,

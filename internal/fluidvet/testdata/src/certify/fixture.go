@@ -1,0 +1,47 @@
+// Package certify is a fluidvet fixture: the real certification
+// package is replay-critical (certificate hashes land in journal
+// records, so a nondeterministic checker would break bit-identical
+// resume verification), and its directory name puts this fixture in
+// the same scope — the determinism analyzer's trigger and suppress
+// cases both run here.
+package certify
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged — a certificate must not depend
+// on when it was checked.
+func Stamp() time.Time {
+	return time.Now() // want `determinism: call to time\.Now reads the wall clock`
+}
+
+// Perturb draws from the process-global PRNG: flagged — mutation
+// matrices must be enumerated, never sampled.
+func Perturb(v float64) float64 {
+	return v + rand.Float64() // want `determinism: call to rand\.Float64 uses the process-global PRNG`
+}
+
+// WorstViolation folds residuals over a map: float comparison under
+// map order decides which witness is reported, so the pick must be
+// made deterministic (sort the keys first).
+func WorstViolation(residuals map[string]float64) float64 {
+	worst := 0.0
+	for _, r := range residuals { // want `determinism: map iteration order is nondeterministic .*floating-point accumulation`
+		worst += r
+	}
+	return worst
+}
+
+// SortedChecks visits checks in sorted key order: the deterministic
+// first-violation idiom the real checker uses, unflagged.
+func SortedChecks(checks map[string]float64) []string {
+	names := make([]string, 0, len(checks))
+	for name := range checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -242,6 +242,14 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "aquacore", Determinism)
 }
 
+// TestDeterminismCertifyFixture pins the certify package's scoping:
+// certificate checking and hashing are replay-critical (hashes are
+// journaled and re-verified on resume), so clock reads, global PRNG
+// draws, and order-dependent float folds are flagged there.
+func TestDeterminismCertifyFixture(t *testing.T) {
+	runFixture(t, "certify", Determinism)
+}
+
 // TestDeterminismOutOfScope: the same constructs outside the
 // replay-critical set produce nothing.
 func TestDeterminismOutOfScope(t *testing.T) {

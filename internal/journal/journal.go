@@ -147,6 +147,13 @@ type Begin struct {
 	// Replan records whether adaptive replanning was enabled: a resume
 	// must re-derive the same repair decisions the original run made.
 	Replan bool `json:"replan,omitempty"`
+	// CertHash is the certificate hash (certify.PlanHash) of the
+	// statically-solved plan the run was certified against. Resume
+	// recomputes it from the re-derived plan and refuses to touch the
+	// machine on a mismatch: the journal's plan is not the plan that was
+	// certified. Zero when the assay has no static plan (staged assays
+	// certify part by part at solve time) or certification was disabled.
+	CertHash uint32 `json:"certHash,omitempty"`
 }
 
 // Step marks one completed instruction boundary of the recovery loop.
@@ -246,6 +253,11 @@ type Replan struct {
 	Scale  float64 `json:"scale,omitempty"`
 	// Patches maps instruction pcs to their rescaled absolute volumes.
 	Patches map[int]float64 `json:"patches"`
+	// CertHash is the certificate hash (certify.ReplanHash) of the
+	// residual plan plus its patch set, recorded after the repair passed
+	// certification — auditors recompute it to pin the journaled patches
+	// to the certified replan.
+	CertHash uint32 `json:"certHash,omitempty"`
 }
 
 // Outcome closes a journal: the run reached a terminal state in-process

@@ -1,0 +1,213 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Dual values on the classic TestMaximizeBasic instance: at the optimum
+// (x=2, y=6) constraint c1 is slack and c2, c3 bind with shadow prices
+// 1.5 and 1 (raising c2's rhs by 1 buys half a unit of y at profit 5/2;
+// raising c3's buys a third of a unit of x at profit 1).
+func TestDualsMaximizeBasic(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x")
+	y := p.AddVariable("y")
+	p.SetObjective(x, 3)
+	p.SetObjective(y, 5)
+	c1 := p.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	c2 := p.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	c3 := p.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	want := map[ConID]float64{c1: 0, c2: 1.5, c3: 1}
+	for c, w := range want {
+		if !approx(s.Y[c], w) {
+			t.Errorf("Y[%s] = %v, want %v", p.ConstraintName(c), s.Y[c], w)
+		}
+	}
+	// Both variables are strictly interior, so their reduced costs vanish.
+	if !approx(s.ReducedCost[x], 0) || !approx(s.ReducedCost[y], 0) {
+		t.Errorf("reduced costs = %v, %v, want 0, 0", s.ReducedCost[x], s.ReducedCost[y])
+	}
+}
+
+// A single binding LE row: max 3x s.t. x ≤ 4 has shadow price 3.
+func TestDualSingleLE(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x")
+	p.SetObjective(x, 3)
+	c := p.AddConstraint("cap", []Term{{x, 1}}, LE, 4)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || !approx(s.Y[c], 3) {
+		t.Fatalf("got %v Y=%v, want optimal Y=3", s.Status, s.Y)
+	}
+}
+
+// A binding GE row routes the dual through an artificial column:
+// min 2x s.t. x ≥ 3 has shadow price 2 (∂obj/∂rhs in the original
+// orientation, so positive: raising the floor raises the cost).
+func TestDualSingleGE(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x")
+	p.SetObjective(x, 2)
+	c := p.AddConstraint("floor", []Term{{x, 1}}, GE, 3)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || !approx(s.Y[c], 2) {
+		t.Fatalf("got %v Y=%v, want optimal Y=2", s.Status, s.Y)
+	}
+}
+
+// Equality rows get signed duals: min x+2y s.t. x+y = 10, x ≤ 4 optimizes
+// at (4, 6). Relaxing the equality to 11 costs +2 (one more unit of y);
+// relaxing the cap to 5 saves 1 (swap a y for an x), so its dual is -1.
+func TestDualEqualityAndNegative(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x")
+	y := p.AddVariable("y")
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 2)
+	eq := p.AddConstraint("sum", []Term{{x, 1}, {y, 1}}, EQ, 10)
+	cap := p.AddConstraint("cap", []Term{{x, 1}}, LE, 4)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 16) {
+		t.Fatalf("got %v obj=%v, want optimal 16", s.Status, s.Objective)
+	}
+	if !approx(s.Y[eq], 2) || !approx(s.Y[cap], -1) {
+		t.Fatalf("Y = %v, want [2, -1]", s.Y)
+	}
+}
+
+// Redundant constraints (zeroed during phase 1's artificial expulsion)
+// carry dual 0 by convention rather than garbage.
+func TestDualRedundantRowIsZero(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x")
+	y := p.AddVariable("y")
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 1)
+	p.AddConstraint("e1", []Term{{x, 1}, {y, 1}}, EQ, 4)
+	e2 := p.AddConstraint("e2", []Term{{x, 2}, {y, 2}}, EQ, 8) // same hyperplane
+	p.AddConstraint("cap", []Term{{x, 1}}, LE, 3)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if !approx(s.Y[e2], 0) {
+		t.Fatalf("Y[e2] = %v, want 0 for the redundant row", s.Y[e2])
+	}
+}
+
+// Property: on random feasible bounded LPs the returned (Y, ReducedCost)
+// pair is a valid optimality certificate — the same KKT conditions
+// internal/certify enforces on production plans. For the maximization
+// problems randomProblem builds (bounds [0, 50], LE/GE/EQ rows):
+//   - dual sign feasibility: LE rows have Y ≥ 0, GE rows Y ≤ 0;
+//   - complementary slackness: a slack row has Y = 0, and a variable
+//     strictly between its bounds has reduced cost 0;
+//   - zero duality gap: obj = Σ Y·rhs + Σ max(rc, 0)·hi (lo = 0 here).
+func TestQuickDualCertificate(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nv := 2 + r.Intn(6)
+		nc := 1 + r.Intn(8)
+		p, _ := randomProblem(r, nv, nc)
+		s, err := p.Solve(Options{})
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		tol := FeasCheckTol * 50 // row activities scale with the box bound
+		for i, c := range p.cons {
+			dot := 0.0
+			for _, tm := range c.terms {
+				dot += tm.Coef * s.X[tm.Var]
+			}
+			switch c.sense {
+			case LE:
+				if s.Y[i] < -tol {
+					return false
+				}
+				if c.rhs-dot > tol && math.Abs(s.Y[i]) > tol { // slack row must have Y=0
+					return false
+				}
+			case GE:
+				if s.Y[i] > tol {
+					return false
+				}
+				if dot-c.rhs > tol && math.Abs(s.Y[i]) > tol {
+					return false
+				}
+			}
+		}
+		bound := 0.0
+		for i, c := range p.cons {
+			bound += s.Y[i] * c.rhs
+		}
+		for j, v := range p.vars {
+			rc := s.ReducedCost[j]
+			if s.X[j] > v.lo+tol && s.X[j] < v.hi-tol && math.Abs(rc) > tol {
+				return false
+			}
+			if rc > 0 {
+				bound += rc * v.hi
+			} // rc < 0 pairs with lo = 0: contributes nothing
+		}
+		return math.Abs(s.Objective-bound) <= ObjectiveRelTol*(1+math.Abs(s.Objective))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Non-optimal terminations carry no certificate.
+func TestDualsNilWhenNotOptimal(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x")
+	p.SetObjective(x, 1)
+	s := solveOrFatal(t, p) // unbounded
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+	if s.Y != nil || s.ReducedCost != nil {
+		t.Fatalf("Y=%v ReducedCost=%v, want nil for non-optimal status", s.Y, s.ReducedCost)
+	}
+}
+
+// --- SolveExact error paths (satellite: previously exercised only as a
+// cross-check referee on feasible instances; unbounded is covered by
+// robustness_test.go's TestExactUnbounded) ---
+
+func TestExactNaNVariableRejected(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x")
+	p.SetObjective(x, math.NaN())
+	if _, err := p.SolveExact(); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("err = %v, want ErrBadProblem for NaN objective", err)
+	}
+}
+
+// big.Rat.SetFloat64(NaN) is a silent no-op, so without explicit
+// validation a NaN rhs would be read as 0 instead of failing.
+func TestExactNaNConstraintRejected(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x")
+	p.SetObjective(x, 1)
+	p.AddConstraint("rhs", []Term{{x, 1}}, GE, math.NaN())
+	if _, err := p.SolveExact(); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("err = %v, want ErrBadProblem for NaN rhs", err)
+	}
+
+	p2 := NewProblem(Minimize)
+	x2 := p2.AddVariable("x")
+	p2.SetObjective(x2, 1)
+	p2.AddConstraint("coef", []Term{{x2, math.NaN()}}, GE, 1)
+	if _, err := p2.SolveExact(); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("err = %v, want ErrBadProblem for NaN coefficient", err)
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"testing/quick"
 )
 
-const eps = 1e-6
+// eps aliases the exported solution-value tolerance so every comparison in
+// this file follows the documented tolerance ladder in tol.go.
+const eps = SolutionTol
 
 func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
 
@@ -411,14 +413,14 @@ func TestQuickRandomFeasible(t *testing.T) {
 			// By construction x0 is feasible and bounds cap the objective.
 			return false
 		}
-		if !feasibleAt(p, s.X, 1e-5) {
+		if !feasibleAt(p, s.X, FeasCheckTol) {
 			return false
 		}
 		obj0 := 0.0
 		for j := range x0 {
 			obj0 += p.vars[j].obj * x0[j]
 		}
-		return s.Objective >= obj0-1e-6
+		return s.Objective >= obj0-SolutionTol
 	}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)

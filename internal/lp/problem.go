@@ -148,6 +148,17 @@ func (p *Problem) AddConstraint(name string, terms []Term, sense Sense, rhs floa
 // ConstraintName reports the name a constraint was created with.
 func (p *Problem) ConstraintName(c ConID) string { return p.cons[c].name }
 
+// Objective reports the variable's objective coefficient.
+func (p *Problem) Objective(v VarID) float64 { return p.vars[v].obj }
+
+// Constraint reports constraint c's merged terms, sense, and rhs. The
+// returned slice aliases the problem's storage and must not be modified;
+// it is sorted by variable id.
+func (p *Problem) Constraint(c ConID) (terms []Term, sense Sense, rhs float64) {
+	con := &p.cons[c]
+	return con.terms, con.sense, con.rhs
+}
+
 // mergeTerms sums duplicate variables, drops zero coefficients, and checks
 // variable ids. The result is sorted by variable id for determinism.
 func mergeTerms(terms []Term, nvars int) []Term {

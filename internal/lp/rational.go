@@ -19,6 +19,20 @@ func (p *Problem) SolveExact() (*Solution, error) {
 			return nil, fmt.Errorf("%w: NaN in variable %q", ErrBadProblem, v.name)
 		}
 	}
+	// Constraint NaNs must be rejected here, not just in Solve:
+	// big.Rat.SetFloat64(NaN) is a silent no-op, so an unchecked NaN rhs
+	// or coefficient would be treated as 0 rather than poisoning the
+	// arithmetic the way it does in float64.
+	for _, c := range p.cons {
+		if math.IsNaN(c.rhs) {
+			return nil, fmt.Errorf("%w: NaN rhs in constraint %q", ErrBadProblem, c.name)
+		}
+		for _, t := range c.terms {
+			if math.IsNaN(t.Coef) {
+				return nil, fmt.Errorf("%w: NaN coefficient in constraint %q", ErrBadProblem, c.name)
+			}
+		}
+	}
 
 	var cols []column
 	colOf := make([]int, len(p.vars))

@@ -136,7 +136,7 @@ func TestQuickRowScalingInvariance(t *testing.T) {
 		if s1.Status != Optimal {
 			return true
 		}
-		return math.Abs(s1.Objective-s2.Objective) <= 1e-4*(1+math.Abs(s1.Objective))
+		return math.Abs(s1.Objective-s2.Objective) <= ObjectiveRelTol*(1+math.Abs(s1.Objective))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

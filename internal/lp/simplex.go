@@ -60,10 +60,10 @@ func (o Options) withDefaults(m, n int) Options {
 		o.MaxIterations = 200*(m+n) + 1000
 	}
 	if o.Tol == 0 {
-		o.Tol = 1e-9
+		o.Tol = DefaultTol
 	}
 	if o.FeasTol == 0 {
-		o.FeasTol = 1e-7
+		o.FeasTol = DefaultFeasTol
 	}
 	return o
 }
@@ -78,6 +78,19 @@ type Solution struct {
 	Objective float64
 	// X holds one value per problem variable, indexed by VarID.
 	X []float64
+	// Y holds one dual value (shadow price) per problem constraint,
+	// indexed by ConID, in the problem's original orientation: Y[i] is
+	// ∂Objective/∂rhs_i at the optimum. Filled only when Status is
+	// Optimal; nil otherwise (and always nil from SolveExact, which
+	// reports no basis). Duals are not unique on degenerate problems
+	// (e.g. redundant constraints); the basis the solver lands on picks
+	// one valid certificate.
+	Y []float64
+	// ReducedCost holds one reduced cost per problem variable, indexed by
+	// VarID: ReducedCost[j] = obj_j − Σ_i Y[i]·a_ij over the problem's
+	// constraints. Together with Y it forms the optimality certificate
+	// verified by internal/certify. Filled only when Status is Optimal.
+	ReducedCost []float64
 	// Iterations is the total simplex pivots performed across both phases.
 	Iterations int
 }
@@ -177,10 +190,14 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	m := len(rows)
 	opt := opts.withDefaults(m, nStruct)
 
-	// Normalize to b ≥ 0 and count auxiliary columns.
+	// Normalize to b ≥ 0 and count auxiliary columns. flip remembers which
+	// rows were negated so dual values can be mapped back to the original
+	// row orientation after the solve.
+	flip := make([]bool, m)
 	nSlack, nArt := 0, 0
 	for i := range rows {
 		if rows[i].rhs < 0 {
+			flip[i] = true
 			for k := range rows[i].coefs {
 				rows[i].coefs[k] = -rows[i].coefs[k]
 			}
@@ -214,6 +231,12 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		cost:   make([]float64, n+1),
 		tol:    opt.Tol,
 	}
+	// idCol[i] is the identity column of row i — the auxiliary column
+	// (slack for LE, artificial for GE/EQ) whose only nonzero entry is a
+	// +1 in row i and whose phase-2 objective coefficient is zero. At
+	// phase-2 optimality, -cost[idCol[i]] is therefore exactly the
+	// internal dual value of row i.
+	idCol := make([]int, m)
 	slackAt, artAt := nStruct, nStruct+nSlack
 	for i, r := range rows {
 		base := i * t.stride
@@ -223,16 +246,19 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		case LE:
 			t.a[base+slackAt] = 1
 			t.basis[i] = slackAt
+			idCol[i] = slackAt
 			slackAt++
 		case GE:
 			t.a[base+slackAt] = -1
 			slackAt++
 			t.a[base+artAt] = 1
 			t.basis[i] = artAt
+			idCol[i] = artAt
 			artAt++
 		case EQ:
 			t.a[base+artAt] = 1
 			t.basis[i] = artAt
+			idCol[i] = artAt
 			artAt++
 		}
 	}
@@ -331,6 +357,44 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 	sol.Objective = obj
 	sol.Status = Optimal
+	// Dual extraction. After phase 2, cost[idCol[i]] is the reduced cost
+	// of row i's identity column; since that column is a unit vector with
+	// zero objective coefficient, its reduced cost is −ŷ_i, the internal
+	// (minimization-form, b≥0-normalized) dual of row i. Map back to the
+	// problem's orientation: undo the row flip (σ = −1 if the row was
+	// negated) and the min/max sign. Only the first len(p.cons) rows are
+	// user constraints — the trailing upper-bound rows stay internal.
+	//
+	// This holds for EVERY row, including rows zeroed as redundant by
+	// expelArtificials: pivots keep the whole cost row of the form
+	// cost[j] = c_j − φ(A_j) for one linear functional φ, so reading φ at
+	// the identity columns recovers a dual vector that satisfies the same
+	// identities the simplex exit test guarantees for structural columns.
+	// A numerically-redundant row can carry a genuinely nonzero dual
+	// weight this way (the basis may express an active row's multiplier
+	// through the dependent one); forcing it to 0 would break the
+	// reduced-cost identity on instances with near-dependent rows.
+	sol.Y = make([]float64, len(p.cons))
+	for i := range p.cons {
+		yhat := -t.cost[idCol[i]]
+		if flip[i] {
+			yhat = -yhat
+		}
+		sol.Y[i] = sign * yhat
+	}
+	sol.ReducedCost = make([]float64, len(p.vars))
+	for j, v := range p.vars {
+		sol.ReducedCost[j] = v.obj
+	}
+	for i, c := range p.cons {
+		y := sol.Y[i]
+		if y == 0 {
+			continue
+		}
+		for _, tm := range c.terms {
+			sol.ReducedCost[tm.Var] -= y * tm.Coef
+		}
+	}
 	return sol, nil
 }
 

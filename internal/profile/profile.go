@@ -52,7 +52,7 @@ func Run(ep *elab.Program, cfg core.Config, simCfg aquacore.Config) (Yields, err
 	if err != nil {
 		return nil, err
 	}
-	src, err := aquacore.NewStagedSource(sp)
+	src, err := aquacore.NewStagedSource(sp, nil)
 	if err != nil {
 		return nil, err
 	}

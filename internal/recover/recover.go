@@ -131,6 +131,11 @@ type Options struct {
 	EnableReplan bool
 	// MaxReplans bounds residual re-solves across the run (default 8).
 	MaxReplans int
+	// NoCertify skips the independent certification of every residual
+	// replan (internal/certify). On by default as defense-in-depth: a
+	// re-solved plan that fails certification counts as a failed repair
+	// and the policy engine falls back to the next-cheapest candidate.
+	NoCertify bool
 	// Cost scores candidate repairs when several apply; the zero value
 	// selects the CostModel defaults.
 	Cost CostModel
@@ -452,7 +457,7 @@ func run(m *aquacore.Machine, prog *ais.Program, c *Compiled,
 					choice, _ := opt.Cost.Choose(cands...)
 					switch choice.Kind {
 					case RepairRescale:
-						ok, err := applyReplan(m, prog, c, pc, boundary, src, need, have, jitterPad, jw, out)
+						ok, err := applyReplan(m, prog, c, pc, boundary, src, need, have, jitterPad, opt.NoCertify, jw, out)
 						if err != nil {
 							return abort(err)
 						}

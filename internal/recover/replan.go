@@ -6,6 +6,7 @@ import (
 
 	"aquavol/internal/ais"
 	"aquavol/internal/aquacore"
+	"aquavol/internal/certify"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
 	"aquavol/internal/journal"
@@ -62,12 +63,15 @@ func regenEstimate(m *aquacore.Machine, prog *ais.Program, c *Compiled, edge int
 // pc: extract the residual DAG at the executed/pending frontier,
 // re-solve it with the live vessel volumes as fixed boundary
 // conditions, and patch the rescaled volumes into the machine's volume
-// overlay for every remaining instruction. Returns (false, nil) when
-// the residual cannot be extracted or re-solved feasibly — the caller
-// falls back to regeneration — and a non-nil error only for journal
-// append failures, which abort the run.
+// overlay for every remaining instruction. Unless noCertify, the
+// re-solved plan and its patch set must pass the independent checker
+// (internal/certify) before a single volume is patched — a replan that
+// fails certification is a failed repair, not a wrong one applied.
+// Returns (false, nil) when the residual cannot be extracted, re-solved
+// feasibly, or certified — the caller falls back to regeneration — and
+// a non-nil error only for journal append failures, which abort the run.
 func applyReplan(m *aquacore.Machine, prog *ais.Program, c *Compiled, pc, boundary int,
-	src string, need, have, jitterPad float64, jw *journal.Writer, out *Outcome) (bool, error) {
+	src string, need, have, jitterPad float64, noCertify bool, jw *journal.Writer, out *Outcome) (bool, error) {
 	infeasible := func(why error) (bool, error) {
 		m.RecordEvent(aquacore.Event{
 			Kind: aquacore.EventReplan, PC: pc, Instr: prog.Instrs[pc].String(),
@@ -104,6 +108,11 @@ func applyReplan(m *aquacore.Machine, prog *ais.Program, c *Compiled, pc, bounda
 	if err != nil {
 		return infeasible(err)
 	}
+	if !noCertify {
+		if err := certify.CheckResidual(rp, m.VolumeConfig(), live); err != nil {
+			return infeasible(fmt.Errorf("replan failed certification: %w", err))
+		}
+	}
 
 	// Patch every remaining instruction that realizes a residual edge or
 	// a pending input load. Generated programs are forward-jump-only, so
@@ -121,6 +130,24 @@ func applyReplan(m *aquacore.Machine, prog *ais.Program, c *Compiled, pc, bounda
 			if v, ok := inputVol[in.Node]; ok {
 				patches[p] = v
 			}
+		}
+	}
+	if !noCertify {
+		// The patch map is the last hand-off before live volumes change:
+		// verify every patched pc resolves to a residual edge or input and
+		// carries exactly the certified plan's volume for it.
+		resolve := func(p int) (edge, node int) {
+			in := prog.Instrs[p]
+			if in.Edge >= 0 {
+				return in.Edge, -1
+			}
+			if in.Op == ais.Input && in.Node >= 0 {
+				return -1, in.Node
+			}
+			return -1, -1
+		}
+		if err := certify.CheckPatches(rp, patches, resolve); err != nil {
+			return infeasible(fmt.Errorf("replan patches failed certification: %w", err))
 		}
 	}
 	// Patch in pc order so the machine's mutation sequence (and any
@@ -141,6 +168,7 @@ func applyReplan(m *aquacore.Machine, prog *ais.Program, c *Compiled, pc, bounda
 		if err := jw.Append(&journal.Record{Kind: journal.KindReplan, Replan: &journal.Replan{
 			Boundary: boundary, PC: pc, Source: src, Need: need, Have: have,
 			Method: rp.Method, Scale: rp.Plan.Scale, Patches: patches,
+			CertHash: certify.ReplanHash(rp, patches),
 		}}); err != nil {
 			return false, err
 		}

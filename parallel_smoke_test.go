@@ -17,6 +17,7 @@ import (
 	"aquavol/internal/aisverify"
 	"aquavol/internal/analysis"
 	"aquavol/internal/assays"
+	"aquavol/internal/certify"
 	"aquavol/internal/core"
 	"aquavol/internal/dag"
 	"aquavol/internal/fluidvet"
@@ -61,6 +62,8 @@ var smokeExercises = map[string]func(t *testing.T){
 	"(*aquavol/internal/dag.Graph).Validate": smokeValidate,
 	"aquavol/internal/analysis.Analyze":      smokeAnalyze,
 	"aquavol/internal/aisverify.Verify":      smokeVerify,
+	"aquavol/internal/certify.CheckPlan":     smokeCertifyPlan,
+	"aquavol/internal/certify.CheckResidual": smokeCertifyResidual,
 }
 
 func TestParallelSmoke(t *testing.T) {
@@ -240,6 +243,47 @@ func smokeAnalyze(t *testing.T) {
 			return fmt.Errorf("concurrent lint found %d findings, baseline %d", len(got), len(base))
 		}
 		return nil
+	})
+}
+
+// smokeCertifyPlan certifies one shared solved plan from N goroutines
+// (the certificate's contract: the checker only reads the plan, graph,
+// and config it is handed).
+func smokeCertifyPlan(t *testing.T) {
+	g := assays.GlucoseDAG()
+	plan, err := core.DAGSolve(g, cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("baseline plan infeasible: %v", plan.Underflows)
+	}
+	hammer(t, smokeGoroutines, func(worker int) error {
+		return certify.CheckPlan(plan, cfg(), nil)
+	})
+}
+
+// smokeCertifyResidual certifies one shared residual replan from N
+// goroutines sharing the residual and a race-free live callback.
+func smokeCertifyResidual(t *testing.T) {
+	g := dag.New()
+	in1 := g.AddInput("in1")
+	in2 := g.AddInput("in2")
+	m := g.AddMix("M", dag.Part{Source: in1, Ratio: 1}, dag.Part{Source: in2, Ratio: 3})
+	h := g.AddUnary(dag.Incubate, "H", m)
+	g.AddUnary(dag.Sense, "end", h)
+	done := map[int]bool{in1.ID(): true, in2.ID(): true, m.ID(): true}
+	r, err := dag.ExtractResidual(g, func(n *dag.Node) bool { return done[n.ID()] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := func(sourceID int, port string) (float64, bool) { return 37.5, true }
+	rp, err := core.SolveResidual(r, cfg(), live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(t, smokeGoroutines, func(worker int) error {
+		return certify.CheckResidual(rp, cfg(), live)
 	})
 }
 
